@@ -1,0 +1,219 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper through the testing.B interface, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the full reproduction pipeline. Each benchmark wraps the
+// corresponding internal/experiments harness at a benchmark-friendly scale
+// (absolute dataset sizes are scaled; the simulated network and all
+// algorithms are the real ones). cmd/cyrusbench runs the same experiments
+// at paper scale and prints the tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// reportMetric stashes an experiment's headline number as a custom metric
+// so bench output carries reproduction data, not just runtimes.
+func reportMetric(b *testing.B, name string, v float64) {
+	b.Helper()
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Rows) != 5 {
+			b.Fatal("table 1 shape")
+		}
+	}
+}
+
+func BenchmarkTable2ProviderSurvey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2()
+		if len(r.Rows) != 20 {
+			b.Fatal("table 2 shape")
+		}
+	}
+}
+
+func BenchmarkTable4Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(1, 0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3Clustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Clusters) != 16 {
+			b.Fatal("cluster count")
+		}
+	}
+}
+
+func BenchmarkFigure12Encode(b *testing.B) {
+	cfg := experiments.Figure12Config{ChunkBytes: 16 << 20, TValues: []int{2, 3}, NValues: []int{3, 5}, Seed: 1}
+	b.SetBytes(int64(cfg.ChunkBytes))
+	var last experiments.Figure12Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Points) > 0 {
+		reportMetric(b, "enc23-MB/s", last.Points[0].EncodeMBps)
+	}
+}
+
+func BenchmarkFigure13FailureSim(b *testing.B) {
+	var last experiments.Figure13Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure13(experiments.Figure13Config{Trials: 1_000_000, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMetric(b, "cyrus34-failures", float64(last.Cyrus34))
+	reportMetric(b, "bestCSP-failures", float64(last.SingleCSP[0]))
+}
+
+func BenchmarkFigure14SelectorComparison(b *testing.B) {
+	var last experiments.Figure14Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure14(experiments.TestbedConfig{Scale: 0.02, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMetric(b, "cyrus23-mean-s", last.MeanDownload["(2,3)"]["cyrus"])
+	reportMetric(b, "random23-mean-s", last.MeanDownload["(2,3)"]["random"])
+}
+
+func BenchmarkFigure15Cumulative(b *testing.B) {
+	var last experiments.Figure15Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure15(experiments.TestbedConfig{Scale: 0.02, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMetric(b, "up34-s", last.CumulativeUpload["(3,4)"])
+	reportMetric(b, "up23-s", last.CumulativeUpload["(2,3)"])
+}
+
+func BenchmarkFigure16SchemeComparison(b *testing.B) {
+	var last experiments.Figure16Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure16(experiments.Figure16Config{FileBytes: 8 << 20, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMetric(b, "cyrus-down-s", last.Download["cyrus"])
+	reportMetric(b, "depsky-down-s", last.Download["depsky"])
+}
+
+func BenchmarkFigure17Hourly(b *testing.B) {
+	var last experiments.Figure17Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure17(experiments.HourlyConfig{Samples: 12, FileBytes: 1 << 19, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportMetric(b, "cyrus-up-median-s", last.CyrusUpload.Median)
+	reportMetric(b, "depsky-up-median-s", last.DepskyUpload.Median)
+}
+
+func BenchmarkFigure18ShareDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure18(experiments.HourlyConfig{Samples: 12, FileBytes: 1 << 19, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cyrus) == 0 || len(res.Depsky) == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+func BenchmarkFigure19Trial(b *testing.B) {
+	var last experiments.Figure19Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure19(experiments.TrialConfig{FileBytes: 4 << 20, Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Region == "kr" && row.Scheme == "cyrus(2,3)" {
+			reportMetric(b, "kr-cyrus23-up-s", row.Upload)
+		}
+	}
+}
+
+func BenchmarkAblationSelector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSelector(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChunking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationChunking(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRing(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMigration(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationConcurrency(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMetadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMetadata(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

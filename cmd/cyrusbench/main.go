@@ -1,0 +1,150 @@
+// Command cyrusbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cyrusbench -exp all                 # everything (can take a while)
+//	cyrusbench -exp fig14 -scale 0.25   # one experiment, scaled dataset
+//	cyrusbench -list                    # what is available
+//
+// Every experiment is deterministic for a given -seed. Absolute numbers
+// depend on the simulated network profiles (see DESIGN.md); the shapes —
+// orderings, ratios, crossovers — are the reproduction targets recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	id, desc string
+	run      func(opts options) (experiments.Report, error)
+}
+
+type options struct {
+	seed    int64
+	scale   float64
+	trials  int
+	chunkMB int
+	samples int
+}
+
+func table(r experiments.Report, err error) (experiments.Report, error) { return r, err }
+
+var runners = []runner{
+	{"table1", "feature matrix vs related systems", func(o options) (experiments.Report, error) {
+		return experiments.Table1(), nil
+	}},
+	{"table2", "CSP survey: APIs, RTT, modeled throughput", func(o options) (experiments.Report, error) {
+		return experiments.Table2(), nil
+	}},
+	{"table4", "testbed dataset composition", func(o options) (experiments.Report, error) {
+		return table(experiments.Table4(o.seed, o.scale))
+	}},
+	{"fig3", "CSP platform clustering (traceroute MST)", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure3()
+		return res.Report, err
+	}},
+	{"fig12", "erasure coding throughput vs t and n", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure12(experiments.Figure12Config{ChunkBytes: o.chunkMB << 20, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig13", "simulated cumulative CSP failures", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure13(experiments.Figure13Config{Trials: o.trials, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig14", "testbed download: selector comparison", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure14(experiments.TestbedConfig{Scale: o.scale, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig15", "testbed cumulative completion per (t,n)", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure15(experiments.TestbedConfig{Scale: o.scale, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig16", "40MB file: CYRUS vs DepSky vs replication vs striping", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure16(experiments.Figure16Config{Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig17", "hourly 1MB completion times: CYRUS vs DepSky", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure17(experiments.HourlyConfig{Samples: o.samples, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig18", "share distribution across CSPs", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure18(experiments.HourlyConfig{Samples: o.samples, Seed: o.seed})
+		return res.Report, err
+	}},
+	{"fig19", "deployment trial: US and Korea, 20MB file", func(o options) (experiments.Report, error) {
+		res, err := experiments.Figure19(experiments.TrialConfig{Seed: o.seed})
+		return res.Report, err
+	}},
+	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
+		return experiments.AblationSelector(o.seed)
+	}},
+	{"ablation-chunking", "chunk size vs dedup on edit workload", func(o options) (experiments.Report, error) {
+		return experiments.AblationChunking(o.seed)
+	}},
+	{"ablation-ring", "consistent hashing vs modulo placement churn", func(o options) (experiments.Report, error) {
+		return experiments.AblationRing(o.seed)
+	}},
+	{"ablation-migration", "lazy vs eager share migration", func(o options) (experiments.Report, error) {
+		return experiments.AblationMigration(o.seed)
+	}},
+	{"ablation-concurrency", "optimistic concurrent updates vs lock files", func(o options) (experiments.Report, error) {
+		return experiments.AblationConcurrency(o.seed)
+	}},
+	{"ablation-metadata", "metadata size vs file size", func(o options) (experiments.Report, error) {
+		return experiments.AblationMetadata(o.seed)
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 0.25, "dataset scale for testbed experiments (1.0 = paper's 638 MB)")
+	trials := flag.Int("trials", 10_000_000, "Monte Carlo trials for fig13")
+	chunkMB := flag.Int("chunkmb", 100, "chunk size in MB for fig12 (paper: 100)")
+	samples := flag.Int("samples", 48, "hourly samples for fig17/fig18 (paper: 48)")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("  %-20s %s\n", r.id, r.desc)
+		}
+		return
+	}
+	opts := options{seed: *seed, scale: *scale, trials: *trials, chunkMB: *chunkMB, samples: *samples}
+
+	want := strings.Split(*exp, ",")
+	matched := 0
+	for _, r := range runners {
+		if !selected(r.id, want) {
+			continue
+		}
+		matched++
+		report, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyrusbench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "cyrusbench: no experiment matches %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func selected(id string, want []string) bool {
+	for _, w := range want {
+		if w == "all" || w == id {
+			return true
+		}
+	}
+	return false
+}

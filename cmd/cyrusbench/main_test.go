@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunnerRegistryIsComplete(t *testing.T) {
+	// Every table/figure in the paper's evaluation plus the ablations.
+	want := []string{
+		"table1", "table2", "table4", "fig3", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"ablation-selector", "ablation-chunking", "ablation-ring",
+		"ablation-migration", "ablation-concurrency", "ablation-metadata",
+	}
+	have := map[string]bool{}
+	for _, r := range runners {
+		if r.id == "" || r.desc == "" || r.run == nil {
+			t.Fatalf("malformed runner %+v", r)
+		}
+		if have[r.id] {
+			t.Fatalf("duplicate runner %q", r.id)
+		}
+		have[r.id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if len(runners) != len(want) {
+		t.Fatalf("%d runners, want %d", len(runners), len(want))
+	}
+}
+
+func TestSelected(t *testing.T) {
+	if !selected("fig14", []string{"all"}) {
+		t.Fatal("all did not match")
+	}
+	if !selected("fig14", []string{"fig13", "fig14"}) {
+		t.Fatal("list did not match")
+	}
+	if selected("fig14", []string{"fig15"}) {
+		t.Fatal("mismatched id matched")
+	}
+}
+
+func TestFastRunnersExecute(t *testing.T) {
+	opts := options{seed: 1, scale: 0.01, trials: 10_000, chunkMB: 1, samples: 3}
+	fast := map[string]bool{"table1": true, "table2": true, "table4": true, "fig3": true, "fig13": true, "ablation-metadata": true}
+	for _, r := range runners {
+		if !fast[r.id] {
+			continue
+		}
+		report, err := r.run(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", r.id, err)
+		}
+		if len(report.Rows) == 0 {
+			t.Fatalf("%s produced no rows", r.id)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command cyruscsp runs one cloud-storage provider speaking the resthttp
+// protocol — the server side a commercial CSP would operate. Run a few of
+// these (different ports, different machines) and point cyrusctl or the
+// cyrus library at them to get a CYRUS cloud over real sockets.
+//
+//	cyruscsp -addr :8081 -name alpha -token s3cret
+//	cyruscsp -addr :8082 -name beta  -token s3cret -identity id-keyed
+//	cyruscsp -addr :8083 -name gamma -token s3cret -capacity 1073741824
+//
+// Then:
+//
+//	cyrusctl -config cloud.json init -t 2 -n 3 \
+//	    -csp alpha=http://host1:8081 -csp beta=http://host2:8082 -csp gamma=http://host3:8083
+//
+// The -admin flag additionally exposes POST /admin/fail and
+// POST /admin/available for failure-injection demos; leave it off in any
+// real deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/resthttp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	name := flag.String("name", "cyruscsp", "provider name")
+	token := flag.String("token", "", "bearer token clients must present (required)")
+	capacity := flag.Int64("capacity", 0, "storage capacity in bytes (0 = unlimited)")
+	identity := flag.String("identity", "name-keyed", "object identity model: name-keyed (overwrite) or id-keyed (duplicate)")
+	admin := flag.Bool("admin", false, "expose fault-injection admin endpoints (testing only)")
+	flag.Parse()
+
+	if *token == "" {
+		fmt.Fprintln(os.Stderr, "cyruscsp: -token is required")
+		os.Exit(2)
+	}
+	var id csp.ObjectIdentity
+	switch *identity {
+	case "name-keyed":
+		id = csp.NameKeyed
+	case "id-keyed":
+		id = csp.IDKeyed
+	default:
+		fmt.Fprintf(os.Stderr, "cyruscsp: unknown -identity %q\n", *identity)
+		os.Exit(2)
+	}
+
+	backend := cloudsim.NewBackend(*name, id, *capacity)
+	srv, err := resthttp.NewServer(backend, *token, *admin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d admin=%v)",
+		*name, *addr, *identity, *capacity, *admin)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/resthttp"
+)
+
+// TestCLIOverHTTPProviders drives cyrusctl against live HTTP providers —
+// the full deployment story: cyruscsp-equivalent servers + CLI client.
+func TestCLIOverHTTPProviders(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		b := cloudsim.NewBackend("httpcsp", csp.NameKeyed, 0)
+		srv, err := resthttp.NewServer(b, "wire-token", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "cloud.json")
+	mustCtl(t, cfg, "init", "-t", "2", "-n", "3", "-csptoken", "wire-token",
+		"-csp", "alpha="+urls[0],
+		"-csp", "beta="+urls[1],
+		"-csp", "gamma="+urls[2])
+
+	src := filepath.Join(dir, "wire.txt")
+	if err := os.WriteFile(src, []byte("stored over HTTP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustCtl(t, cfg, "put", src)
+	out := filepath.Join(dir, "back.txt")
+	mustCtl(t, cfg, "get", "-o", out, "wire.txt")
+	got, err := os.ReadFile(out)
+	if err != nil || string(got) != "stored over HTTP" {
+		t.Fatalf("HTTP round trip: %q, %v", got, err)
+	}
+	mustCtl(t, cfg, "ls")
+	mustCtl(t, cfg, "gc")
+}
+
+func TestCLIInitHTTPRequiresToken(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "cloud.json")
+	err := ctl(t, cfg, "init", "-t", "2",
+		"-csp", "a=http://localhost:1",
+		"-csp", "b=http://localhost:2")
+	if err == nil {
+		t.Fatal("HTTP providers without -csptoken accepted")
+	}
+}

@@ -1,0 +1,434 @@
+// Command cyrusctl operates a real CYRUS cloud over directory-backed
+// providers — each configured directory plays the role of one CSP account
+// (point them at different disks, mounts, or folders synced by different
+// providers' native clients).
+//
+// Setup:
+//
+//	cyrusctl -config cloud.json init -t 2 -n 3 \
+//	    -csp dropbox=/mnt/dropbox -csp gdrive=/mnt/gdrive -csp box=/mnt/box
+//
+// Then:
+//
+//	cyrusctl -config cloud.json put notes.txt
+//	cyrusctl -config cloud.json ls
+//	cyrusctl -config cloud.json get notes.txt -o /tmp/notes.txt
+//	cyrusctl -config cloud.json history notes.txt
+//	cyrusctl -config cloud.json restore notes.txt <version-id>
+//	cyrusctl -config cloud.json rm notes.txt
+//	cyrusctl -config cloud.json conflicts
+//	cyrusctl -config cloud.json resolve notes.txt <winner-version-id>
+//
+// The key in the config file is the user secret: every device sharing the
+// cloud must use the same key, and without it nothing is readable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/cyrus"
+)
+
+type cspEntry struct {
+	Name string `json:"name"`
+	// Path is a local directory (DirStore) or an http(s):// base URL
+	// (a provider speaking the resthttp protocol, e.g. cmd/cyruscsp).
+	Path string `json:"path"`
+}
+
+type config struct {
+	ClientID string     `json:"client_id"`
+	Key      string     `json:"key"`
+	T        int        `json:"t"`
+	N        int        `json:"n"`
+	CSPToken string     `json:"csp_token,omitempty"` // bearer token for HTTP providers
+	CSPs     []cspEntry `json:"csps"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cyrusctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cyrusctl", flag.ContinueOnError)
+	cfgPath := fs.String("config", "cyrus.json", "path to the cloud config file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate> ...")
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	if cmd == "init" {
+		return cmdInit(*cfgPath, rest)
+	}
+	client, err := openClient(*cfgPath)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch cmd {
+	case "put":
+		return cmdPut(ctx, client, rest)
+	case "get":
+		return cmdGet(ctx, client, rest)
+	case "ls":
+		return cmdLs(ctx, client, rest)
+	case "history":
+		return cmdHistory(ctx, client, rest)
+	case "rm":
+		return cmdRm(ctx, client, rest)
+	case "restore":
+		return cmdRestore(ctx, client, rest)
+	case "conflicts":
+		return cmdConflicts(ctx, client)
+	case "resolve":
+		return cmdResolve(ctx, client, rest)
+	case "recover":
+		return client.Recover(ctx)
+	case "sync":
+		return cmdSync(ctx, client, rest)
+	case "import":
+		return cmdImport(ctx, client, rest)
+	case "gc":
+		return cmdGC(ctx, client)
+	case "probe":
+		return cmdProbe(ctx, client)
+	case "reinstate":
+		return cmdReinstate(ctx, client, rest)
+	case "rmcsp":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: rmcsp <provider>")
+		}
+		return client.RemoveCSP(ctx, rest[0])
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdSync(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("sync", flag.ContinueOnError)
+	watch := fs.Duration("watch", 0, "keep syncing at this interval (0 = one pass)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sync [-watch interval] <dir>")
+	}
+	sy, err := cyrus.NewSyncer(c, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	report := func(actions []cyrus.SyncAction, err error) {
+		for _, a := range actions {
+			fmt.Printf("%-13s %s\n", a.Op, a.Name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sync:", err)
+		}
+	}
+	if *watch > 0 {
+		return sy.Watch(ctx, *watch, report)
+	}
+	actions, err := sy.Sync(ctx)
+	report(actions, nil)
+	if err != nil {
+		return err
+	}
+	if len(actions) == 0 {
+		fmt.Println("up to date")
+	}
+	return nil
+}
+
+func cmdImport(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: import <provider> <object> [dest-name]")
+	}
+	dest := ""
+	if len(args) == 3 {
+		dest = args[2]
+	}
+	if err := c.Import(ctx, args[0], args[1], dest); err != nil {
+		return err
+	}
+	if dest == "" {
+		dest = args[1]
+	}
+	fmt.Printf("imported %s from %s as %s\n", args[1], args[0], dest)
+	return nil
+}
+
+func cmdGC(ctx context.Context, c *cyrus.Client) error {
+	stats, err := c.GC(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d chunks (%d share objects, ~%d bytes); %d shares skipped\n",
+		stats.Chunks, stats.Shares, stats.Bytes, stats.Skipped)
+	return nil
+}
+
+func cmdProbe(ctx context.Context, c *cyrus.Client) error {
+	recovered := c.ProbeFailed(ctx)
+	if len(recovered) == 0 {
+		fmt.Println("no failed providers recovered")
+		return nil
+	}
+	for _, name := range recovered {
+		fmt.Printf("%s is back up\n", name)
+	}
+	return nil
+}
+
+func cmdReinstate(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: reinstate <provider>")
+	}
+	return c.ReinstateCSP(ctx, args[0])
+}
+
+func cmdInit(cfgPath string, args []string) error {
+	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	t := fs.Int("t", 2, "privacy level: shares needed to reconstruct")
+	n := fs.Int("n", 0, "reliability level: shares stored (0 = derive from failure model)")
+	key := fs.String("key", "", "user key (generated if empty)")
+	client := fs.String("client", "", "client id (hostname if empty)")
+	cspToken := fs.String("csptoken", "", "bearer token for http(s) providers")
+	var csps multiFlag
+	fs.Var(&csps, "csp", "provider as name=<dir-path or http(s)://url> (repeatable, need at least t)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(csps) < *t {
+		return fmt.Errorf("need at least %d -csp entries, got %d", *t, len(csps))
+	}
+	cfg := config{ClientID: *client, Key: *key, T: *t, N: *n, CSPToken: *cspToken}
+	if cfg.ClientID == "" {
+		host, _ := os.Hostname()
+		cfg.ClientID = host
+	}
+	if cfg.Key == "" {
+		var buf [24]byte
+		f, err := os.Open("/dev/urandom")
+		if err == nil {
+			_, _ = f.Read(buf[:])
+			f.Close()
+		}
+		cfg.Key = fmt.Sprintf("%x", buf)
+	}
+	for _, e := range csps {
+		name, path, ok := strings.Cut(e, "=")
+		if !ok {
+			return fmt.Errorf("bad -csp %q, want name=path-or-url", e)
+		}
+		if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+			if *cspToken == "" {
+				return fmt.Errorf("-csp %q is an HTTP provider: set -csptoken", name)
+			}
+			cfg.CSPs = append(cfg.CSPs, cspEntry{Name: name, Path: path})
+			continue
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		cfg.CSPs = append(cfg.CSPs, cspEntry{Name: name, Path: abs})
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfgPath, append(data, '\n'), 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("initialized %s with %d providers (t=%d)\nkeep the key safe: without it nothing is readable\n",
+		cfgPath, len(cfg.CSPs), cfg.T)
+	return nil
+}
+
+func openClient(cfgPath string) (*cyrus.Client, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("read config: %w (run 'cyrusctl init' first)", err)
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parse config: %w", err)
+	}
+	var stores []cyrus.Store
+	ctx := context.Background()
+	for _, e := range cfg.CSPs {
+		var s cyrus.Store
+		token := "local"
+		if strings.HasPrefix(e.Path, "http://") || strings.HasPrefix(e.Path, "https://") {
+			s = cyrus.NewHTTPStore(e.Name, e.Path)
+			token = cfg.CSPToken
+		} else {
+			ds, err := cyrus.NewDirStore(e.Name, e.Path)
+			if err != nil {
+				return nil, err
+			}
+			s = ds
+		}
+		if err := s.Authenticate(ctx, cyrus.Credentials{Token: token}); err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	return cyrus.New(cyrus.Config{
+		ClientID: cfg.ClientID,
+		Key:      cfg.Key,
+		T:        cfg.T,
+		N:        cfg.N,
+	}, stores)
+}
+
+func cmdPut(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: put <file>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	name := filepath.Base(args[0])
+	if err := c.Put(ctx, name, data); err != nil {
+		return err
+	}
+	fmt.Printf("stored %s (%d bytes)\n", name, len(data))
+	return nil
+}
+
+func cmdGet(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	out := fs.String("o", "", "output path (default: the file name)")
+	version := fs.String("version", "", "specific version id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: get [-o out] [-version id] <name>")
+	}
+	name := fs.Arg(0)
+	var data []byte
+	var info cyrus.FileInfo
+	var err error
+	if *version != "" {
+		data, info, err = c.GetVersion(ctx, name, *version)
+	} else {
+		data, info, err = c.Get(ctx, name)
+	}
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = name
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("retrieved %s (%d bytes, version %.8s)\n", name, len(data), info.VersionID)
+	if info.Conflicted {
+		fmt.Println("warning: this file has conflicting concurrent versions; see 'cyrusctl conflicts'")
+	}
+	return nil
+}
+
+func cmdLs(ctx context.Context, c *cyrus.Client, args []string) error {
+	dir := ""
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	files, err := c.List(ctx, dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		flag := " "
+		if f.Conflicted {
+			flag = "!"
+		}
+		fmt.Printf("%s %10d  %s  %.8s  %s\n", flag, f.Size, f.Modified.Format("2006-01-02 15:04"), f.VersionID, f.Name)
+	}
+	return nil
+}
+
+func cmdHistory(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: history <name>")
+	}
+	hist, err := c.History(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	for i, v := range hist {
+		mark := " "
+		if i == 0 {
+			mark = "*"
+		}
+		state := ""
+		if v.Deleted {
+			state = " (deleted)"
+		}
+		fmt.Printf("%s %s  %10d  %s%s\n", mark, v.VersionID, v.Size, v.Modified.Format("2006-01-02 15:04:05"), state)
+	}
+	return nil
+}
+
+func cmdRm(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rm <name>")
+	}
+	return c.Delete(ctx, args[0])
+}
+
+func cmdRestore(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: restore <name> <version-id>")
+	}
+	return c.Restore(ctx, args[0], args[1])
+}
+
+func cmdConflicts(ctx context.Context, c *cyrus.Client) error {
+	conflicts := c.Conflicts(ctx)
+	if len(conflicts) == 0 {
+		fmt.Println("no conflicts")
+		return nil
+	}
+	for _, cf := range conflicts {
+		fmt.Printf("%s (%s):\n", cf.Name, cf.Type)
+		for _, v := range cf.Versions {
+			fmt.Printf("  %s  %10d bytes  %s\n", v.VersionID, v.Size, v.Modified.Format("2006-01-02 15:04:05"))
+		}
+	}
+	return nil
+}
+
+func cmdResolve(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: resolve <name> <winner-version-id>")
+	}
+	return c.Resolve(ctx, args[0], args[1])
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

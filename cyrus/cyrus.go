@@ -1,0 +1,133 @@
+// Package cyrus is the public API of this CYRUS reproduction: a
+// client-defined cloud storage system that aggregates multiple autonomous
+// cloud storage providers (CSPs) into one private, reliable, fast logical
+// cloud (Chung et al., "CYRUS: Towards Client-Defined Cloud Storage",
+// EuroSys 2015).
+//
+// Files are split into content-defined chunks; every chunk is encoded with
+// a non-systematic (t, n) Reed-Solomon code keyed by the user's secret and
+// scattered to n providers, at most one per physical cloud platform. No
+// single provider can reconstruct any byte (privacy); any n-t providers
+// may fail without data loss (reliability); downloads fetch t shares per
+// chunk from providers chosen by an optimizer that minimizes completion
+// time (latency). Multiple autonomous clients share files through metadata
+// that is itself secret-shared across the providers; concurrent updates
+// are uploaded without locking and conflicts are detected and resolved
+// from the client.
+//
+// Quick start:
+//
+//	stores := []cyrus.Store{ ... }      // e.g. cyrus.NewDirStore per provider
+//	client, err := cyrus.New(cyrus.Config{
+//		ClientID: "laptop",
+//		Key:      "correct horse battery staple",
+//		T:        2,                     // privacy: 2 CSPs needed to read
+//		Epsilon:  1e-4,                  // reliability bound, picks n
+//	}, stores)
+//	err = client.Put(ctx, "notes.txt", data)
+//	data, info, err := client.Get(ctx, "notes.txt")
+//
+// See the examples/ directory for runnable programs.
+package cyrus
+
+import (
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/metadata"
+	"repro/internal/resthttp"
+	"repro/internal/syncdir"
+	"repro/internal/topology"
+)
+
+// Syncer keeps a local directory bidirectionally synced with a CYRUS
+// cloud, the way the prototype's "CYRUS folder" worked (paper §5.4):
+// local edits are detected by mtime+hash, remote changes through the
+// metadata tree, and conflicts are materialized as sibling
+// "<name>.conflict-<client>-<version>" copies.
+type Syncer = syncdir.Syncer
+
+// SyncAction describes one operation a Syncer.Sync pass performed.
+type SyncAction = syncdir.Action
+
+// NewSyncer builds a folder syncer over an existing directory.
+func NewSyncer(client *Client, dir string) (*Syncer, error) {
+	return syncdir.New(client, dir)
+}
+
+// Re-exported core types. Config documents every knob (privacy level T,
+// reliability bound Epsilon or explicit N, chunking, platform clusters,
+// download selector, runtime).
+type (
+	// Config tunes a Client; see core.Config for field documentation.
+	Config = core.Config
+	// Client is a CYRUS endpoint implementing the paper's Table-3 API.
+	Client = core.Client
+	// FileInfo describes one stored file version.
+	FileInfo = core.FileInfo
+	// ConflictInfo describes a detected concurrent-update conflict.
+	ConflictInfo = core.ConflictInfo
+	// Event is an asynchronous transfer notification.
+	Event = core.Event
+	// GCStats reports what a garbage collection removed.
+	GCStats = core.GCStats
+
+	// Store is the five-call provider interface (authenticate, list,
+	// upload, download, delete) CYRUS requires of a CSP.
+	Store = csp.Store
+	// Credentials authenticates a Store session.
+	Credentials = csp.Credentials
+	// Profile is a provider descriptor (the paper's Table-2 registry).
+	Profile = csp.Profile
+)
+
+// Errors a caller is expected to branch on.
+var (
+	ErrNoSuchFile   = core.ErrNoSuchFile
+	ErrFileDeleted  = core.ErrFileDeleted
+	ErrNotEnoughCSP = core.ErrNotEnoughCSP
+	ErrDamaged      = core.ErrDamaged
+)
+
+// New creates a CYRUS cloud over the given providers — the paper's
+// s = create() plus add(s, c) for each provider.
+func New(cfg Config, stores []Store) (*Client, error) {
+	return core.New(cfg, stores)
+}
+
+// NewDirStore returns a provider backed by a local directory — the
+// simplest way to run a real CYRUS cloud without commercial accounts
+// (point each store at a different mount/disk/remote-synced folder).
+func NewDirStore(name, root string) (Store, error) {
+	return cloudsim.NewDirStore(name, root)
+}
+
+// NewMemStore returns an in-memory provider with the given object-identity
+// quirk — useful for tests and demos. Capacity 0 means unlimited.
+func NewMemStore(name string, capacity int64) Store {
+	return cloudsim.NewSimStore(cloudsim.NewBackend(name, csp.NameKeyed, capacity))
+}
+
+// NewHTTPStore returns a connector for a provider speaking the resthttp
+// protocol (run one with cmd/cyruscsp, or implement the five endpoints on
+// any real service).
+func NewHTTPStore(name, baseURL string) Store {
+	return resthttp.NewStore(name, baseURL, nil)
+}
+
+// Providers returns the built-in Table-2 provider registry.
+func Providers() []Profile { return csp.Registry() }
+
+// InferClusters runs the platform-inference pipeline (§4.1) over synthetic
+// routes for the named providers, returning provider -> cluster-id in the
+// form Config.ClusterOf expects. Providers on shared platforms (per the
+// registry) cluster together.
+func InferClusters(providerNames []string) (map[string]string, error) {
+	prober := &topology.SyntheticProber{PlatformOf: csp.PlatformMap()}
+	clusterOf, _, err := topology.InferClusters(prober, providerNames)
+	return clusterOf, err
+}
+
+// HashData exposes the content-hash used for file and chunk identities
+// (hex SHA-1), for callers that want to verify data out of band.
+func HashData(data []byte) string { return metadata.HashData(data) }

@@ -1,0 +1,115 @@
+package cyrus_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/cyrus"
+)
+
+var ctx = context.Background()
+
+func memCloud(t *testing.T, names ...string) []cyrus.Store {
+	t.Helper()
+	var stores []cyrus.Store
+	for _, n := range names {
+		s := cyrus.NewMemStore(n, 0)
+		if err := s.Authenticate(ctx, cyrus.Credentials{Token: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+	return stores
+}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	client, err := cyrus.New(cyrus.Config{
+		ClientID: "test", Key: "k", T: 2, N: 3,
+	}, memCloud(t, "a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("facade"), 1000)
+	if err := client.Put(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := client.Get(ctx, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+	if info.Size != int64(len(data)) {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, _, err := client.Get(ctx, "nope"); !errors.Is(err, cyrus.ErrNoSuchFile) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeDirStores(t *testing.T) {
+	root := t.TempDir()
+	var stores []cyrus.Store
+	for _, n := range []string{"a", "b", "c"} {
+		s, err := cyrus.NewDirStore(n, filepath.Join(root, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Authenticate(ctx, cyrus.Credentials{Token: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+	client, err := cyrus.New(cyrus.Config{ClientID: "d", Key: "k", T: 2, N: 3}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("persisted through real files")
+	if err := client.Put(ctx, "disk.txt", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second client over the same directories recovers everything.
+	var stores2 []cyrus.Store
+	for _, n := range []string{"a", "b", "c"} {
+		s, err := cyrus.NewDirStore(n, filepath.Join(root, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Authenticate(ctx, cyrus.Credentials{Token: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		stores2 = append(stores2, s)
+	}
+	client2, err := cyrus.New(cyrus.Config{ClientID: "d2", Key: "k", T: 2, N: 3}, stores2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client2.Get(ctx, "disk.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("second device read: %v", err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(cyrus.Providers()) != 20 {
+		t.Fatal("provider registry size")
+	}
+	clusters, err := cyrus.InferClusters([]string{"bitcasa", "cloudapp", "dropbox"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters["bitcasa"] != clusters["cloudapp"] {
+		t.Fatal("amazon-hosted providers not clustered together")
+	}
+	if clusters["dropbox"] == clusters["bitcasa"] {
+		t.Fatal("dropbox wrongly clustered with amazon")
+	}
+	if cyrus.HashData([]byte("abc")) != "a9993e364706816aba3e25717850c26c9cd0d89d" {
+		t.Fatal("HashData changed")
+	}
+}

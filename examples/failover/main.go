@@ -1,0 +1,120 @@
+// Failover: size the reliability parameter from a target failure bound
+// (Eq. 1), survive a provider outage, remove the provider, and watch
+// shares migrate lazily to a replacement — the paper's §4.2 + §5.5
+// lifecycle.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/cyrus"
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/reliability"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Five provider accounts.
+	names := []string{"dropbox", "google-drive", "onedrive", "box", "sugarsync"}
+	backends := map[string]*cloudsim.Backend{}
+	var stores []cyrus.Store
+	for _, n := range names {
+		b := cloudsim.NewBackend(n, csp.NameKeyed, 0)
+		backends[n] = b
+		s := cloudsim.NewSimStore(b)
+		if err := s.Authenticate(ctx, cyrus.Credentials{Token: "demo"}); err != nil {
+			log.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+
+	// Reliability planning: how many shares must each chunk have so the
+	// probability of unreadability stays under 1e-6, given CSPs that are
+	// down ~18 hours a year (the worst CSP the paper monitored)?
+	p := reliability.FailureProbFromDowntime(18.53)
+	plan, err := reliability.Choose(2, p, 1e-6, len(names))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-CSP failure probability %.2e, bound 1e-6 -> (t,n) = (%d,%d), storage overhead %.2fx\n",
+		p, plan.T, plan.N, plan.StorageOverhead())
+
+	client, err := cyrus.New(cyrus.Config{
+		ClientID: "failover-demo",
+		Key:      "resilience-key",
+		T:        plan.T,
+		N:        plan.N,
+	}, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := client.Put(ctx, "important.db", data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored important.db (%d bytes) across %d providers\n", len(data), len(names))
+
+	// A provider holding shares goes dark. n-t providers may fail; reads
+	// keep working.
+	victim := ""
+	for _, n := range names {
+		if len(client.ChunkTable().SharesOn(n)) > 0 {
+			victim = n
+			break
+		}
+	}
+	backends[victim].SetAvailable(false)
+	fmt.Printf("%s is now down...\n", victim)
+	got, _, err := client.Get(ctx, "important.db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read during outage: intact=%v\n", bytes.Equal(got, data))
+
+	// The user gives up on the provider and removes it. Nothing moves yet
+	// (lazy migration): moving everything at once would be wasteful if the
+	// provider came back.
+	if err := client.RemoveCSP(ctx, victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed %s; chunks still mapped there: %d\n", victim, len(client.ChunkTable().SharesOn(victim)))
+
+	// The next download heals the touched file in passing: stale shares
+	// are rebuilt from the decoded chunks and re-uploaded elsewhere.
+	if _, _, err := client.Get(ctx, "important.db"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after one download, chunks still mapped to %s: %d\n",
+		victim, len(client.ChunkTable().SharesOn(victim)))
+	for _, n := range names {
+		if n == victim {
+			continue
+		}
+		fmt.Printf("  %-13s now holds shares of %d chunks\n", n, len(client.ChunkTable().SharesOn(n)))
+	}
+
+	// Full reliability is restored: any single remaining provider can fail.
+	second := ""
+	for _, n := range names {
+		if n != victim && len(client.ChunkTable().SharesOn(n)) > 0 {
+			second = n
+			break
+		}
+	}
+	backends[second].SetAvailable(false)
+	got, _, err = client.Get(ctx, "important.db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read with %s removed AND %s down: intact=%v\n", victim, second, bytes.Equal(got, data))
+}

@@ -1,0 +1,132 @@
+// Markets: a small agent simulation of the paper's §8 argument — without
+// CYRUS, vendor lock-in concentrates users on whichever CSP they joined
+// first; with CYRUS, every user spreads shares across many CSPs, demand
+// evens out, and late market entrants still acquire stored bytes.
+//
+//	go run ./examples/markets
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/cyrus"
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+)
+
+const (
+	users        = 40
+	filesPerUser = 6
+	fileBytes    = 32 << 10
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	// Five CSPs entering the market at different times: by the time csp-e
+	// launches, most users already picked a home.
+	providers := []string{"csp-a", "csp-b", "csp-c", "csp-d", "csp-e"}
+	entryUser := map[string]int{"csp-a": 0, "csp-b": 0, "csp-c": 8, "csp-d": 16, "csp-e": 28}
+
+	// --- World 1: lock-in. Each user stores everything at the provider
+	// that existed when they arrived (weighted to the incumbents).
+	lockedBytes := map[string]int64{}
+	for u := 0; u < users; u++ {
+		var available []string
+		for _, p := range providers {
+			if entryUser[p] <= u {
+				available = append(available, p)
+			}
+		}
+		// Early providers accumulated reputation: pick with weight
+		// inversely proportional to entry time.
+		choice := available[0]
+		if rng.Float64() < 0.3 && len(available) > 1 {
+			choice = available[rng.Intn(len(available))]
+		}
+		lockedBytes[choice] += filesPerUser * fileBytes
+	}
+
+	// --- World 2: CYRUS. Each user runs a client over every provider
+	// available at their arrival and scatters (2,3) shares by consistent
+	// hashing; a provider added later picks up share traffic from every
+	// subsequent upload (hashring rebalances ~1/k of placements to it).
+	backends := map[string]*cloudsim.Backend{}
+	for _, p := range providers {
+		backends[p] = cloudsim.NewBackend(p, csp.NameKeyed, 0)
+	}
+	for u := 0; u < users; u++ {
+		var stores []cyrus.Store
+		for _, p := range providers {
+			if entryUser[p] > u {
+				continue
+			}
+			s := cloudsim.NewSimStore(backends[p])
+			if err := s.Authenticate(ctx, cyrus.Credentials{Token: "u"}); err != nil {
+				log.Fatal(err)
+			}
+			stores = append(stores, s)
+		}
+		// N is derived from the reliability bound and the providers this
+		// user has: early users with two CSPs store (2,2); once more CSPs
+		// exist, uploads widen automatically.
+		client, err := cyrus.New(cyrus.Config{
+			ClientID: fmt.Sprintf("user-%02d", u),
+			Key:      fmt.Sprintf("key-%02d", u),
+			T:        2,
+			Epsilon:  1e-4,
+		}, stores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for f := 0; f < filesPerUser; f++ {
+			data := make([]byte, fileBytes)
+			rng.Read(data)
+			if err := client.Put(ctx, fmt.Sprintf("file-%d", f), data); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	cyrusBytes := map[string]int64{}
+	for _, p := range providers {
+		cyrusBytes[p] = backends[p].Stats().UsedBytes
+	}
+
+	// --- Compare.
+	fmt.Println("stored bytes per provider (market share):")
+	fmt.Printf("%-8s  %22s  %22s\n", "provider", "lock-in world", "CYRUS world")
+	var lockTotal, cyTotal int64
+	for _, p := range providers {
+		lockTotal += lockedBytes[p]
+		cyTotal += cyrusBytes[p]
+	}
+	for _, p := range providers {
+		fmt.Printf("%-8s  %12d (%5.1f%%)  %12d (%5.1f%%)\n", p,
+			lockedBytes[p], 100*float64(lockedBytes[p])/float64(lockTotal),
+			cyrusBytes[p], 100*float64(cyrusBytes[p])/float64(cyTotal))
+	}
+	fmt.Printf("\nconcentration (largest provider's share): lock-in %.1f%%, CYRUS %.1f%%\n",
+		100*maxShare(lockedBytes, lockTotal), 100*maxShare(cyrusBytes, cyTotal))
+	fmt.Printf("late entrant csp-e:                        lock-in %.1f%%, CYRUS %.1f%%\n",
+		100*float64(lockedBytes["csp-e"])/float64(lockTotal),
+		100*float64(cyrusBytes["csp-e"])/float64(cyTotal))
+	fmt.Printf("total bytes stored: lock-in %d, CYRUS %d (x%.2f — the n/t redundancy premium the paper predicts)\n",
+		lockTotal, cyTotal, float64(cyTotal)/float64(lockTotal))
+}
+
+func maxShare(m map[string]int64, total int64) float64 {
+	var vals []int64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	if total == 0 {
+		return 0
+	}
+	return float64(vals[0]) / float64(total)
+}

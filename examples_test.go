@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end: each is a
+// self-contained demo that must exit 0 and print its expected headline.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples in -short mode")
+	}
+	cases := []struct {
+		dir    string
+		expect string // substring the output must contain
+	}{
+		{"quickstart", "read back"},
+		{"filesharing", "after resolve, conflicts: 0"},
+		{"failover", "intact=true"},
+		{"markets", "concentration"},
+		{"syncfolder", "deletion propagated"},
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(cases) {
+		t.Fatalf("examples/ has %d entries but %d are tested — keep this test in sync", len(entries), len(cases))
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", tc.dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.expect) {
+				t.Fatalf("example %s output missing %q:\n%s", tc.dir, tc.expect, out)
+			}
+		})
+	}
+}

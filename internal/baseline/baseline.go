@@ -1,0 +1,105 @@
+// Package baseline implements the storage schemes CYRUS is compared
+// against in the paper's evaluation (§7.3, Figures 16-18):
+//
+//   - DepSky: the cloud-of-clouds system of Bessani et al., re-implemented
+//     "within CYRUS" as the authors did — same (t, n) Reed-Solomon coding,
+//     but with DepSky's protocols: lock files with two extra round trips
+//     and a random backoff on upload, upload-to-all-clouds with pending
+//     requests cancelled once n complete, and greedy
+//     always-use-the-fastest-CSPs downloads.
+//   - FullReplication: the whole file replicated to every CSP.
+//   - FullStriping: the file split into equal fragments, one per CSP, no
+//     redundancy.
+//
+// All systems run over the same csp.Store providers and vclock.Runtime as
+// the CYRUS client, so completion-time comparisons are apples-to-apples.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/csp"
+	"repro/internal/vclock"
+)
+
+// System is the minimal store-a-file interface the comparison experiments
+// need.
+type System interface {
+	Name() string
+	Upload(ctx context.Context, name string, data []byte) error
+	Download(ctx context.Context, name string) ([]byte, error)
+}
+
+// Errors shared by the baseline systems.
+var (
+	ErrNotStored    = errors.New("baseline: file not stored")
+	ErrNotEnoughCSP = errors.New("baseline: not enough providers")
+)
+
+// env bundles what every baseline needs.
+type env struct {
+	stores map[string]csp.Store
+	names  []string // sorted
+	rt     vclock.Runtime
+	bps    map[string]float64 // download bandwidth estimates (greedy order)
+}
+
+func newEnv(stores []csp.Store, rt vclock.Runtime, bps map[string]float64) (*env, error) {
+	if len(stores) == 0 {
+		return nil, ErrNotEnoughCSP
+	}
+	if rt == nil {
+		rt = vclock.Real()
+	}
+	e := &env{stores: make(map[string]csp.Store), rt: rt, bps: bps}
+	for _, s := range stores {
+		if _, dup := e.stores[s.Name()]; dup {
+			return nil, fmt.Errorf("baseline: duplicate provider %q", s.Name())
+		}
+		e.stores[s.Name()] = s
+		e.names = append(e.names, s.Name())
+	}
+	sort.Strings(e.names)
+	return e, nil
+}
+
+// fastestFirst returns provider names ordered by descending bandwidth
+// estimate (ties by name).
+func (e *env) fastestFirst() []string {
+	out := append([]string(nil), e.names...)
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := e.bps[out[i]], e.bps[out[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// parallel runs one task per name and collects the first error.
+func (e *env) parallel(names []string, task func(name string) error) error {
+	var mu sync.Mutex
+	var firstErr error
+	g := e.rt.NewGroup()
+	for _, name := range names {
+		name := name
+		g.Add(1)
+		e.rt.Go(func() {
+			defer g.Done()
+			if err := task(name); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	g.Wait()
+	return firstErr
+}

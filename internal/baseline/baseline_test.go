@@ -1,0 +1,247 @@
+package baseline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/netsim"
+)
+
+var bg = context.Background()
+
+func simStores(t *testing.T, names ...string) ([]csp.Store, map[string]*cloudsim.Backend) {
+	t.Helper()
+	backends := map[string]*cloudsim.Backend{}
+	var stores []csp.Store
+	for _, n := range names {
+		b := cloudsim.NewBackend(n, csp.NameKeyed, 0)
+		backends[n] = b
+		s := cloudsim.NewSimStore(b)
+		if err := s.Authenticate(bg, csp.Credentials{Token: "t"}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+	return stores, backends
+}
+
+func randBytes(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestFullReplicationRoundTrip(t *testing.T) {
+	stores, backends := simStores(t, "a", "b", "c", "d")
+	fr, err := NewFullReplication(stores, nil, map[string]float64{"a": 4, "b": 3, "c": 2, "d": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(1, 40_000)
+	if err := fr.Upload(bg, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Every provider holds a full replica.
+	for n, b := range backends {
+		if st := b.Stats(); st.BytesIn != int64(len(data)) {
+			t.Fatalf("provider %s received %d bytes, want %d", n, st.BytesIn, len(data))
+		}
+	}
+	got, err := fr.Download(bg, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Download: %v", err)
+	}
+	// Per-provider download (averaging harness).
+	for _, p := range fr.Providers() {
+		got, err := fr.DownloadFrom(bg, "f", p)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("DownloadFrom(%s): %v", p, err)
+		}
+	}
+	if _, err := fr.DownloadFrom(bg, "f", "ghost"); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+	if _, err := fr.Download(bg, "missing"); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("missing file err = %v", err)
+	}
+}
+
+func TestFullStripingRoundTrip(t *testing.T) {
+	stores, backends := simStores(t, "a", "b", "c", "d")
+	fs, err := NewFullStriping(stores, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(2, 40_001) // not divisible by 4
+	if err := fs.Upload(bg, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Fragments are (roughly) a quarter each — no provider holds the file.
+	for n, b := range backends {
+		if st := b.Stats(); st.BytesIn >= int64(len(data))/2 {
+			t.Fatalf("provider %s holds %d bytes — not striped", n, st.BytesIn)
+		}
+	}
+	got, err := fs.Download(bg, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Download: %v", err)
+	}
+	// A single provider failure kills the download.
+	backends["c"].SetAvailable(false)
+	if _, err := fs.Download(bg, "f"); err == nil {
+		t.Fatal("striping survived a provider failure")
+	}
+}
+
+func TestFullStripingTinyFile(t *testing.T) {
+	stores, _ := simStores(t, "a", "b", "c", "d")
+	fs, _ := NewFullStriping(stores, nil, nil)
+	data := []byte("xy") // fewer bytes than providers
+	if err := fs.Upload(bg, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Download(bg, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("tiny stripe: %q, %v", got, err)
+	}
+}
+
+func TestDepSkyRoundTrip(t *testing.T) {
+	stores, _ := simStores(t, "a", "b", "c", "d")
+	ds, err := NewDepSky("key", 2, 3, stores, nil, map[string]float64{"a": 4, "b": 3, "c": 2, "d": 1}, WithBackoff(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(3, 30_000)
+	if err := ds.Upload(bg, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Download(bg, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Download: %v", err)
+	}
+	if _, err := ds.Download(bg, "missing"); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("missing err = %v", err)
+	}
+}
+
+func TestDepSkyParamValidation(t *testing.T) {
+	stores, _ := simStores(t, "a", "b", "c")
+	if _, err := NewDepSky("k", 0, 2, stores, nil, nil); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := NewDepSky("k", 3, 2, stores, nil, nil); err == nil {
+		t.Fatal("n<t accepted")
+	}
+	if _, err := NewDepSky("k", 2, 4, stores, nil, nil); err == nil {
+		t.Fatal("n>clouds accepted")
+	}
+	if _, err := NewDepSky("k", 2, 3, nil, nil, nil); !errors.Is(err, ErrNotEnoughCSP) {
+		t.Fatal("no stores accepted")
+	}
+}
+
+func TestDepSkyLockFilesCleanedUp(t *testing.T) {
+	stores, backends := simStores(t, "a", "b", "c", "d")
+	ds, _ := NewDepSky("key", 2, 3, stores, nil, nil, WithBackoff(0))
+	if err := ds.Upload(bg, "f", randBytes(4, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	for n, b := range backends {
+		s := cloudsim.NewSimStore(b)
+		_ = s.Authenticate(bg, csp.Credentials{Token: "t"})
+		infos, _ := s.List(bg, "depsky-lock-")
+		if len(infos) != 0 {
+			t.Fatalf("provider %s still holds %d lock files", n, len(infos))
+		}
+	}
+}
+
+func TestDepSkyCancelsStragglersUnderVirtualTime(t *testing.T) {
+	// Three fast clouds and one slow: the slow cloud's upload must be
+	// cancelled (its share deleted), and the distribution must skew to the
+	// fast clouds — the Figure 18 effect.
+	const MB = 1 << 20
+	net := netsim.New(time.Time{})
+	net.AddNode("client", netsim.NodeConfig{})
+	backends := map[string]*cloudsim.Backend{}
+	var stores []csp.Store
+	bps := map[string]float64{}
+	for _, spec := range []struct {
+		name string
+		bw   float64
+	}{{"fast1", 15 * MB}, {"fast2", 15 * MB}, {"fast3", 15 * MB}, {"slow", 1 * MB}} {
+		net.SetLink("client", spec.name, netsim.LinkConfig{RTT: 50 * time.Millisecond, UpBps: spec.bw, DownBps: spec.bw})
+		b := cloudsim.NewBackend(spec.name, csp.NameKeyed, 0)
+		backends[spec.name] = b
+		stores = append(stores, cloudsim.NewSimStore(b,
+			cloudsim.WithTransport(cloudsim.NodeTransport{Net: net, Node: "client"}),
+			cloudsim.WithClock(net.Now)))
+		bps[spec.name] = spec.bw
+	}
+	ds, err := NewDepSky("key", 2, 3, stores, net, bps, WithBackoff(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(5, 8*MB)
+	net.Run(func() {
+		for _, s := range stores {
+			if err := s.(*cloudsim.SimStore).Authenticate(bg, csp.Credentials{Token: "t"}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := ds.Upload(bg, "f", data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := ds.Download(bg, "f")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("download under virtual time: %v", err)
+		}
+	})
+	dist := ds.ShareDistribution()
+	if dist["slow"] != 0 {
+		t.Fatalf("slow cloud kept a share: %v", dist)
+	}
+	if dist["fast1"]+dist["fast2"]+dist["fast3"] != 3 {
+		t.Fatalf("distribution = %v", dist)
+	}
+	// The straggler's object must be gone.
+	if n := backends["slow"].Stats().Objects; n > 1 { // metadata object only
+		t.Fatalf("slow cloud holds %d objects after cancel", n)
+	}
+}
+
+func TestDepSkyBackoffConsumesTime(t *testing.T) {
+	net := netsim.New(time.Time{})
+	net.AddNode("client", netsim.NodeConfig{})
+	var stores []csp.Store
+	for _, n := range []string{"a", "b", "c"} {
+		net.SetLink("client", n, netsim.LinkConfig{RTT: 10 * time.Millisecond, UpBps: 1 << 30, DownBps: 1 << 30})
+		b := cloudsim.NewBackend(n, csp.NameKeyed, 0)
+		stores = append(stores, cloudsim.NewSimStore(b,
+			cloudsim.WithTransport(cloudsim.NodeTransport{Net: net, Node: "client"}),
+			cloudsim.WithClock(net.Now)))
+	}
+	ds, _ := NewDepSky("key", 2, 3, stores, net, nil, WithBackoff(2*time.Second), WithSeed(9))
+	net.Run(func() {
+		for _, s := range stores {
+			_ = s.(*cloudsim.SimStore).Authenticate(bg, csp.Credentials{Token: "t"})
+		}
+		if err := ds.Upload(bg, "f", randBytes(6, 1000)); err != nil {
+			t.Error(err)
+		}
+	})
+	// Lock RTTs + backoff must be visible: at least a few tens of ms.
+	if net.VirtualNow() < 0.05 {
+		t.Fatalf("DepSky upload took %.3fs — lock protocol not simulated", net.VirtualNow())
+	}
+}

@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/csp"
+	"repro/internal/erasure"
+	"repro/internal/vclock"
+)
+
+// DepSky re-implements the DepSky-CA protocol skeleton the paper compares
+// against (§7.3):
+//
+//   - Upload takes two extra round trips to every cloud to place and check
+//     lock files, then waits a random backoff before writing (DepSky's
+//     low-contention mutual exclusion), then starts share uploads to ALL
+//     clouds and completes when n have finished — pending uploads are
+//     cancelled (their objects deleted), which is why DepSky's share
+//     distribution skews toward consistently fast CSPs (Figure 18).
+//     After the data phase the metadata file is written to every cloud and
+//     the locks are released (each another round trip, gated on the
+//     slowest cloud).
+//   - Download fetches the metadata (one round trip) and then greedily
+//     reads t shares from the fastest CSPs, always the same ones.
+type DepSky struct {
+	env   *env
+	coder *erasure.Coder
+	t, n  int
+	// MaxBackoff bounds the random post-lock backoff (default 3s).
+	maxBackoff time.Duration
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+
+	mu     sync.Mutex
+	placed map[string]map[int]string // file -> share index -> provider
+	sizes  map[string]int64
+}
+
+// DepSkyOption tweaks the protocol.
+type DepSkyOption func(*DepSky)
+
+// WithBackoff sets the maximum random backoff after locking.
+func WithBackoff(d time.Duration) DepSkyOption {
+	return func(s *DepSky) { s.maxBackoff = d }
+}
+
+// WithSeed makes the backoff sequence reproducible.
+func WithSeed(seed int64) DepSkyOption {
+	return func(s *DepSky) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewDepSky builds the comparator over the given providers with (t, n)
+// secret sharing.
+func NewDepSky(key string, t, n int, stores []csp.Store, rt vclock.Runtime, bps map[string]float64, opts ...DepSkyOption) (*DepSky, error) {
+	e, err := newEnv(stores, rt, bps)
+	if err != nil {
+		return nil, err
+	}
+	if t < 1 || n < t || n > len(e.names) {
+		return nil, fmt.Errorf("baseline: depsky (t,n)=(%d,%d) over %d clouds", t, n, len(e.names))
+	}
+	s := &DepSky{
+		env:        e,
+		coder:      erasure.NewCoder(key),
+		t:          t,
+		n:          n,
+		maxBackoff: 3 * time.Second,
+		rng:        rand.New(rand.NewSource(1)),
+		placed:     make(map[string]map[int]string),
+		sizes:      make(map[string]int64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (*DepSky) Name() string { return "depsky" }
+
+func lockObject(name string) string     { return "depsky-lock-" + name }
+func dsShare(name string, i int) string { return fmt.Sprintf("depsky-%s-s%d", name, i) }
+func dsMetaObject(name string) string   { return "depsky-meta-" + name }
+
+func (s *DepSky) backoff() time.Duration {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	if s.maxBackoff <= 0 {
+		return 0
+	}
+	return time.Duration(s.rng.Int63n(int64(s.maxBackoff)))
+}
+
+// Upload implements System.
+func (s *DepSky) Upload(ctx context.Context, name string, data []byte) error {
+	// Phase 1: place lock files on every cloud (round trip 1, gated on the
+	// slowest cloud).
+	if err := s.env.parallel(s.env.names, func(p string) error {
+		return s.env.stores[p].Upload(ctx, lockObject(name), []byte("lock"))
+	}); err != nil {
+		return fmt.Errorf("baseline: depsky lock: %w", err)
+	}
+	// Phase 2: list locks to detect contention (round trip 2).
+	if err := s.env.parallel(s.env.names, func(p string) error {
+		_, err := s.env.stores[p].List(ctx, lockObject(name))
+		return err
+	}); err != nil {
+		return fmt.Errorf("baseline: depsky lock check: %w", err)
+	}
+	// Phase 3: random backoff.
+	s.env.rt.Sleep(s.backoff())
+
+	// Phase 4: encode n-of-C shares and upload to ALL clouds; the first n
+	// completions win, stragglers are cancelled (deleted).
+	c := len(s.env.names)
+	shares, err := s.coder.Encode(data, s.t, c)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	winners := make(map[int]string, s.n)
+	done := 0
+	g := s.env.rt.NewGroup()
+	for i, p := range s.env.names {
+		i, p := i, p
+		g.Add(1)
+		s.env.rt.Go(func() {
+			defer g.Done()
+			if err := s.env.stores[p].Upload(ctx, dsShare(name, i), shares[i].Data); err != nil {
+				return
+			}
+			mu.Lock()
+			done++
+			if done <= s.n {
+				winners[i] = p
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			// Cancelled straggler: remove its object, as an aborted upload
+			// would leave nothing behind.
+			_ = s.env.stores[p].Delete(ctx, dsShare(name, i))
+		})
+	}
+	g.Wait()
+	if len(winners) < s.n {
+		return fmt.Errorf("%w: %d of %d share uploads completed", ErrNotEnoughCSP, len(winners), s.n)
+	}
+
+	// Phase 5: write the metadata file to every cloud, then release locks
+	// (each a round trip gated on the slowest cloud).
+	meta := s.encodeMeta(winners, int64(len(data)))
+	if err := s.env.parallel(s.env.names, func(p string) error {
+		return s.env.stores[p].Upload(ctx, dsMetaObject(name), meta)
+	}); err != nil {
+		return fmt.Errorf("baseline: depsky metadata: %w", err)
+	}
+	if err := s.env.parallel(s.env.names, func(p string) error {
+		return s.env.stores[p].Delete(ctx, lockObject(name))
+	}); err != nil {
+		return fmt.Errorf("baseline: depsky unlock: %w", err)
+	}
+
+	s.mu.Lock()
+	s.placed[name] = winners
+	s.sizes[name] = int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// encodeMeta is a tiny deterministic record: "index,provider" lines.
+func (s *DepSky) encodeMeta(winners map[int]string, size int64) []byte {
+	idxs := make([]int, 0, len(winners))
+	for i := range winners {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := fmt.Sprintf("size=%d\n", size)
+	for _, i := range idxs {
+		out += fmt.Sprintf("%d,%s\n", i, winners[i])
+	}
+	return []byte(out)
+}
+
+// Download implements System: metadata round trip, then greedy reads of t
+// shares from the fastest share-holding clouds. Following DepSky's read
+// protocol, shares are fetched one cloud at a time in preference order
+// (the client proceeds to the next cloud as each read returns), not with
+// CYRUS's parallel optimized gather.
+func (s *DepSky) Download(ctx context.Context, name string) ([]byte, error) {
+	s.mu.Lock()
+	placed, ok := s.placed[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotStored, name)
+	}
+	// Metadata fetch: one round trip to the fastest cloud.
+	fastest := s.env.fastestFirst()[0]
+	if _, err := s.env.stores[fastest].Download(ctx, dsMetaObject(name)); err != nil {
+		return nil, fmt.Errorf("baseline: depsky metadata fetch: %w", err)
+	}
+
+	// Greedy: the t fastest clouds holding shares — always the same set.
+	holders := make([]string, 0, len(placed))
+	idxByProvider := make(map[string]int, len(placed))
+	for i, p := range placed {
+		holders = append(holders, p)
+		idxByProvider[p] = i
+	}
+	sort.Slice(holders, func(a, b int) bool {
+		ba, bb := s.env.bps[holders[a]], s.env.bps[holders[b]]
+		if ba != bb {
+			return ba > bb
+		}
+		return holders[a] < holders[b]
+	})
+	var shares []erasure.Share
+	for _, p := range holders {
+		if len(shares) == s.t {
+			break
+		}
+		i := idxByProvider[p]
+		d, err := s.env.stores[p].Download(ctx, dsShare(name, i))
+		if err != nil {
+			continue // failover to the next cloud in preference order
+		}
+		shares = append(shares, erasure.Share{Index: i, Data: d})
+	}
+	if len(shares) < s.t {
+		return nil, fmt.Errorf("%w: fetched %d of %d shares", ErrNotEnoughCSP, len(shares), s.t)
+	}
+	return s.coder.Decode(shares, erasure.MaxN)
+}
+
+// ShareDistribution returns provider -> stored share count across all
+// uploads — the Figure-18 measurement.
+func (s *DepSky) ShareDistribution() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for _, winners := range s.placed {
+		for _, p := range winners {
+			out[p]++
+		}
+	}
+	return out
+}

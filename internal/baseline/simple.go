@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/csp"
+	"repro/internal/vclock"
+)
+
+// FullReplication stores a complete copy of the file at every provider.
+// Maximally reliable and maximally expensive; any single provider can read
+// everything (no privacy). Download pulls one replica; the experiments
+// average over providers as the paper did.
+type FullReplication struct {
+	env *env
+}
+
+// NewFullReplication builds the scheme over the given providers.
+func NewFullReplication(stores []csp.Store, rt vclock.Runtime, bps map[string]float64) (*FullReplication, error) {
+	e, err := newEnv(stores, rt, bps)
+	if err != nil {
+		return nil, err
+	}
+	return &FullReplication{env: e}, nil
+}
+
+// Name implements System.
+func (*FullReplication) Name() string { return "full-replication" }
+
+func repObject(name string) string { return "rep-" + name }
+
+// Upload implements System: the file goes to every provider; completion
+// requires every replica (otherwise the scheme's reliability claim is
+// void).
+func (f *FullReplication) Upload(ctx context.Context, name string, data []byte) error {
+	return f.env.parallel(f.env.names, func(p string) error {
+		return f.env.stores[p].Upload(ctx, repObject(name), data)
+	})
+}
+
+// Download implements System: reads the replica from the fastest provider.
+func (f *FullReplication) Download(ctx context.Context, name string) ([]byte, error) {
+	return f.DownloadFrom(ctx, name, f.env.fastestFirst()[0])
+}
+
+// DownloadFrom reads the replica from a specific provider (the paper
+// reports Full Replication averaged over all four CSPs).
+func (f *FullReplication) DownloadFrom(ctx context.Context, name, provider string) ([]byte, error) {
+	s, ok := f.env.stores[provider]
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown provider %q", provider)
+	}
+	data, err := s.Download(ctx, repObject(name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotStored, err)
+	}
+	return data, nil
+}
+
+// Providers exposes the provider names (for averaging harnesses).
+func (f *FullReplication) Providers() []string { return append([]string(nil), f.env.names...) }
+
+// FullStriping splits the file into len(providers) equal fragments, one
+// per provider: cheapest storage and fastest upload, but a single provider
+// failure loses the file, and every provider must be contacted on
+// download.
+type FullStriping struct {
+	env *env
+}
+
+// NewFullStriping builds the scheme over the given providers.
+func NewFullStriping(stores []csp.Store, rt vclock.Runtime, bps map[string]float64) (*FullStriping, error) {
+	e, err := newEnv(stores, rt, bps)
+	if err != nil {
+		return nil, err
+	}
+	return &FullStriping{env: e}, nil
+}
+
+// Name implements System.
+func (*FullStriping) Name() string { return "full-striping" }
+
+func stripeObject(name string, i int) string { return fmt.Sprintf("stripe-%s-%d", name, i) }
+
+// Upload implements System.
+func (f *FullStriping) Upload(ctx context.Context, name string, data []byte) error {
+	k := len(f.env.names)
+	frag := (len(data) + k - 1) / k
+	return f.env.parallel(f.env.names, func(p string) error {
+		i := indexOf(f.env.names, p)
+		lo := i * frag
+		hi := lo + frag
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		return f.env.stores[p].Upload(ctx, stripeObject(name, i), data[lo:hi])
+	})
+}
+
+// Download implements System: all fragments in parallel; any provider
+// failure fails the download (the scheme's defining weakness).
+func (f *FullStriping) Download(ctx context.Context, name string) ([]byte, error) {
+	frags := make([][]byte, len(f.env.names))
+	err := f.env.parallel(f.env.names, func(p string) error {
+		i := indexOf(f.env.names, p)
+		d, err := f.env.stores[p].Download(ctx, stripeObject(name, i))
+		if err != nil {
+			return fmt.Errorf("%w: fragment %d: %v", ErrNotStored, i, err)
+		}
+		frags[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+func indexOf(names []string, p string) int {
+	for i, n := range names {
+		if n == p {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,226 @@
+// Package chunker implements content-defined chunking with Rabin
+// fingerprinting (paper §5.1).
+//
+// A rolling polynomial hash over a sliding window is computed at every byte
+// offset; when the hash modulo a pre-defined integer M equals a pre-defined
+// value K, a chunk boundary is declared. Because boundaries depend only on
+// local content, an edit to a file only changes the chunks whose bytes
+// changed — the property CYRUS's deduplication relies on.
+package chunker
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Polynomial for the Rabin hash: a degree-53 irreducible polynomial over
+// GF(2), the one popularized by LBFS. Represented with the implicit leading
+// bit excluded from degree tracking.
+const Polynomial = uint64(0x3DA3358B4DC173)
+
+// polyDegree is the degree of Polynomial.
+const polyDegree = 53
+
+// rabinTables hold the precomputed byte-at-a-time transition tables for a
+// given window size: outTable removes the oldest byte, modTable reduces the
+// shifted hash.
+type rabinTables struct {
+	out [256]uint64
+	mod [256]uint64
+}
+
+var (
+	tableMu    sync.Mutex
+	tableCache = map[int]*rabinTables{}
+)
+
+// polyMod returns x mod Polynomial in GF(2)[x].
+func polyMod(x uint64) uint64 {
+	for d := deg(x); d >= polyDegree; d = deg(x) {
+		x ^= Polynomial << uint(d-polyDegree)
+	}
+	return x
+}
+
+// polyMulMod returns (a * b) mod Polynomial in GF(2)[x].
+func polyMulMod(a, b uint64) uint64 {
+	var acc uint64
+	for b != 0 {
+		if b&1 != 0 {
+			acc ^= a
+		}
+		b >>= 1
+		a = polyMod(a << 1)
+	}
+	return acc
+}
+
+func deg(x uint64) int {
+	d := -1
+	for x != 0 {
+		x >>= 1
+		d++
+	}
+	return d
+}
+
+// tablesFor builds (or fetches) the transition tables for a window size.
+func tablesFor(window int) *rabinTables {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if t, ok := tableCache[window]; ok {
+		return t
+	}
+	t := &rabinTables{}
+	// shift = x^(8*(window-1)) mod P: the weight the oldest byte carries
+	// in the window hash, removed just before the hash is advanced by one
+	// byte position.
+	shift := uint64(1)
+	for i := 0; i < window-1; i++ {
+		shift = polyMulMod(shift, polyMod(1<<8))
+	}
+	for b := 0; b < 256; b++ {
+		t.out[b] = polyMulMod(uint64(b), shift)
+		t.mod[b] = polyMod(uint64(b) << polyDegree)
+	}
+	tableCache[window] = t
+	return t
+}
+
+// Config controls chunk boundary placement.
+type Config struct {
+	// Window is the sliding-window size in bytes. Default 48.
+	Window int
+	// AverageSize is the target mean chunk size; boundaries fire when
+	// hash mod AverageSize == K, so AverageSize plays the role of the
+	// paper's M. Must be a power of two. Default 4 MiB (Dropbox-like,
+	// following the paper's testbed setup).
+	AverageSize int
+	// MinSize suppresses boundaries that would produce chunks smaller than
+	// this. Default AverageSize / 4.
+	MinSize int
+	// MaxSize forces a boundary once a chunk reaches this size.
+	// Default AverageSize * 4.
+	MaxSize int
+	// K is the residue that triggers a boundary, 0 <= K < AverageSize.
+	// Default AverageSize - 1 (avoids the all-zeros degenerate residue).
+	K uint64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultWindow      = 48
+	DefaultAverageSize = 4 << 20
+)
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.AverageSize == 0 {
+		c.AverageSize = DefaultAverageSize
+	}
+	if c.AverageSize&(c.AverageSize-1) != 0 {
+		return c, fmt.Errorf("chunker: AverageSize %d is not a power of two", c.AverageSize)
+	}
+	if c.MinSize == 0 {
+		c.MinSize = c.AverageSize / 4
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = c.AverageSize * 4
+	}
+	if c.K == 0 {
+		c.K = uint64(c.AverageSize - 1)
+	}
+	switch {
+	case c.Window < 2:
+		return c, fmt.Errorf("chunker: window %d too small", c.Window)
+	case c.MinSize < c.Window:
+		return c, fmt.Errorf("chunker: MinSize %d smaller than window %d", c.MinSize, c.Window)
+	case c.MaxSize < c.MinSize:
+		return c, fmt.Errorf("chunker: MaxSize %d < MinSize %d", c.MaxSize, c.MinSize)
+	case c.K >= uint64(c.AverageSize):
+		return c, fmt.Errorf("chunker: K %d out of range for AverageSize %d", c.K, c.AverageSize)
+	}
+	return c, nil
+}
+
+// Chunk is one content-defined piece of a file.
+type Chunk struct {
+	Offset int64  // byte offset within the file
+	Data   []byte // sub-slice of the input buffer (not copied)
+}
+
+// Chunker splits byte streams at content-defined boundaries. A Chunker is
+// immutable after construction and safe for concurrent use.
+type Chunker struct {
+	cfg    Config
+	tables *rabinTables
+	mask   uint64
+}
+
+// New returns a Chunker for the given configuration. Zero fields take the
+// documented defaults.
+func New(cfg Config) (*Chunker, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Chunker{
+		cfg:    full,
+		tables: tablesFor(full.Window),
+		mask:   uint64(full.AverageSize - 1),
+	}, nil
+}
+
+// Config reports the effective configuration after defaulting.
+func (c *Chunker) Config() Config { return c.cfg }
+
+// Split divides data into content-defined chunks. The returned chunks alias
+// the input slice. Every byte of the input is covered exactly once, in
+// order. An empty input yields no chunks.
+func (c *Chunker) Split(data []byte) []Chunk {
+	var chunks []Chunk
+	var start int64
+	for int(start) < len(data) {
+		end := c.nextBoundary(data[start:])
+		chunks = append(chunks, Chunk{Offset: start, Data: data[start : start+int64(end)]})
+		start += int64(end)
+	}
+	return chunks
+}
+
+// nextBoundary returns the length of the next chunk starting at data[0].
+func (c *Chunker) nextBoundary(data []byte) int {
+	if len(data) <= c.cfg.MinSize {
+		return len(data)
+	}
+	maxLen := len(data)
+	if maxLen > c.cfg.MaxSize {
+		maxLen = c.cfg.MaxSize
+	}
+
+	// Warm the window over the bytes just before the earliest legal
+	// boundary so the hash at position MinSize covers a full window.
+	var h uint64
+	warmStart := c.cfg.MinSize - c.cfg.Window
+	for i := warmStart; i < c.cfg.MinSize; i++ {
+		h = c.roll(h, 0, data[i]) // window fills; nothing to age out yet
+	}
+	for i := c.cfg.MinSize; i < maxLen; i++ {
+		h = c.roll(h, data[i-c.cfg.Window], data[i])
+		if h&c.mask == c.cfg.K&c.mask {
+			return i + 1
+		}
+	}
+	return maxLen
+}
+
+// roll advances the hash: ages out `old`, appends `in`. The hash is kept
+// reduced mod Polynomial (degree < 53) throughout.
+func (c *Chunker) roll(h uint64, old, in byte) uint64 {
+	h ^= c.tables.out[old]
+	top := byte(h >> (polyDegree - 8))
+	h = ((h << 8) | uint64(in)) & ((1 << polyDegree) - 1)
+	return h ^ c.tables.mod[top]
+}

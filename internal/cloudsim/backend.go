@@ -1,0 +1,242 @@
+// Package cloudsim provides CYRUS's cloud-storage-provider implementations
+// for offline use: an in-memory simulated provider (SimStore) that
+// reproduces the API quirks of commercial CSPs, and a filesystem-backed
+// provider (DirStore) for the CLI and integration tests.
+//
+// A Backend holds the provider's durable state (objects, capacity,
+// availability) and is shared by every client; each client wraps it in a
+// SimStore bound to that client's transport (its netsim node, or nothing
+// for instant transfers). This mirrors reality: one Dropbox account, many
+// devices, each with its own network path.
+package cloudsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/csp"
+)
+
+// Backend is the durable state of one simulated provider.
+type Backend struct {
+	name     string
+	identity csp.ObjectIdentity
+
+	mu        sync.Mutex
+	objects   map[string][]version // name -> versions (id-keyed keeps all)
+	used      int64
+	capacity  int64 // 0 = unlimited
+	available bool
+	failNext  int // fail the next N operations (fault injection)
+
+	// op counters for assertions and the Figure-18 share-distribution
+	// experiment.
+	uploads, downloads, lists, deletes int64
+	bytesIn, bytesOut                  int64
+}
+
+type version struct {
+	data     []byte
+	modified time.Time
+}
+
+// NewBackend creates a provider with the given object-identity semantics.
+// capacity of 0 means unlimited.
+func NewBackend(name string, identity csp.ObjectIdentity, capacity int64) *Backend {
+	return &Backend{
+		name:      name,
+		identity:  identity,
+		objects:   make(map[string][]version),
+		capacity:  capacity,
+		available: true,
+	}
+}
+
+// Name returns the provider name.
+func (b *Backend) Name() string { return b.name }
+
+// Identity returns the provider's object identity model.
+func (b *Backend) Identity() csp.ObjectIdentity { return b.identity }
+
+// SetAvailable flips the provider's availability; unavailable providers
+// fail every call with csp.ErrUnavailable (long outages, paper §5.5).
+func (b *Backend) SetAvailable(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.available = ok
+}
+
+// Available reports current availability.
+func (b *Backend) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.available
+}
+
+// FailNext makes the next n operations fail with csp.ErrUnavailable, then
+// recover — transient fault injection.
+func (b *Backend) FailNext(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failNext = n
+}
+
+// gate applies availability and fault injection; callers hold b.mu.
+func (b *Backend) gateLocked() error {
+	if !b.available {
+		return fmt.Errorf("%w: %s is down", csp.ErrUnavailable, b.name)
+	}
+	if b.failNext > 0 {
+		b.failNext--
+		return fmt.Errorf("%w: %s injected fault", csp.ErrUnavailable, b.name)
+	}
+	return nil
+}
+
+// Stats is a snapshot of backend counters.
+type Stats struct {
+	Objects   int
+	UsedBytes int64
+	Uploads   int64
+	Downloads int64
+	Lists     int64
+	Deletes   int64
+	BytesIn   int64
+	BytesOut  int64
+}
+
+// Stats returns a snapshot of the op counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, vs := range b.objects {
+		n += len(vs)
+	}
+	return Stats{
+		Objects:   n,
+		UsedBytes: b.used,
+		Uploads:   b.uploads,
+		Downloads: b.downloads,
+		Lists:     b.lists,
+		Deletes:   b.deletes,
+		BytesIn:   b.bytesIn,
+		BytesOut:  b.bytesOut,
+	}
+}
+
+// ResetStats zeroes the op counters (not the objects).
+func (b *Backend) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.uploads, b.downloads, b.lists, b.deletes = 0, 0, 0, 0
+	b.bytesIn, b.bytesOut = 0, 0
+}
+
+func (b *Backend) upload(name string, data []byte, now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return err
+	}
+	delta := int64(len(data))
+	if b.identity == csp.NameKeyed {
+		if old := b.objects[name]; len(old) > 0 {
+			delta -= int64(len(old[len(old)-1].data))
+		}
+	}
+	if b.capacity > 0 && b.used+delta > b.capacity {
+		return fmt.Errorf("%w: %s used %d of %d bytes", csp.ErrOverCapacity, b.name, b.used, b.capacity)
+	}
+	cp := append([]byte(nil), data...)
+	v := version{data: cp, modified: now}
+	if b.identity == csp.NameKeyed {
+		// Name-keyed (Dropbox): overwrite.
+		b.objects[name] = []version{v}
+	} else {
+		// ID-keyed (Google Drive): duplicate object under the same name.
+		b.objects[name] = append(b.objects[name], v)
+	}
+	b.used += delta
+	b.uploads++
+	b.bytesIn += int64(len(data))
+	return nil
+}
+
+func (b *Backend) download(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return nil, err
+	}
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, b.name, name)
+	}
+	latest := vs[len(vs)-1]
+	b.downloads++
+	b.bytesOut += int64(len(latest.data))
+	return append([]byte(nil), latest.data...), nil
+}
+
+func (b *Backend) list(prefix string) ([]csp.ObjectInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return nil, err
+	}
+	b.lists++
+	var out []csp.ObjectInfo
+	for name, vs := range b.objects {
+		if len(vs) == 0 || !hasPrefix(name, prefix) {
+			continue
+		}
+		latest := vs[len(vs)-1]
+		out = append(out, csp.ObjectInfo{Name: name, Size: int64(len(latest.data)), Modified: latest.modified})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (b *Backend) delete(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return err
+	}
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, b.name, name)
+	}
+	for _, v := range vs {
+		b.used -= int64(len(v.data))
+	}
+	delete(b.objects, name)
+	b.deletes++
+	return nil
+}
+
+// objectSize returns the size of the latest version, for transport costing.
+func (b *Backend) objectSize(name string) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return int64(len(vs[len(vs)-1].data)), true
+}
+
+// DuplicateCount reports how many stored objects share the given name —
+// > 1 only on id-keyed providers.
+func (b *Backend) DuplicateCount(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.objects[name])
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

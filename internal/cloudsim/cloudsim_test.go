@@ -1,0 +1,343 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/csp"
+	"repro/internal/netsim"
+)
+
+func authedStore(t *testing.T, b *Backend, opts ...Option) *SimStore {
+	t.Helper()
+	s := NewSimStore(b, opts...)
+	if err := s.Authenticate(context.Background(), csp.Credentials{Token: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUnauthenticatedCallsFail(t *testing.T) {
+	s := NewSimStore(NewBackend("d", csp.NameKeyed, 0))
+	ctx := context.Background()
+	if _, err := s.List(ctx, ""); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("List err = %v", err)
+	}
+	if err := s.Upload(ctx, "x", []byte("y")); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("Upload err = %v", err)
+	}
+	if _, err := s.Download(ctx, "x"); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("Download err = %v", err)
+	}
+	if err := s.Delete(ctx, "x"); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("Delete err = %v", err)
+	}
+	if err := s.Authenticate(ctx, csp.Credentials{}); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("empty-token auth err = %v", err)
+	}
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	s := authedStore(t, NewBackend("d", csp.NameKeyed, 0))
+	ctx := context.Background()
+	if err := s.Upload(ctx, "share-1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Download(ctx, "share-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("Download = %q", got)
+	}
+	if _, err := s.Download(ctx, "missing"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("missing Download err = %v", err)
+	}
+}
+
+func TestNameKeyedOverwrites(t *testing.T) {
+	b := NewBackend("dropbox-like", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	_ = s.Upload(ctx, "f", []byte("v1"))
+	_ = s.Upload(ctx, "f", []byte("v2"))
+	if n := b.DuplicateCount("f"); n != 1 {
+		t.Fatalf("name-keyed provider kept %d versions", n)
+	}
+	got, _ := s.Download(ctx, "f")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}
+
+func TestIDKeyedDuplicates(t *testing.T) {
+	b := NewBackend("gdrive-like", csp.IDKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	_ = s.Upload(ctx, "f", []byte("v1"))
+	_ = s.Upload(ctx, "f", []byte("v2"))
+	if n := b.DuplicateCount("f"); n != 2 {
+		t.Fatalf("id-keyed provider kept %d versions, want 2 duplicates", n)
+	}
+	// Latest wins on download.
+	got, _ := s.Download(ctx, "f")
+	if string(got) != "v2" {
+		t.Fatalf("Download = %q, want latest", got)
+	}
+	// List reports the name once.
+	infos, err := s.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "f" {
+		t.Fatalf("List = %v", infos)
+	}
+	// Delete removes all duplicates.
+	if err := s.Delete(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.DuplicateCount("f"); n != 0 {
+		t.Fatalf("Delete left %d versions", n)
+	}
+}
+
+func TestListPrefixAndSorting(t *testing.T) {
+	s := authedStore(t, NewBackend("d", csp.NameKeyed, 0))
+	ctx := context.Background()
+	for _, n := range []string{"meta-b", "share-2", "meta-a", "share-1"} {
+		if err := s.Upload(ctx, n, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := s.List(ctx, "meta-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Name != "meta-a" || metas[1].Name != "meta-b" {
+		t.Fatalf("List(meta-) = %v", metas)
+	}
+	all, _ := s.List(ctx, "")
+	if len(all) != 4 {
+		t.Fatalf("List(\"\") returned %d objects", len(all))
+	}
+}
+
+func TestCapacityEnforcement(t *testing.T) {
+	b := NewBackend("small", csp.NameKeyed, 10)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	if err := s.Upload(ctx, "a", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upload(ctx, "b", make([]byte, 8)); !errors.Is(err, csp.ErrOverCapacity) {
+		t.Fatalf("over-capacity Upload err = %v", err)
+	}
+	// Overwriting on a name-keyed provider reclaims the old size first.
+	if err := s.Upload(ctx, "a", make([]byte, 10)); err != nil {
+		t.Fatalf("overwrite within capacity: %v", err)
+	}
+	// Deleting frees space.
+	if err := s.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upload(ctx, "c", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.UsedBytes != 10 {
+		t.Fatalf("UsedBytes = %d, want 10", st.UsedBytes)
+	}
+}
+
+func TestAvailabilityAndFaultInjection(t *testing.T) {
+	b := NewBackend("flaky", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+
+	b.SetAvailable(false)
+	if err := s.Upload(ctx, "x", []byte("y")); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("down Upload err = %v", err)
+	}
+	if b.Available() {
+		t.Fatal("Available() = true while down")
+	}
+	b.SetAvailable(true)
+
+	b.FailNext(2)
+	if err := s.Upload(ctx, "x", []byte("y")); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("fault 1 err = %v", err)
+	}
+	if _, err := s.Download(ctx, "x"); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("fault 2 err = %v", err)
+	}
+	if err := s.Upload(ctx, "x", []byte("y")); err != nil {
+		t.Fatalf("recovered Upload err = %v", err)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	b := NewBackend("d", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	_ = s.Upload(ctx, "a", make([]byte, 100))
+	_, _ = s.Download(ctx, "a")
+	_, _ = s.List(ctx, "")
+	_ = s.Delete(ctx, "a")
+	st := b.Stats()
+	if st.Uploads != 1 || st.Downloads != 1 || st.Lists != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesIn != 100 || st.BytesOut != 100 {
+		t.Fatalf("byte counters = %+v", st)
+	}
+	b.ResetStats()
+	if st := b.Stats(); st.Uploads != 0 || st.BytesIn != 0 {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	s := authedStore(t, NewBackend("d", csp.NameKeyed, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Upload(ctx, "x", []byte("y")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Upload err = %v", err)
+	}
+}
+
+func TestTransportCharging(t *testing.T) {
+	// Under netsim, an upload costs one RTT plus size/bandwidth.
+	net := netsim.New(time.Time{})
+	net.AddNode("client", netsim.NodeConfig{})
+	net.SetLink("client", "d", netsim.LinkConfig{RTT: 100 * time.Millisecond, UpBps: 1 << 20, DownBps: 2 << 20})
+	b := NewBackend("d", csp.NameKeyed, 0)
+	s := NewSimStore(b, WithTransport(NodeTransport{Net: net, Node: "client"}), WithClock(net.Now))
+
+	ctx := context.Background()
+	net.Run(func() {
+		if err := s.Authenticate(ctx, csp.Credentials{Token: "t"}); err != nil {
+			t.Error(err)
+		}
+		if err := s.Upload(ctx, "x", make([]byte, 1<<20)); err != nil {
+			t.Error(err)
+		}
+	})
+	// auth RTT (0.1) + upload RTT (0.1) + 1MiB at 1MiB/s (1.0) = 1.2s.
+	if got := net.VirtualNow(); got < 1.1999 || got > 1.2001 {
+		t.Fatalf("virtual elapsed = %.4f, want 1.2", got)
+	}
+
+	net2 := netsim.New(time.Time{})
+	net2.AddNode("client", netsim.NodeConfig{})
+	net2.SetLink("client", "d", netsim.LinkConfig{RTT: 100 * time.Millisecond, UpBps: 1 << 20, DownBps: 2 << 20})
+	s2 := NewSimStore(b, WithTransport(NodeTransport{Net: net2, Node: "client"}), WithClock(net2.Now))
+	net2.Run(func() {
+		if err := s2.Authenticate(ctx, csp.Credentials{Token: "t"}); err != nil {
+			t.Error(err)
+		}
+		if _, err := s2.Download(ctx, "x"); err != nil {
+			t.Error(err)
+		}
+	})
+	// auth RTT (0.1) + download RTT (0.1) + 1MiB at 2MiB/s (0.5) = 0.7s.
+	if got := net2.VirtualNow(); got < 0.6999 || got > 0.7001 {
+		t.Fatalf("download elapsed = %.4f, want 0.7", got)
+	}
+}
+
+func TestVirtualClockStampsObjects(t *testing.T) {
+	net := netsim.New(time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC))
+	net.AddNode("client", netsim.NodeConfig{})
+	net.SetLink("client", "d", netsim.LinkConfig{RTT: time.Second, UpBps: 1, DownBps: 1})
+	b := NewBackend("d", csp.NameKeyed, 0)
+	s := NewSimStore(b, WithTransport(NodeTransport{Net: net, Node: "client"}), WithClock(net.Now))
+	ctx := context.Background()
+	net.Run(func() {
+		_ = s.Authenticate(ctx, csp.Credentials{Token: "t"})
+		_ = s.Upload(ctx, "x", []byte("y"))
+		infos, err := s.List(ctx, "")
+		if err != nil || len(infos) != 1 {
+			t.Errorf("List: %v %v", infos, err)
+			return
+		}
+		if infos[0].Modified.Year() != 2014 {
+			t.Errorf("Modified = %v, want virtual 2014 time", infos[0].Modified)
+		}
+	})
+}
+
+func TestDirStore(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDirStore("local", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := d.List(ctx, ""); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("unauthenticated List err = %v", err)
+	}
+	if err := d.Authenticate(ctx, csp.Credentials{Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Upload(ctx, "share/with/slashes", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Download(ctx, "share/with/slashes")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("Download = %q, %v", got, err)
+	}
+	infos, err := d.List(ctx, "share/")
+	if err != nil || len(infos) != 1 || infos[0].Name != "share/with/slashes" {
+		t.Fatalf("List = %v, %v", infos, err)
+	}
+	if _, err := d.Download(ctx, "missing"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	if err := d.Delete(ctx, "share/with/slashes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(ctx, "share/with/slashes"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDirStoreNameEncodingRoundTrip(t *testing.T) {
+	for _, name := range []string{"plain", "a/b", "a\\b", "..", "x..y", "%2F", "%25", "%"} {
+		got, ok := decodeName(encodeName(name))
+		if !ok || got != name {
+			t.Errorf("round trip %q -> %q (ok=%v)", name, got, ok)
+		}
+	}
+	if _, ok := decodeName(".upload-123"); ok {
+		t.Error("temp file decoded as object")
+	}
+}
+
+func TestConcurrentBackendAccess(t *testing.T) {
+	b := NewBackend("d", csp.IDKeyed, 0)
+	ctx := context.Background()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		s := authedStore(t, b)
+		go func(i int) {
+			var err error
+			for j := 0; j < 50 && err == nil; j++ {
+				err = s.Upload(ctx, "obj", []byte{byte(i)})
+				if err == nil {
+					_, err = s.Download(ctx, "obj")
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.DuplicateCount("obj"); n != 400 {
+		t.Fatalf("DuplicateCount = %d, want 400", n)
+	}
+}

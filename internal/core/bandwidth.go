@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// bandwidthTracker keeps per-CSP downlink estimates from observed
+// transfers — the paper's "each client maintains local bandwidth statistics
+// to all CSPs" (footnote 7). Estimates are exponentially weighted moving
+// averages seeded from configuration (or a conservative default).
+type bandwidthTracker struct {
+	mu    sync.Mutex
+	est   map[string]float64
+	seeds map[string]float64
+}
+
+// defaultSeedBps is used for CSPs with no configured seed and no
+// observations yet: 1 MB/s, a deliberately modest guess.
+const defaultSeedBps = 1 << 20
+
+// ewmaWeight is the weight of a new observation.
+const ewmaWeight = 0.3
+
+func newBandwidthTracker(seeds map[string]float64) *bandwidthTracker {
+	t := &bandwidthTracker{est: make(map[string]float64), seeds: make(map[string]float64)}
+	for k, v := range seeds {
+		if v > 0 {
+			t.seeds[k] = v
+		}
+	}
+	return t
+}
+
+// estimate returns the current bytes/second estimate for a CSP.
+func (t *bandwidthTracker) estimate(name string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.est[name]; ok {
+		return v
+	}
+	if v, ok := t.seeds[name]; ok {
+		return v
+	}
+	return defaultSeedBps
+}
+
+// observe folds one completed transfer into the estimate. Transfers that
+// took no measurable time (instant simulated stores) are ignored.
+func (t *bandwidthTracker) observe(name string, bytes int64, elapsed time.Duration) {
+	if bytes <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(bytes) / elapsed.Seconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.est[name]; ok {
+		t.est[name] = (1-ewmaWeight)*cur + ewmaWeight*rate
+	} else {
+		t.est[name] = rate
+	}
+}
+
+// snapshot returns estimates for the given CSPs.
+func (t *bandwidthTracker) snapshot(names []string) map[string]float64 {
+	out := make(map[string]float64, len(names))
+	for _, n := range names {
+		out[n] = t.estimate(n)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csp"
+)
+
+// TestChaos runs a randomized operation mix against providers that fail
+// transiently and recover, and checks the system's core promise: as long
+// as at most n-t providers are down at once, every acknowledged write
+// remains readable and correct, and failed writes leave no visible state.
+func TestChaos(t *testing.T) {
+	const (
+		providers = 5 // t=2, n=3: tolerate 1 down among any chunk's holders
+		ops       = 300
+	)
+	env := newEnv(t, providers)
+	c := env.client("chaos", nil)
+	rng := rand.New(rand.NewSource(1234))
+
+	// Oracle: last acknowledged content per file.
+	oracle := map[string][]byte{}
+	deleted := map[string]bool{}
+	ackPuts, failPuts, gets := 0, 0, 0
+
+	var down string // at most one provider down at a time
+	for op := 0; op < ops; op++ {
+		// Toggle provider availability: bring the down one back or take a
+		// random one out.
+		if rng.Intn(4) == 0 {
+			if down != "" {
+				env.backends[down].SetAvailable(true)
+				down = ""
+			} else {
+				down = env.names[rng.Intn(len(env.names))]
+				env.backends[down].SetAvailable(false)
+			}
+		}
+		// Occasional transient single-op faults on random providers.
+		if rng.Intn(6) == 0 {
+			env.backends[env.names[rng.Intn(len(env.names))]].FailNext(1)
+		}
+
+		name := fmt.Sprintf("file-%d", rng.Intn(8))
+		switch rng.Intn(5) {
+		case 0, 1: // put
+			data := randData(rng.Int63(), 500+rng.Intn(4000))
+			err := c.Put(bg, name, data)
+			if err == nil {
+				oracle[name] = data
+				deleted[name] = false
+				ackPuts++
+			} else {
+				failPuts++
+			}
+		case 2, 3: // get
+			want, known := oracle[name]
+			got, _, err := c.Get(bg, name)
+			switch {
+			case !known:
+				if err == nil {
+					t.Fatalf("op %d: read a never-written file %s", op, name)
+				}
+			case deleted[name]:
+				if err == nil {
+					t.Fatalf("op %d: read deleted file %s", op, name)
+				}
+				if !errors.Is(err, ErrFileDeleted) && !errors.Is(err, ErrNoSuchFile) {
+					// Transient infrastructure errors are acceptable.
+					if !errors.Is(err, csp.ErrUnavailable) && !errors.Is(err, ErrDamaged) {
+						t.Fatalf("op %d: unexpected error class: %v", op, err)
+					}
+				}
+			case err != nil:
+				// A read may fail while too many providers are down; it
+				// must fail cleanly, not return wrong data.
+				gets++
+			default:
+				if !bytes.Equal(got, want) {
+					t.Fatalf("op %d: %s returned wrong content", op, name)
+				}
+				gets++
+			}
+		case 4: // delete
+			err := c.Delete(bg, name)
+			if err == nil {
+				if _, known := oracle[name]; known {
+					deleted[name] = true
+				}
+			}
+		}
+	}
+
+	// Quiesce: everything up, estimator cleared via probe.
+	if down != "" {
+		env.backends[down].SetAvailable(true)
+	}
+	c.ProbeFailed(bg)
+
+	// Every acknowledged, undeleted file must now read back exactly.
+	for name, want := range oracle {
+		if deleted[name] {
+			continue
+		}
+		got, _, err := c.Get(bg, name)
+		if err != nil {
+			t.Fatalf("final read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final read %s: content mismatch", name)
+		}
+	}
+	// With 5 providers, t=2, n=3 and at most one provider down plus ring
+	// fallback, writes generally succeed — that resilience is the point;
+	// failed puts are possible but not required.
+	if ackPuts == 0 || gets == 0 {
+		t.Fatalf("chaos mix degenerate: acks=%d fails=%d gets=%d", ackPuts, failPuts, gets)
+	}
+	t.Logf("chaos: %d acknowledged puts, %d failed puts, %d reads", ackPuts, failPuts, gets)
+}
+
+// TestChaosRecoverAfterwards verifies that a fresh device can recover the
+// full post-chaos state.
+func TestChaosRecoverAfterwards(t *testing.T) {
+	env := newEnv(t, 5)
+	c := env.client("writer", nil)
+	rng := rand.New(rand.NewSource(77))
+	oracle := map[string][]byte{}
+	for i := 0; i < 30; i++ {
+		if rng.Intn(5) == 0 {
+			env.backends[env.names[rng.Intn(len(env.names))]].FailNext(2)
+		}
+		name := fmt.Sprintf("f%d", rng.Intn(6))
+		data := randData(rng.Int63(), 1000+rng.Intn(2000))
+		if err := c.Put(bg, name, data); err == nil {
+			oracle[name] = data
+		}
+	}
+	fresh := env.client("fresh", nil)
+	if err := fresh.Recover(bg); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range oracle {
+		got, _, err := fresh.Get(bg, name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("recovered %s: %v", name, err)
+		}
+	}
+}

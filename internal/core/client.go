@@ -1,0 +1,398 @@
+// Package core implements the CYRUS client: the paper's Table-3 API over
+// any set of csp.Store providers.
+//
+// A Client owns no server-side logic whatsoever. It chunks files
+// (internal/chunker), secret-shares every chunk (internal/erasure),
+// scatters shares to CSPs chosen by consistent hashing under platform
+// constraints (internal/hashring + internal/topology), stores per-file
+// metadata — itself secret-shared — at a fixed set of metadata CSPs,
+// selects download sources with the Algorithm-1 optimizer
+// (internal/selector), and detects concurrent-update conflicts from the
+// metadata version tree (internal/metadata). All of it runs through a
+// vclock.Runtime, so the identical code executes in production (real
+// goroutines and clocks) and in the latency experiments (virtual time).
+package core
+
+import (
+	"context"
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chunker"
+	"repro/internal/csp"
+	"repro/internal/erasure"
+	"repro/internal/hashring"
+	"repro/internal/metadata"
+	"repro/internal/reliability"
+	"repro/internal/selector"
+	"repro/internal/vclock"
+)
+
+// SharePrefix is the object-name prefix for chunk shares.
+const SharePrefix = "cyrus-share-"
+
+// Errors returned by the client.
+var (
+	ErrNoSuchFile   = errors.New("cyrus: no such file")
+	ErrFileDeleted  = errors.New("cyrus: file is deleted")
+	ErrNotEnoughCSP = errors.New("cyrus: not enough available CSPs")
+	ErrDamaged      = errors.New("cyrus: cannot reconstruct data")
+)
+
+// Config tunes a client. Zero values take documented defaults.
+type Config struct {
+	// ClientID identifies this device in metadata records. Required.
+	ClientID string
+	// Key is the user's key string; it derives the Reed-Solomon dispersal
+	// matrices and share names. All clients sharing a cloud must share the
+	// key. Required.
+	Key string
+
+	// T is the privacy level: shares (hence CSPs) needed to reconstruct a
+	// chunk. Default 2 (no single CSP can read anything).
+	T int
+	// N is the reliability level: shares stored per chunk. If 0, N is
+	// derived from Epsilon and the estimated CSP failure probability via
+	// Eq. (1).
+	N int
+	// Epsilon is the reliability bound used when N == 0. Default 1e-4.
+	Epsilon float64
+	// FailureProb is the fallback per-CSP failure probability when there
+	// is no contact history. Default 0.002 (≈ 18 downtime-hours/year).
+	FailureProb float64
+
+	// MetaT is the privacy level for metadata records, shared to all
+	// metadata CSPs. Default 2.
+	MetaT int
+
+	// Chunking configures content-defined chunking.
+	Chunking chunker.Config
+
+	// ClusterOf maps CSP name -> platform cluster (from
+	// topology.InferClusters); share placement uses at most one CSP per
+	// cluster. nil disables the constraint.
+	ClusterOf map[string]string
+
+	// Selector chooses download sources. Default selector.Optimized.
+	Selector selector.Selector
+
+	// Runtime supplies concurrency and time. Default vclock.Real().
+	Runtime vclock.Runtime
+
+	// LinkBps seeds the per-CSP bandwidth estimates (bytes/second) used by
+	// the selector before any transfers have been observed. Optional.
+	LinkBps map[string]float64
+	// ClientBps is the client's aggregate downlink cap estimate for the
+	// selector. 0 = unconstrained.
+	ClientBps float64
+
+	// FailureThreshold is how long a CSP must be consistently unreachable
+	// before it is counted as failed. Default 24h.
+	FailureThreshold time.Duration
+
+	// Logger, when set, receives structured operational events (uploads,
+	// downloads, migrations, provider state changes). nil disables
+	// logging entirely.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.ClientID == "" {
+		return c, errors.New("cyrus: Config.ClientID is required")
+	}
+	if c.Key == "" {
+		return c, errors.New("cyrus: Config.Key is required")
+	}
+	if c.T == 0 {
+		c.T = 2
+	}
+	if c.T < 1 {
+		return c, fmt.Errorf("cyrus: T=%d", c.T)
+	}
+	if c.N != 0 && c.N < c.T {
+		return c, fmt.Errorf("cyrus: N=%d < T=%d", c.N, c.T)
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-4
+	}
+	if c.FailureProb == 0 {
+		c.FailureProb = 0.002
+	}
+	if c.MetaT == 0 {
+		c.MetaT = 2
+	}
+	if c.Selector == nil {
+		c.Selector = selector.Optimized{}
+	}
+	if c.Runtime == nil {
+		c.Runtime = vclock.Real()
+	}
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 24 * time.Hour
+	}
+	return c, nil
+}
+
+// FileInfo describes one file visible through List/Stat.
+type FileInfo struct {
+	Name       string
+	Size       int64
+	Modified   time.Time
+	VersionID  string
+	Deleted    bool
+	Conflicted bool
+}
+
+// Client is a CYRUS endpoint. It is safe for concurrent use.
+type Client struct {
+	cfg     Config
+	coder   *erasure.Coder
+	chunk   *chunker.Chunker
+	ring    *hashring.Ring
+	tree    *metadata.Tree
+	table   *metadata.ChunkTable
+	est     *reliability.Estimator
+	bw      *bandwidthTracker
+	events  *eventBus
+	rt      vclock.Runtime
+	sel     selector.Selector
+	keyHash string
+	log     *slog.Logger // nil = disabled
+
+	mu      sync.Mutex
+	stores  map[string]csp.Store
+	removed map[string]bool // removed or failed CSPs: no uploads go there
+	cspSeq  int64           // highest CSP-list sequence seen or published
+}
+
+// New builds a client over the given providers — the paper's s = create()
+// followed by add(s, c) for each provider. Providers must already be
+// authenticated (or be authenticated by the caller before use).
+func New(cfg Config, stores []csp.Store) (*Client, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := chunker.New(full.Chunking)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha1.Sum([]byte(full.Key))
+	c := &Client{
+		cfg:     full,
+		coder:   erasure.NewCoder(full.Key),
+		chunk:   ch,
+		ring:    hashring.New(0),
+		tree:    metadata.NewTree(),
+		table:   metadata.NewChunkTable(),
+		est:     reliability.NewEstimator(full.FailureThreshold),
+		bw:      newBandwidthTracker(full.LinkBps),
+		events:  newEventBus(),
+		rt:      full.Runtime,
+		sel:     full.Selector,
+		keyHash: hex.EncodeToString(sum[:]),
+		log:     full.Logger,
+		stores:  make(map[string]csp.Store),
+		removed: make(map[string]bool),
+	}
+	for _, s := range stores {
+		if err := c.AddCSP(s); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddCSP registers a provider — add(s, c). Subsequent uploads may place
+// shares there; existing shares are not rebalanced (paper §5.5: adding a
+// CSP never degrades previously uploaded chunks).
+func (c *Client) AddCSP(s csp.Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := s.Name()
+	if _, ok := c.stores[name]; ok {
+		return fmt.Errorf("cyrus: CSP %q already added", name)
+	}
+	if err := c.ring.Add(name); err != nil {
+		return err
+	}
+	c.stores[name] = s
+	delete(c.removed, name)
+	return nil
+}
+
+// RemoveCSP marks a provider as removed — remove(s, c) — and publishes the
+// change to the cloud's CSP list so other clients stop uploading there
+// (paper §5.5). Its shares are migrated lazily: whenever a later download
+// touches a chunk with a share on the removed provider, the share is
+// reconstructed and re-uploaded elsewhere (Figure 9).
+func (c *Client) RemoveCSP(ctx context.Context, name string) error {
+	c.mu.Lock()
+	if _, ok := c.stores[name]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cyrus: CSP %q not present", name)
+	}
+	changed := false
+	if !c.removed[name] {
+		c.removed[name] = true
+		changed = true
+		if err := c.ring.Remove(name); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	c.mu.Unlock()
+	if !changed {
+		return nil
+	}
+	return c.publishCSPList(ctx)
+}
+
+// CSPs returns the names of providers currently eligible for uploads.
+func (c *Client) CSPs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name := range c.stores {
+		if !c.removed[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// store returns the provider by name, including removed ones (their shares
+// may still be read during migration).
+func (c *Client) store(name string) (csp.Store, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stores[name]
+	return s, ok
+}
+
+// usable reports whether a provider may serve downloads: present, not
+// removed, and not currently counted as failed.
+func (c *Client) usable(name string) bool {
+	c.mu.Lock()
+	_, ok := c.stores[name]
+	removed := c.removed[name]
+	c.mu.Unlock()
+	return ok && !removed && !c.est.Down(name)
+}
+
+// activeCount returns how many providers accept uploads.
+func (c *Client) activeCount() int {
+	return len(c.CSPs())
+}
+
+// clusterCount returns the number of distinct platform clusters among the
+// active providers — the cap for n when clustering is enabled.
+func (c *Client) clusterCount() int {
+	active := c.CSPs()
+	if c.cfg.ClusterOf == nil {
+		return len(active)
+	}
+	seen := map[string]bool{}
+	for _, name := range active {
+		cl, ok := c.cfg.ClusterOf[name]
+		if !ok {
+			cl = "\x00" + name
+		}
+		seen[cl] = true
+	}
+	return len(seen)
+}
+
+// shareParams returns the (t, n) to use for new chunks: the paper's
+// two-step §4.2 procedure. The failure probability is the conservative
+// maximum over observed per-CSP estimates.
+func (c *Client) shareParams() (int, int, error) {
+	t := c.cfg.T
+	maxN := c.clusterCount()
+	if c.cfg.N > 0 {
+		if c.cfg.N > maxN {
+			return 0, 0, fmt.Errorf("%w: need %d, have %d clusters", ErrNotEnoughCSP, c.cfg.N, maxN)
+		}
+		return t, c.cfg.N, nil
+	}
+	if maxN < t {
+		return 0, 0, fmt.Errorf("%w: need at least %d, have %d clusters", ErrNotEnoughCSP, t, maxN)
+	}
+	p := c.est.MaxFailureProb(c.CSPs(), c.cfg.FailureProb)
+	n, err := reliability.MinShares(t, p, c.cfg.Epsilon, maxN)
+	if err != nil {
+		if errors.Is(err, reliability.ErrUnreachable) {
+			// Not enough clouds to hit the bound: store as wide as we can.
+			return t, maxN, nil
+		}
+		return 0, 0, err
+	}
+	return t, n, nil
+}
+
+// shareName implements the paper's naming scheme H'(index,
+// H(chunk.content)): opaque to CSPs, recoverable by any key-holding client,
+// and unique per (content, index, t) so re-uploads are idempotent.
+func (c *Client) shareName(chunkID string, index, t int) string {
+	h := sha1.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d", c.keyHash, chunkID, index, t)
+	return SharePrefix + hex.EncodeToString(h.Sum(nil))
+}
+
+// Tree exposes the local metadata tree (read-mostly; used by the CLI and
+// experiments).
+func (c *Client) Tree() *metadata.Tree { return c.tree }
+
+// ChunkTable exposes the local global-chunk-table replica.
+func (c *Client) ChunkTable() *metadata.ChunkTable { return c.table }
+
+// Estimator exposes the CSP failure estimator.
+func (c *Client) Estimator() *reliability.Estimator { return c.est }
+
+// Bandwidth exposes the link estimate used for a CSP (for tests).
+func (c *Client) Bandwidth(name string) float64 { return c.bw.estimate(name) }
+
+// Subscribe registers an event handler (asynchronous transfer events,
+// paper §5.3). Handlers must be fast and must not call back into the
+// client.
+func (c *Client) Subscribe(fn func(Event)) { c.events.subscribe(fn) }
+
+// recordResult feeds the failure estimator from an operation outcome.
+func (c *Client) recordResult(name string, err error) {
+	now := c.rt.Now()
+	if err == nil {
+		c.est.RecordSuccess(name, now)
+		return
+	}
+	if errors.Is(err, csp.ErrUnavailable) {
+		wasDown := c.est.Down(name)
+		c.est.RecordFailure(name, now)
+		if !wasDown && c.est.Down(name) {
+			c.logf("provider marked failed", "csp", name)
+		}
+	}
+}
+
+// logf emits one structured log line when logging is configured.
+func (c *Client) logf(msg string, args ...any) {
+	if c.log != nil {
+		c.log.Info(msg, args...)
+	}
+}
+
+// ctx guard used in loops.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

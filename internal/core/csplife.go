@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metadata"
+	"sync"
+)
+
+// CSP lifecycle propagation (paper §5.5): "A user may add a CSP to CYRUS
+// by updating the list of available CSPs at the cloud" — and likewise for
+// removal. The list is stored as one small object at every provider under
+//
+//	cyrus-meta-csplist.<seq>
+//
+// The sequence number is part of the object name, so the regular metadata
+// listing reveals newer lists for free (no extra round trips when nothing
+// changed); last writer wins by the highest sequence. The content
+// enumerates removed providers; clients apply it by marking those
+// providers ineligible for uploads, which also makes their shares
+// candidates for lazy migration.
+
+// cspListStem is the object-name stem of the CSP status list. It lives
+// under MetaPrefix so it shows up in the metadata listing, but carries no
+// ".s<idx>" suffix, so the metadata-share parser ignores it.
+const cspListStem = metadata.MetaPrefix + "csplist."
+
+func cspListName(seq int64) string { return fmt.Sprintf("%s%d", cspListStem, seq) }
+
+// parseCSPListName extracts the sequence from a list object name.
+func parseCSPListName(obj string) (int64, bool) {
+	if !strings.HasPrefix(obj, cspListStem) {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(obj[len(cspListStem):], 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// encodeCSPList renders the removed-provider set deterministically.
+func encodeCSPList(removed map[string]bool) []byte {
+	names := make([]string, 0, len(removed))
+	for n, r := range removed {
+		if r {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("cyrus-csplist v1\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "removed %s\n", n)
+	}
+	return []byte(b.String())
+}
+
+// decodeCSPList parses a list object; unknown lines are ignored for
+// forward compatibility.
+func decodeCSPList(data []byte) map[string]bool {
+	removed := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "removed "); ok && name != "" {
+			removed[name] = true
+		}
+	}
+	return removed
+}
+
+// publishCSPList uploads the current removal set under the next sequence
+// number to every eligible provider, then garbage-collects the previous
+// sequence object (best effort).
+func (c *Client) publishCSPList(ctx context.Context) error {
+	c.mu.Lock()
+	c.cspSeq++
+	seq := c.cspSeq
+	removed := make(map[string]bool, len(c.removed))
+	for n, r := range c.removed {
+		removed[n] = r
+	}
+	c.mu.Unlock()
+
+	data := encodeCSPList(removed)
+	targets := c.CSPs()
+	if len(targets) == 0 {
+		return fmt.Errorf("%w: no providers to publish the CSP list", ErrNotEnoughCSP)
+	}
+	succeeded := 0
+	g := c.rt.NewGroup()
+	var mu chanlessCounter
+	for _, target := range targets {
+		target := target
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			store, ok := c.store(target)
+			if !ok {
+				return
+			}
+			err := store.Upload(ctx, cspListName(seq), data)
+			c.recordResult(target, err)
+			if err == nil {
+				mu.inc()
+				if seq > 1 {
+					_ = store.Delete(ctx, cspListName(seq-1))
+				}
+			}
+		})
+	}
+	g.Wait()
+	succeeded = mu.value()
+	if succeeded == 0 {
+		return fmt.Errorf("cyrus: CSP list (seq %d) reached no provider", seq)
+	}
+	return nil
+}
+
+// applyCSPList reconciles the local eligibility state with a newer remote
+// list. Providers named removed become upload-ineligible; providers no
+// longer named (reinstated elsewhere) become eligible again if we still
+// hold their store.
+func (c *Client) applyCSPList(seq int64, removed map[string]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq <= c.cspSeq {
+		return
+	}
+	c.cspSeq = seq
+	for name := range c.stores {
+		shouldRemove := removed[name]
+		isRemoved := c.removed[name]
+		switch {
+		case shouldRemove && !isRemoved:
+			c.removed[name] = true
+			_ = c.ring.Remove(name)
+		case !shouldRemove && isRemoved:
+			delete(c.removed, name)
+			_ = c.ring.Add(name)
+		}
+	}
+}
+
+// syncCSPList is called by Sync with the names seen in the metadata
+// listing: if a newer list exists, fetch it from one of the providers that
+// listed it and apply.
+func (c *Client) syncCSPList(ctx context.Context, listings map[string][]string) {
+	var bestSeq int64 = -1
+	var holders []string
+	for obj, csps := range listings {
+		if seq, ok := parseCSPListName(obj); ok && seq > bestSeq {
+			bestSeq = seq
+			holders = csps
+		}
+	}
+	c.mu.Lock()
+	cur := c.cspSeq
+	c.mu.Unlock()
+	if bestSeq <= cur {
+		return
+	}
+	for _, holder := range holders {
+		store, ok := c.store(holder)
+		if !ok {
+			continue
+		}
+		data, err := store.Download(ctx, cspListName(bestSeq))
+		c.recordResult(holder, err)
+		if err != nil {
+			continue
+		}
+		c.applyCSPList(bestSeq, decodeCSPList(data))
+		return
+	}
+}
+
+// ReinstateCSP clears a provider's removed mark (e.g. after an outage the
+// user decided was temporary) and publishes the change to all clients.
+func (c *Client) ReinstateCSP(ctx context.Context, name string) error {
+	c.mu.Lock()
+	_, present := c.stores[name]
+	wasRemoved := c.removed[name]
+	if present && wasRemoved {
+		delete(c.removed, name)
+		_ = c.ring.Add(name)
+	}
+	c.mu.Unlock()
+	if !present {
+		return fmt.Errorf("cyrus: CSP %q not present", name)
+	}
+	if !wasRemoved {
+		return nil
+	}
+	return c.publishCSPList(ctx)
+}
+
+// ProbeFailed contacts every provider currently counted as failed (paper
+// §5.5: "CYRUS periodically checks if the failed CSP is back up") and
+// clears the failure state of any that respond. It returns the providers
+// that recovered.
+func (c *Client) ProbeFailed(ctx context.Context) []string {
+	c.mu.Lock()
+	var down []string
+	for name := range c.stores {
+		if c.est.Down(name) {
+			down = append(down, name)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(down)
+
+	var recovered []string
+	var mu chanlessAppender
+	g := c.rt.NewGroup()
+	for _, name := range down {
+		name := name
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			store, ok := c.store(name)
+			if !ok {
+				return
+			}
+			_, err := store.List(ctx, metadata.MetaPrefix)
+			c.recordResult(name, err)
+			if err == nil {
+				mu.add(name)
+			}
+		})
+	}
+	g.Wait()
+	recovered = mu.values()
+	sort.Strings(recovered)
+	return recovered
+}
+
+// chanlessCounter and chanlessAppender are tiny mutex-protected
+// accumulators used inside Runtime fan-outs (channels must not block under
+// virtual time).
+type chanlessCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *chanlessCounter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *chanlessCounter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+type chanlessAppender struct {
+	mu sync.Mutex
+	v  []string
+}
+
+func (a *chanlessAppender) add(s string) {
+	a.mu.Lock()
+	a.v = append(a.v, s)
+	a.mu.Unlock()
+}
+
+func (a *chanlessAppender) values() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.v...)
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/metadata"
+	"repro/internal/selector"
+)
+
+// Get downloads the current version of a file — get(s, f), Algorithm 3.
+// The returned FileInfo reports whether the file is in a conflicted state
+// (competing concurrent versions exist); the returned bytes are the
+// deterministic winning head.
+func (c *Client) Get(ctx context.Context, name string) ([]byte, FileInfo, error) {
+	_, _ = c.Sync(ctx) // best effort; Algorithm 3 line 2
+	head, conflicted, err := c.tree.Head(name)
+	if err != nil {
+		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+	}
+	info := fileInfo(head, conflicted)
+	if head.File.Deleted {
+		return nil, info, fmt.Errorf("%w: %q", ErrFileDeleted, name)
+	}
+	data, err := c.fetchVersion(ctx, head)
+	if err != nil {
+		return nil, info, err
+	}
+	return data, info, nil
+}
+
+// GetVersion downloads a specific version of a file — get(s, f, v).
+func (c *Client) GetVersion(ctx context.Context, name, versionID string) ([]byte, FileInfo, error) {
+	m, err := c.tree.Get(versionID)
+	if err != nil {
+		return nil, FileInfo{}, err
+	}
+	if m.File.Name != name {
+		return nil, FileInfo{}, fmt.Errorf("cyrus: version %s belongs to %q, not %q", versionID, m.File.Name, name)
+	}
+	info := fileInfo(m, false)
+	if m.File.Deleted {
+		return nil, info, fmt.Errorf("%w: version %s", ErrFileDeleted, versionID)
+	}
+	data, err := c.fetchVersion(ctx, m)
+	if err != nil {
+		return nil, info, err
+	}
+	return data, info, nil
+}
+
+// fetchVersion gathers, decodes, and reassembles all chunks of a version,
+// running the downlink CSP selection first and lazily migrating shares off
+// removed or failed providers afterwards.
+func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte, error) {
+	if len(m.Chunks) == 0 {
+		return []byte{}, nil
+	}
+
+	// Build the selection instance over unique chunks. Share locations
+	// come from the freshest source available: the global chunk table
+	// first (it tracks migrations), the version's ShareMap as fallback.
+	type chunkState struct {
+		ref    metadata.ChunkRef
+		shares map[int]string // index -> csp, all known locations
+		usable []string       // CSPs serving downloads now
+	}
+	unique := make(map[string]*chunkState)
+	var order []string
+	for _, ref := range m.Chunks {
+		if _, ok := unique[ref.ID]; ok {
+			continue
+		}
+		st := &chunkState{ref: ref, shares: make(map[int]string)}
+		if info, ok := c.table.Lookup(ref.ID); ok {
+			for idx, cspName := range info.Shares {
+				st.shares[idx] = cspName
+			}
+		} else {
+			for _, loc := range m.SharesOf(ref.ID) {
+				st.shares[loc.Index] = loc.CSP
+			}
+		}
+		seen := map[string]bool{}
+		for _, cspName := range st.shares {
+			if !seen[cspName] && c.readable(cspName) {
+				seen[cspName] = true
+				st.usable = append(st.usable, cspName)
+			}
+		}
+		sort.Strings(st.usable)
+		if len(st.usable) < st.ref.T {
+			return nil, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d",
+				ErrDamaged, ref.ID[:8], len(st.usable), st.ref.T)
+		}
+		unique[ref.ID] = st
+		order = append(order, ref.ID)
+	}
+
+	// Chunks may carry heterogeneous T (dedup across configs); the
+	// selector instance is per-T, so group chunks by T.
+	byT := map[int][]*chunkState{}
+	for _, id := range order {
+		st := unique[id]
+		byT[st.ref.T] = append(byT[st.ref.T], st)
+	}
+
+	pick := make(map[string][]string)
+	for t, states := range byT {
+		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
+		for _, st := range states {
+			in.Chunks = append(in.Chunks, selector.Chunk{
+				ID:        st.ref.ID,
+				ShareSize: erasure.ShareSize(st.ref.Size, st.ref.T),
+				StoredOn:  st.usable,
+			})
+			for _, cspName := range st.usable {
+				in.LinkBps[cspName] = c.bw.estimate(cspName)
+			}
+		}
+		a, err := c.sel.Select(in)
+		if err != nil {
+			return nil, fmt.Errorf("cyrus: download selection: %w", err)
+		}
+		for id, sources := range a.Pick {
+			pick[id] = sources
+		}
+	}
+
+	// Gather all unique chunks in parallel (Algorithm 3 lines 3-5).
+	chunkData := make(map[string][]byte, len(unique))
+	var mu sync.Mutex
+	var firstErr error
+	g := c.rt.NewGroup()
+	for _, id := range order {
+		st := unique[id]
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			data, err := c.gatherChunk(ctx, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			chunkData[st.ref.ID] = data
+		})
+	}
+	g.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Reassemble and verify.
+	out := make([]byte, m.File.Size)
+	for _, ref := range m.Chunks {
+		copy(out[ref.Offset:ref.Offset+ref.Size], chunkData[ref.ID])
+	}
+	if got := metadata.HashData(out); got != m.File.ID {
+		return nil, fmt.Errorf("%w: file %q reassembled to %s, metadata says %s",
+			ErrDamaged, m.File.Name, got[:8], m.File.ID[:8])
+	}
+
+	// Lazy migration (paper §5.5, Figure 9): shares on removed/failed
+	// providers are reconstructed from the decoded chunks and re-uploaded
+	// elsewhere, now that we hold the plaintext chunks anyway.
+	refs := make(map[string]metadata.ChunkRef, len(unique))
+	locs := make(map[string]map[int]string, len(unique))
+	for id, st := range unique {
+		refs[id] = st.ref
+		locs[id] = st.shares
+	}
+	c.migrateStaleShares(ctx, m.File.Name, refs, locs, chunkData)
+
+	c.events.emit(Event{Type: EvFileComplete, File: m.File.Name, Bytes: m.File.Size})
+	return out, nil
+}
+
+// gatherChunk downloads t shares of one chunk (preferring the optimizer's
+// pick, falling back to any other stored location on error), decodes, and
+// verifies content. Algorithm 3's Gather.
+func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) ([]byte, error) {
+	// Index each CSP's share index.
+	idxOf := make(map[string]int, len(locations))
+	for idx, cspName := range locations {
+		idxOf[cspName] = idx
+	}
+	// Fallback pool: stored locations not in the primary pick.
+	primary := append([]string(nil), sources...)
+	inPrimary := make(map[string]bool, len(primary))
+	for _, s := range primary {
+		inPrimary[s] = true
+	}
+	var fallback []string
+	for cspName := range idxOf {
+		if !inPrimary[cspName] && c.readable(cspName) {
+			fallback = append(fallback, cspName)
+		}
+	}
+	sort.Strings(fallback)
+
+	var mu sync.Mutex
+	shares := make([]erasure.Share, 0, ref.T)
+	var firstErr error
+
+	g := c.rt.NewGroup()
+	for _, src := range primary {
+		src := src
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			cur := src
+			for {
+				idx := idxOf[cur]
+				store, ok := c.store(cur)
+				var data []byte
+				var err error
+				if !ok {
+					err = fmt.Errorf("cyrus: provider %q vanished", cur)
+				} else {
+					start := c.rt.Now()
+					data, err = store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
+					c.recordResult(cur, err)
+					if err == nil {
+						c.bw.observe(cur, int64(len(data)), c.rt.Now().Sub(start))
+					}
+				}
+				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cur, Bytes: int64(len(data)), Err: err})
+				if err == nil {
+					mu.Lock()
+					shares = append(shares, erasure.Share{Index: idx, Data: data})
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				if len(fallback) > 0 {
+					cur = fallback[0]
+					fallback = fallback[1:]
+					mu.Unlock()
+					continue
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		})
+	}
+	g.Wait()
+	if len(shares) < ref.T {
+		return nil, fmt.Errorf("%w: chunk %s: %d of %d shares (last error: %v)",
+			ErrDamaged, ref.ID[:8], len(shares), ref.T, firstErr)
+	}
+	data, err := c.coder.Decode(shares, erasure.MaxN)
+	if err == nil {
+		if got := metadata.HashData(data); got != ref.ID {
+			err = fmt.Errorf("%w: chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
+		}
+	}
+	if err != nil {
+		// A fetched share may be corrupt (bit rot, a tampering provider).
+		// Fetch every remaining reachable share and run the correcting
+		// decoder (paper §7.1: the R-S code recovers through errored
+		// shares given surplus).
+		data, err = c.gatherCorrecting(ctx, file, ref, locations, shares)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID})
+	return data, nil
+}
+
+// gatherCorrecting fetches all remaining reachable shares of a chunk and
+// attempts an error-correcting decode, verifying against the chunk's
+// content hash. Identified-corrupt shares are re-written with correct
+// bytes (self-healing) on a best-effort basis.
+func (c *Client) gatherCorrecting(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, have []erasure.Share) ([]byte, error) {
+	seen := make(map[int]bool, len(have))
+	for _, s := range have {
+		seen[s.Index] = true
+	}
+	all := append([]erasure.Share(nil), have...)
+	for idx, cspName := range locations {
+		if seen[idx] || !c.readable(cspName) {
+			continue
+		}
+		store, ok := c.store(cspName)
+		if !ok {
+			continue
+		}
+		d, err := store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
+		c.recordResult(cspName, err)
+		c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: int64(len(d)), Err: err})
+		if err != nil {
+			continue
+		}
+		all = append(all, erasure.Share{Index: idx, Data: d})
+	}
+	data, corrupt, err := c.coder.DecodeCorrecting(all, erasure.MaxN)
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %s uncorrectable: %v", ErrDamaged, ref.ID[:8], err)
+	}
+	if got := metadata.HashData(data); got != ref.ID {
+		return nil, fmt.Errorf("%w: corrected chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
+	}
+	// Self-heal: overwrite the corrupt share objects with correct bytes.
+	if len(corrupt) > 0 {
+		c.logf("corrected corrupt shares", "chunk", ref.ID[:8], "indices", fmt.Sprint(corrupt))
+		if good, err := c.coder.Encode(data, ref.T, ref.N); err == nil {
+			for _, idx := range corrupt {
+				cspName, ok := locations[idx]
+				if !ok {
+					continue
+				}
+				if store, ok := c.store(cspName); ok {
+					_ = store.Upload(ctx, c.shareName(ref.ID, idx, ref.T), good[idx].Data)
+				}
+			}
+		}
+	}
+	return data, nil
+}
+
+// readable reports whether a provider may serve share downloads: it must
+// exist and not be failed; removed providers remain readable until their
+// shares migrate away.
+func (c *Client) readable(name string) bool {
+	c.mu.Lock()
+	_, ok := c.stores[name]
+	c.mu.Unlock()
+	return ok && !c.est.Down(name)
+}

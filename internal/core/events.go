@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// EventType enumerates the asynchronous transfer events of paper §5.3.
+type EventType int
+
+// Event kinds. Share-level events fire per transfer; ChunkComplete fires
+// when n shares are uploaded or t downloaded; FileComplete when every chunk
+// of a file has completed.
+const (
+	EvSharePut EventType = iota
+	EvShareGet
+	EvMetaPut
+	EvMetaGet
+	EvChunkComplete
+	EvFileComplete
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EvSharePut:
+		return "PUT"
+	case EvShareGet:
+		return "GET"
+	case EvMetaPut:
+		return "PUT META"
+	case EvMetaGet:
+		return "GET META"
+	case EvChunkComplete:
+		return "CHUNK COMPLETE"
+	case EvFileComplete:
+		return "FILE COMPLETE"
+	}
+	return "UNKNOWN"
+}
+
+// Event is one asynchronous notification from the transfer layer.
+type Event struct {
+	Type    EventType
+	File    string // file name (when known)
+	ChunkID string // chunk content hash (share/chunk events)
+	Index   int    // share index (share events)
+	CSP     string // provider involved (share/meta events)
+	Bytes   int64  // payload size
+	Err     error  // nil on success
+}
+
+// eventBus is a minimal synchronous fan-out. CYRUS's prototype registers an
+// event receiver at the core; here any number of receivers may subscribe.
+type eventBus struct {
+	mu       sync.RWMutex
+	handlers []func(Event)
+}
+
+func newEventBus() *eventBus { return &eventBus{} }
+
+func (b *eventBus) subscribe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers = append(b.handlers, fn)
+}
+
+func (b *eventBus) emit(ev Event) {
+	b.mu.RLock()
+	hs := b.handlers
+	b.mu.RUnlock()
+	for _, h := range hs {
+		h(ev)
+	}
+}

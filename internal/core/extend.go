@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/metadata"
+	"repro/internal/selector"
+)
+
+// Extensions beyond the paper's Table-3 API, motivated by its user study
+// and discussion sections: partial reads (content-defined chunking makes
+// them natural), importing files users already keep at individual CSPs
+// (§7.5: "One user ... suggested adding a feature to import files already
+// stored at CSPs"), and explicit garbage collection of unreferenced chunk
+// shares (the paper leaves shares alone on deletion because "other files
+// may contain these chunks"; the chunk table's reference counts make a
+// safe collection possible as an explicit user action).
+
+// GetRange downloads only the chunks covering [offset, offset+length) of
+// the file's current version and returns exactly those bytes. Chunks
+// outside the range are neither selected nor transferred.
+func (c *Client) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, FileInfo, error) {
+	_, _ = c.Sync(ctx)
+	head, conflicted, err := c.tree.Head(name)
+	if err != nil {
+		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+	}
+	info := fileInfo(head, conflicted)
+	if head.File.Deleted {
+		return nil, info, fmt.Errorf("%w: %q", ErrFileDeleted, name)
+	}
+	if offset < 0 || length < 0 || offset > head.File.Size {
+		return nil, info, fmt.Errorf("cyrus: range [%d,%d) outside file of %d bytes", offset, offset+length, head.File.Size)
+	}
+	if offset+length > head.File.Size {
+		length = head.File.Size - offset
+	}
+	if length == 0 {
+		return []byte{}, info, nil
+	}
+
+	// Chunks overlapping the range.
+	var wanted []metadata.ChunkRef
+	seen := map[string]bool{}
+	for _, ref := range head.Chunks {
+		if ref.Offset+ref.Size <= offset || ref.Offset >= offset+length {
+			continue
+		}
+		if !seen[ref.ID] {
+			seen[ref.ID] = true
+		}
+		wanted = append(wanted, ref)
+	}
+
+	// Select sources for the unique wanted chunks, grouped by t.
+	locsOf := func(ref metadata.ChunkRef) map[int]string {
+		locs := make(map[int]string)
+		if ci, ok := c.table.Lookup(ref.ID); ok {
+			for idx, cspName := range ci.Shares {
+				locs[idx] = cspName
+			}
+		} else {
+			for _, l := range head.SharesOf(ref.ID) {
+				locs[l.Index] = l.CSP
+			}
+		}
+		return locs
+	}
+	uniqueRefs := map[string]metadata.ChunkRef{}
+	for _, ref := range wanted {
+		uniqueRefs[ref.ID] = ref
+	}
+	byT := map[int][]metadata.ChunkRef{}
+	for _, ref := range uniqueRefs {
+		byT[ref.T] = append(byT[ref.T], ref)
+	}
+	pick := map[string][]string{}
+	for t, refs := range byT {
+		sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
+		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
+		for _, ref := range refs {
+			var usable []string
+			seenCSP := map[string]bool{}
+			for _, cspName := range locsOf(ref) {
+				if !seenCSP[cspName] && c.readable(cspName) {
+					seenCSP[cspName] = true
+					usable = append(usable, cspName)
+				}
+			}
+			sort.Strings(usable)
+			if len(usable) < t {
+				return nil, info, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d", ErrDamaged, ref.ID[:8], len(usable), t)
+			}
+			in.Chunks = append(in.Chunks, selector.Chunk{ID: ref.ID, ShareSize: erasure.ShareSize(ref.Size, t), StoredOn: usable})
+			for _, u := range usable {
+				in.LinkBps[u] = c.bw.estimate(u)
+			}
+		}
+		a, err := c.sel.Select(in)
+		if err != nil {
+			return nil, info, err
+		}
+		for id, srcs := range a.Pick {
+			pick[id] = srcs
+		}
+	}
+
+	// Gather in parallel.
+	chunkData := make(map[string][]byte, len(uniqueRefs))
+	var mu sync.Mutex
+	var firstErr error
+	g := c.rt.NewGroup()
+	for id, ref := range uniqueRefs {
+		id, ref := id, ref
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			data, err := c.gatherChunk(ctx, name, ref, locsOf(ref), pick[id])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			chunkData[id] = data
+		})
+	}
+	g.Wait()
+	if firstErr != nil {
+		return nil, info, firstErr
+	}
+
+	out := make([]byte, length)
+	for _, ref := range wanted {
+		data := chunkData[ref.ID]
+		// Overlap of [ref.Offset, ref.Offset+ref.Size) with the range.
+		lo := max64(ref.Offset, offset)
+		hi := min64(ref.Offset+ref.Size, offset+length)
+		copy(out[lo-offset:hi-offset], data[lo-ref.Offset:hi-ref.Offset])
+	}
+	return out, info, nil
+}
+
+// Import pulls an object the user already stores at one provider (outside
+// CYRUS) and re-stores it through CYRUS under destName; the original is
+// left untouched.
+func (c *Client) Import(ctx context.Context, providerName, objectName, destName string) error {
+	store, ok := c.store(providerName)
+	if !ok {
+		return fmt.Errorf("cyrus: CSP %q not present", providerName)
+	}
+	data, err := store.Download(ctx, objectName)
+	c.recordResult(providerName, err)
+	if err != nil {
+		return fmt.Errorf("cyrus: import %s from %s: %w", objectName, providerName, err)
+	}
+	if destName == "" {
+		destName = objectName
+	}
+	return c.Put(ctx, destName, data)
+}
+
+// GCStats reports what a garbage collection removed.
+type GCStats struct {
+	Chunks  int   // unreferenced chunks collected
+	Shares  int   // share objects deleted
+	Bytes   int64 // approximate bytes reclaimed (share payloads)
+	Skipped int   // shares that could not be deleted (provider unreachable)
+}
+
+// GC deletes the share objects of chunks no version in the metadata tree
+// references — orphans left by interrupted uploads or pruned histories.
+// Chunks referenced by any version, including deleted files' old versions
+// (which remain restorable), are never touched.
+func (c *Client) GC(ctx context.Context) (GCStats, error) {
+	_, _ = c.Sync(ctx)
+
+	referenced := map[string]bool{}
+	for _, m := range c.tree.All() {
+		for _, ref := range m.Chunks {
+			referenced[ref.ID] = true
+		}
+	}
+
+	var stats GCStats
+	// The chunk table may know chunks no record references (refs from
+	// absorbed-then-pruned versions, or uploads whose metadata never
+	// landed). Collect those.
+	var orphans []*metadata.ChunkInfo
+	for _, id := range c.table.SharesOnAll() {
+		if !referenced[id] {
+			if info, ok := c.table.Lookup(id); ok {
+				orphans = append(orphans, info)
+			}
+		}
+	}
+	for _, info := range orphans {
+		stats.Chunks++
+		shareSize := erasure.ShareSize(info.Size, info.T)
+		for idx, cspName := range info.Shares {
+			store, ok := c.store(cspName)
+			if !ok {
+				stats.Skipped++
+				continue
+			}
+			if err := store.Delete(ctx, c.shareName(info.ID, idx, info.T)); err != nil {
+				if !errIsNotFound(err) {
+					stats.Skipped++
+					continue
+				}
+			}
+			stats.Shares++
+			stats.Bytes += shareSize
+		}
+		c.table.Drop(info.ID)
+	}
+	return stats, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lockedBuf is a goroutine-safe log sink.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestStructuredLogging(t *testing.T) {
+	env := newEnv(t, 5)
+	var sink lockedBuf
+	logger := slog.New(slog.NewTextHandler(&sink, nil))
+	c := env.client("alice", func(cfg *Config) { cfg.Logger = logger })
+
+	data := randData(90, 4_000)
+	if err := c.Put(bg, "doc", data); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sink.String(), "stored version") {
+		t.Fatalf("no store log line:\n%s", sink.String())
+	}
+	// Removal + download triggers migration logging.
+	var victim string
+	for name := range env.backends {
+		if len(c.ChunkTable().SharesOn(name)) > 0 {
+			victim = name
+			break
+		}
+	}
+	if err := c.RemoveCSP(bg, victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(bg, "doc"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sink.String(), "migrated share") {
+		t.Fatalf("no migration log line:\n%s", sink.String())
+	}
+}
+
+func TestNilLoggerIsSilentAndSafe(t *testing.T) {
+	env := newEnv(t, 4)
+	c := env.client("alice", nil) // Logger nil
+	if err := c.Put(bg, "doc", randData(91, 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(bg, "doc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityFallback(t *testing.T) {
+	// One provider has almost no space: share uploads that land there are
+	// rejected with ErrOverCapacity and must fall back to other providers.
+	env := newEnv(t, 5)
+	env.backends["cspa"].SetAvailable(true)
+	// Rebuild cspa as a capacity-limited backend is not possible in-place;
+	// instead use FailNext-style rejection by filling it: upload junk to
+	// consume... simpler: a dedicated env.
+	_ = env
+
+	// Dedicated world with one tiny provider.
+	tiny := newEnvWithCapacity(t, map[string]int64{"cspa": 64})
+	c := tiny.client("alice", nil)
+	data := randData(92, 8_000)
+	if err := c.Put(bg, "doc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Get(bg, "doc")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip with capacity-starved provider: %v", err)
+	}
+}

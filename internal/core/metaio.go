@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/csp"
+	"repro/internal/erasure"
+	"repro/internal/metadata"
+)
+
+// Metadata records are secret-shared with (MetaT, m) across all active
+// CSPs (the paper stores metadata pieces at *all* CSPs so that clients can
+// always find them — footnote 3). Each share is one object named
+//
+//	cyrus-meta-<versionID>.s<index>
+//
+// The erasure coder's evaluation points are prefix-stable in n, so shares
+// decode with any n ≥ max index: readers need not know how many CSPs
+// existed at write time.
+
+// metaShareName builds the object name of one metadata share.
+func metaShareName(versionID string, index int) string {
+	return fmt.Sprintf("%s%s.s%d", metadata.MetaPrefix, versionID, index)
+}
+
+// parseMetaShareName splits an object name into version ID and share index.
+func parseMetaShareName(obj string) (versionID string, index int, ok bool) {
+	if !strings.HasPrefix(obj, metadata.MetaPrefix) {
+		return "", 0, false
+	}
+	rest := obj[len(metadata.MetaPrefix):]
+	dot := strings.LastIndex(rest, ".s")
+	if dot <= 0 {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(rest[dot+2:])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return rest[:dot], idx, true
+}
+
+// metaTargets returns the metadata CSP set: every active provider, sorted
+// so all clients agree on share indices.
+func (c *Client) metaTargets() []string {
+	return c.CSPs()
+}
+
+// uploadMeta scatters one metadata record. It succeeds when at least
+// MetaT shares are stored (the record is then recoverable); per-CSP
+// failures are fed to the estimator.
+func (c *Client) uploadMeta(ctx context.Context, m *metadata.FileMeta) error {
+	data, err := metadata.Encode(m)
+	if err != nil {
+		return err
+	}
+	targets := c.metaTargets()
+	if len(targets) == 0 {
+		return fmt.Errorf("%w: no providers for metadata", ErrNotEnoughCSP)
+	}
+	t := c.cfg.MetaT
+	if t > len(targets) {
+		t = len(targets)
+	}
+	shares, err := c.coder.Encode(data, t, len(targets))
+	if err != nil {
+		return err
+	}
+	vid := m.VersionID()
+
+	var mu sync.Mutex
+	succeeded := 0
+	var firstErr error
+	g := c.rt.NewGroup()
+	for i, target := range targets {
+		i, target := i, target
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			store, ok := c.store(target)
+			if !ok {
+				return
+			}
+			err := store.Upload(ctx, metaShareName(vid, i), shares[i].Data)
+			c.recordResult(target, err)
+			c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: shares[i].Size(), Err: err})
+			mu.Lock()
+			if err == nil {
+				succeeded++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+	if succeeded < t {
+		return fmt.Errorf("cyrus: metadata for %q stored on %d of %d providers (need %d): %w",
+			m.File.Name, succeeded, len(targets), t, firstErr)
+	}
+	return nil
+}
+
+// listMetaShares lists the metadata prefix on every reachable provider and
+// returns versionID -> share index -> providers holding that share, plus
+// the non-share objects under the prefix (the CSP status list) as
+// object name -> providers listing it.
+func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]string, map[string][]string, error) {
+	c.mu.Lock()
+	var names []string
+	for name := range c.stores {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+
+	type listResult struct {
+		csp   string
+		infos []csp.ObjectInfo
+		err   error
+	}
+	results := make([]listResult, len(names))
+	g := c.rt.NewGroup()
+	for i, name := range names {
+		i, name := i, name
+		if c.est.Down(name) {
+			continue
+		}
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			store, ok := c.store(name)
+			if !ok {
+				return
+			}
+			infos, err := store.List(ctx, metadata.MetaPrefix)
+			c.recordResult(name, err)
+			results[i] = listResult{csp: name, infos: infos, err: err}
+		})
+	}
+	g.Wait()
+
+	out := make(map[string]map[int][]string)
+	extras := make(map[string][]string)
+	reachable := 0
+	for _, r := range results {
+		if r.csp == "" || r.err != nil {
+			continue
+		}
+		reachable++
+		for _, info := range r.infos {
+			vid, idx, ok := parseMetaShareName(info.Name)
+			if !ok {
+				extras[info.Name] = append(extras[info.Name], r.csp)
+				continue
+			}
+			if out[vid] == nil {
+				out[vid] = make(map[int][]string)
+			}
+			out[vid][idx] = append(out[vid][idx], r.csp)
+		}
+	}
+	if reachable == 0 {
+		return nil, nil, fmt.Errorf("%w: no provider reachable for metadata listing", csp.ErrUnavailable)
+	}
+	return out, extras, nil
+}
+
+// fetchMeta downloads and decodes one metadata record given its share
+// locations. Shares with distinct indices are fetched until MetaT decode
+// succeeds; corrupt or missing shares trigger alternates.
+func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]string) (*metadata.FileMeta, error) {
+	// Flatten candidate (index, csp) pairs, one per distinct index first.
+	idxs := make([]int, 0, len(locs))
+	for idx := range locs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+
+	var shares []erasure.Share
+	var lastErr error
+	for _, idx := range idxs {
+		if len(shares) >= c.cfg.MetaT {
+			break
+		}
+		var data []byte
+		for _, provider := range locs[idx] {
+			store, ok := c.store(provider)
+			if !ok || c.est.Down(provider) {
+				continue
+			}
+			d, err := store.Download(ctx, metaShareName(vid, idx))
+			c.recordResult(provider, err)
+			c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: int64(len(d)), Err: err})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			data = d
+			break
+		}
+		if data != nil {
+			shares = append(shares, erasure.Share{Index: idx, Data: data})
+		}
+	}
+	if len(shares) < c.cfg.MetaT {
+		return nil, fmt.Errorf("%w: metadata %s: %d of %d shares (last error: %v)",
+			ErrDamaged, vid, len(shares), c.cfg.MetaT, lastErr)
+	}
+	blob, err := c.coder.Decode(shares, erasure.MaxN)
+	if err != nil {
+		return nil, fmt.Errorf("cyrus: decode metadata %s: %w", vid, err)
+	}
+	m, err := metadata.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("cyrus: parse metadata %s: %w", vid, err)
+	}
+	if m.VersionID() != vid {
+		return nil, fmt.Errorf("%w: metadata %s decodes to version %s", ErrDamaged, vid, m.VersionID())
+	}
+	return m, nil
+}
+
+// absorb inserts a fetched record into the local replica, updating the
+// chunk table exactly once per new record.
+func (c *Client) absorb(m *metadata.FileMeta) error {
+	added, err := c.tree.Insert(m)
+	if err != nil {
+		return err
+	}
+	if !added {
+		return nil
+	}
+	for _, chunk := range m.Chunks {
+		c.table.AddRef(chunk, m.SharesOf(chunk.ID))
+	}
+	return nil
+}
+
+// errIsNotFound reports a missing-object error (vs provider failure).
+func errIsNotFound(err error) bool { return errors.Is(err, csp.ErrNotFound) }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/metadata"
+)
+
+// migrateStaleShares implements lazy share migration (paper §5.5,
+// Figure 9): after a download decodes a chunk, any of its shares living on
+// a removed or failed provider is re-derived from the plaintext chunk and
+// uploaded to a provider not already holding one of the chunk's shares.
+// The global chunk table is updated so subsequent downloads — and the next
+// metadata version of any file containing the chunk — use the new location.
+//
+// Migration is best-effort: failures leave the old location in place (the
+// chunk remains readable through its surviving shares) and will be retried
+// on the next download.
+func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[string]metadata.ChunkRef, locs map[string]map[int]string, chunkData map[string][]byte) {
+	type moveJob struct {
+		ref    metadata.ChunkRef
+		index  int
+		target string
+	}
+	var jobs []moveJob
+	for id, ref := range refs {
+		data := chunkData[id]
+		if data == nil {
+			continue
+		}
+		var stale []int
+		holding := make(map[string]bool)
+		for idx, cspName := range locs[id] {
+			if c.shareLocationStale(cspName) {
+				stale = append(stale, idx)
+			} else {
+				holding[cspName] = true
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		// Candidate targets: ring order for this chunk, skipping providers
+		// that already hold one of its shares.
+		prefs, err := c.placementOrder(id)
+		if err != nil {
+			continue
+		}
+		pi := 0
+		for _, idx := range stale {
+			for pi < len(prefs) && holding[prefs[pi]] {
+				pi++
+			}
+			if pi == len(prefs) {
+				break // nowhere to put it; keep the stale location
+			}
+			target := prefs[pi]
+			pi++
+			holding[target] = true
+			jobs = append(jobs, moveJob{ref: ref, index: idx, target: target})
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+
+	var mu sync.Mutex
+	g := c.rt.NewGroup()
+	for _, j := range jobs {
+		j := j
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			shares, err := c.coder.Encode(chunkData[j.ref.ID], j.ref.T, j.ref.N)
+			if err != nil {
+				return
+			}
+			store, ok := c.store(j.target)
+			if !ok {
+				return
+			}
+			name := c.shareName(j.ref.ID, j.index, j.ref.T)
+			err = store.Upload(ctx, name, shares[j.index].Data)
+			c.recordResult(j.target, err)
+			c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: j.ref.ID, Index: j.index, CSP: j.target, Bytes: shares[j.index].Size(), Err: err})
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			c.table.MoveShare(j.ref.ID, j.index, j.target)
+			mu.Unlock()
+			c.logf("migrated share", "chunk", j.ref.ID[:8], "index", j.index, "to", j.target)
+		})
+	}
+	g.Wait()
+}
+
+// shareLocationStale reports whether shares should move off a provider:
+// it was removed by the user, it vanished, or it is counted as failed.
+func (c *Client) shareLocationStale(name string) bool {
+	c.mu.Lock()
+	_, present := c.stores[name]
+	removed := c.removed[name]
+	c.mu.Unlock()
+	return !present || removed || c.est.Down(name)
+}

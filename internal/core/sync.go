@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/metadata"
+)
+
+// Sync brings the local metadata replica up to date: it lists the metadata
+// prefix on the reachable providers, downloads every record the local tree
+// lacks, and merges them (paper §5.4: "changes at CSPs can be seen by
+// looking up the list of metadata files stored in the cloud, since a new
+// metadata file is created with each file upload").
+//
+// Sync returns the number of newly absorbed records. Individual record
+// failures do not abort the sync; the first such error is returned
+// alongside the count.
+func (c *Client) Sync(ctx context.Context) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	locs, extras, err := c.listMetaShares(ctx)
+	if err != nil {
+		return 0, err
+	}
+	// Apply any newer CSP status list before deciding placements.
+	c.syncCSPList(ctx, extras)
+	vids := make([]string, 0, len(locs))
+	for vid := range locs {
+		vids = append(vids, vid)
+	}
+	missing := c.tree.Missing(vids)
+	if len(missing) == 0 {
+		return 0, nil
+	}
+
+	var mu sync.Mutex
+	absorbed := 0
+	var firstErr error
+	g := c.rt.NewGroup()
+	for _, vid := range missing {
+		vid := vid
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			m, err := c.fetchMeta(ctx, vid, locs[vid])
+			if err == nil {
+				err = c.absorb(m)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			absorbed++
+		})
+	}
+	g.Wait()
+	return absorbed, firstErr
+}
+
+// Recover rebuilds the client's state purely from the cloud — the paper's
+// s' = recover(s). It resyncs the metadata tree and reconstructs the global
+// chunk table from every known record, so a fresh device with only the key
+// and the provider accounts converges to the full cloud state.
+func (c *Client) Recover(ctx context.Context) error {
+	if _, err := c.Sync(ctx); err != nil {
+		return fmt.Errorf("cyrus: recover: %w", err)
+	}
+	c.table.Rebuild(c.tree.All())
+	return nil
+}
+
+// Conflicts returns the currently detected file conflicts (both types of
+// Figure 8), after a best-effort sync.
+func (c *Client) Conflicts(ctx context.Context) []ConflictInfo {
+	_, _ = c.Sync(ctx)
+	raw := c.tree.Conflicts()
+	out := make([]ConflictInfo, 0, len(raw))
+	for _, cf := range raw {
+		info := ConflictInfo{Name: cf.Name, Type: cf.Type.String()}
+		for _, vid := range cf.Versions {
+			if m, err := c.tree.Get(vid); err == nil {
+				info.Versions = append(info.Versions, FileInfo{
+					Name:      m.File.Name,
+					Size:      m.File.Size,
+					Modified:  m.File.Modified,
+					VersionID: vid,
+					Deleted:   m.File.Deleted,
+				})
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ConflictInfo is a user-facing conflict description.
+type ConflictInfo struct {
+	Name     string
+	Type     string
+	Versions []FileInfo
+}
+
+// Resolve settles a conflict by designating a winning version: every other
+// competing leaf is superseded by a deletion marker, so all replicas
+// converge on the winner (the paper lets clients upload conflicting files
+// and "prompts users to resolve them"; this is the resolution primitive).
+// The loser versions remain in history and stay recoverable.
+func (c *Client) Resolve(ctx context.Context, name, winnerVersionID string) error {
+	winner, err := c.tree.Get(winnerVersionID)
+	if err != nil {
+		return err
+	}
+	if winner.File.Name != name {
+		return fmt.Errorf("cyrus: version %s belongs to %q, not %q", winnerVersionID, winner.File.Name, name)
+	}
+	for _, cf := range c.tree.Conflicts() {
+		if cf.Name != name {
+			continue
+		}
+		for _, vid := range cf.Versions {
+			if vid == winnerVersionID {
+				continue
+			}
+			loser, err := c.tree.Get(vid)
+			if err != nil || loser.File.Deleted {
+				continue
+			}
+			if err := c.supersede(ctx, loser); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// supersede appends a deletion marker on top of the given version.
+func (c *Client) supersede(ctx context.Context, m *metadata.FileMeta) error {
+	del := newDeletionMarker(m, c.cfg.ClientID, c.rt.Now())
+	if err := c.uploadMeta(ctx, del); err != nil {
+		return err
+	}
+	return c.absorb(del)
+}

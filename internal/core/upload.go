@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/metadata"
+)
+
+// Put uploads a file — put(s, f), Algorithm 2.
+//
+// The metadata tree is synced so the new version chains onto the correct
+// parent; the file is chunked; chunks already in the cloud are deduplicated
+// against the global chunk table; new chunks are (t, n)-encoded and their
+// shares scattered in parallel to CSPs picked by consistent hashing under
+// the platform-cluster constraint. Only after every share upload returns is
+// the metadata record itself uploaded, so no other client can observe a
+// version whose shares are not fully stored.
+func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("cyrus: empty file name")
+	}
+	// Step 1-2: refresh the tree, find the parent version. Sync failures
+	// are tolerated — conflicts, if any, are detected after the fact.
+	_, _ = c.Sync(ctx)
+
+	prevID := ""
+	if head, _, err := c.tree.Head(name); err == nil {
+		if !head.File.Deleted && head.File.ID == metadata.HashData(data) {
+			return nil // unchanged content: no new version
+		}
+		prevID = head.VersionID()
+	}
+
+	// Step 3: content-defined chunking.
+	chunks := c.chunk.Split(data)
+
+	t, n, err := c.shareParams()
+	if err != nil {
+		return err
+	}
+
+	meta := &metadata.FileMeta{
+		File: metadata.FileMap{
+			ID:       metadata.HashData(data),
+			PrevID:   prevID,
+			ClientID: c.cfg.ClientID,
+			Name:     name,
+			Modified: c.rt.Now(),
+			Size:     int64(len(data)),
+		},
+	}
+
+	// Steps 4-5: deduplicate and scatter. Unique new chunks upload in
+	// parallel; chunks already stored (by any client) are referenced.
+	type job struct {
+		ref  metadata.ChunkRef
+		data []byte
+	}
+	var jobs []job
+	seenInFile := make(map[string]bool)
+	for _, ch := range chunks {
+		id := metadata.HashData(ch.Data)
+		if info, ok := c.table.Lookup(id); ok {
+			// Stored in the cloud: reuse its parameters and locations.
+			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N}
+			meta.Chunks = append(meta.Chunks, ref)
+			if !seenInFile[id] {
+				for idx, cspName := range info.Shares {
+					meta.Shares = append(meta.Shares, metadata.ShareLoc{ChunkID: id, Index: idx, CSP: cspName})
+				}
+				seenInFile[id] = true
+			}
+			continue
+		}
+		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n}
+		meta.Chunks = append(meta.Chunks, ref)
+		if seenInFile[id] {
+			continue // duplicate chunk within this very file: upload once
+		}
+		seenInFile[id] = true
+		jobs = append(jobs, job{ref: ref, data: ch.Data})
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	locsByChunk := make(map[string][]metadata.ShareLoc, len(jobs))
+	g := c.rt.NewGroup()
+	for _, j := range jobs {
+		j := j
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			locs, err := c.scatterChunk(ctx, name, j.ref, j.data)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			locsByChunk[j.ref.ID] = locs
+		})
+	}
+	g.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, j := range jobs {
+		meta.Shares = append(meta.Shares, locsByChunk[j.ref.ID]...)
+	}
+
+	// Step 6 (Algorithm 2 line 10): metadata goes up only after all chunk
+	// uploads completed.
+	if err := c.uploadMeta(ctx, meta); err != nil {
+		return err
+	}
+	if err := c.absorb(meta); err != nil {
+		return err
+	}
+	c.logf("stored version", "file", name, "version", meta.VersionID()[:8],
+		"bytes", len(data), "chunks", len(meta.Chunks), "newChunks", len(jobs))
+	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: int64(len(data))})
+	return nil
+}
+
+// scatterChunk encodes one chunk and uploads its n shares to n distinct
+// CSPs (at most one per platform cluster) chosen by consistent hashing on
+// the chunk ID. CSPs that fail are replaced by the next candidates on the
+// ring; the upload fails only when fewer than n providers accept shares.
+func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.ChunkRef, data []byte) ([]metadata.ShareLoc, error) {
+	// Full preference order: every eligible CSP, cluster-constrained,
+	// starting at the chunk's ring position.
+	prefs, err := c.placementOrder(ref.ID)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefs) < ref.N {
+		return nil, fmt.Errorf("%w: %d providers for %d shares of chunk %s", ErrNotEnoughCSP, len(prefs), ref.N, ref.ID[:8])
+	}
+	shares, err := c.coder.Encode(data, ref.T, ref.N)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	next := ref.N // cursor into prefs for fallback targets
+	locs := make([]metadata.ShareLoc, 0, ref.N)
+	var firstErr error
+
+	g := c.rt.NewGroup()
+	for i := 0; i < ref.N; i++ {
+		i := i
+		target := prefs[i]
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			shareObj := c.shareName(ref.ID, i, ref.T)
+			cur := target
+			for {
+				store, ok := c.store(cur)
+				var err error
+				if !ok {
+					err = fmt.Errorf("cyrus: provider %q vanished", cur)
+				} else {
+					err = store.Upload(ctx, shareObj, shares[i].Data)
+					c.recordResult(cur, err)
+				}
+				c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: ref.ID, Index: i, CSP: cur, Bytes: shares[i].Size(), Err: err})
+				if err == nil {
+					mu.Lock()
+					locs = append(locs, metadata.ShareLoc{ChunkID: ref.ID, Index: i, CSP: cur})
+					mu.Unlock()
+					return
+				}
+				if ctxErr(ctx) != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ctx.Err()
+					}
+					mu.Unlock()
+					return
+				}
+				// Fall back to the next candidate on the ring.
+				mu.Lock()
+				if next < len(prefs) {
+					cur = prefs[next]
+					next++
+					mu.Unlock()
+					continue
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cyrus: share %d of chunk %s: no provider accepted it: %w", i, ref.ID[:8], err)
+				}
+				mu.Unlock()
+				return
+			}
+		})
+	}
+	g.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(locs) != ref.N {
+		return nil, fmt.Errorf("cyrus: chunk %s: stored %d of %d shares", ref.ID[:8], len(locs), ref.N)
+	}
+	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID})
+	return locs, nil
+}
+
+// placementOrder returns every active CSP in ring order starting at the
+// chunk's position, cluster-constrained when clustering is configured.
+func (c *Client) placementOrder(chunkID string) ([]string, error) {
+	max := c.clusterCount()
+	if max == 0 {
+		return nil, ErrNotEnoughCSP
+	}
+	if c.cfg.ClusterOf != nil {
+		prefs, err := c.ring.SelectClustered(chunkID, max, c.cfg.ClusterOf)
+		if err != nil && len(prefs) == 0 {
+			return nil, err
+		}
+		return prefs, nil
+	}
+	prefs, err := c.ring.SelectN(chunkID, max)
+	if err != nil && len(prefs) == 0 {
+		return nil, err
+	}
+	return prefs, nil
+}

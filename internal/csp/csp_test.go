@@ -1,0 +1,109 @@
+package csp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRegistryShape(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d providers, Table 2 lists 20", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, p := range reg {
+		if p.Name == "" {
+			t.Fatal("provider with empty name")
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate provider %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.RTT <= 0 {
+			t.Errorf("%s: non-positive RTT", p.Name)
+		}
+		if p.Throughput <= 0 {
+			t.Errorf("%s: non-positive throughput", p.Name)
+		}
+	}
+}
+
+func TestRegistryIsACopy(t *testing.T) {
+	a := Registry()
+	a[0].Name = "mutated"
+	b := Registry()
+	if b[0].Name == "mutated" {
+		t.Fatal("Registry exposes internal storage")
+	}
+}
+
+func TestAmazonHostedCount(t *testing.T) {
+	// Table 2 marks exactly five CSPs with Amazon destination IPs.
+	m := PlatformMap()
+	amazon := 0
+	for _, plat := range m {
+		if plat == "amazon" {
+			amazon++
+		}
+	}
+	if amazon != 5 {
+		t.Fatalf("platform map has %d amazon-hosted CSPs, want 5", amazon)
+	}
+}
+
+func TestLookupProfile(t *testing.T) {
+	p, err := LookupProfile("dropbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RTT != 137*time.Millisecond || p.Auth != AuthOAuth2 {
+		t.Fatalf("dropbox profile = %+v", p)
+	}
+	if _, err := LookupProfile("nonexistent"); err == nil {
+		t.Fatal("lookup of unknown provider succeeded")
+	}
+}
+
+func TestEstimateThroughputMatchesTable2(t *testing.T) {
+	// The throughput column must be reproducible from the RTT column with
+	// the caption's model (65,535 B window). Allow 1% per-row tolerance for
+	// the paper's rounding.
+	for _, p := range Registry() {
+		got := EstimateThroughputMbps(p.RTT)
+		if rel := math.Abs(got-p.Throughput) / p.Throughput; rel > 0.01 {
+			t.Errorf("%s: model gives %.3f Mbps, table says %.3f (rel err %.3f)",
+				p.Name, got, p.Throughput, rel)
+		}
+	}
+	if EstimateThroughputMbps(0) != 0 {
+		t.Error("zero RTT should give zero estimate")
+	}
+}
+
+func TestThroughputBps(t *testing.T) {
+	p := Profile{Throughput: 8} // 8 Mbps = 1e6 B/s
+	if got := p.ThroughputBps(); math.Abs(got-1e6) > 1e-9 {
+		t.Fatalf("ThroughputBps = %g, want 1e6", got)
+	}
+}
+
+func TestFastestProviderIsGoogleDrive(t *testing.T) {
+	// Sanity anchor used by several experiments: Google Drive has the
+	// lowest RTT (71 ms) in Table 2.
+	best := Registry()[0]
+	for _, p := range Registry() {
+		if p.RTT < best.RTT {
+			best = p
+		}
+	}
+	if best.Name != "google-drive" {
+		t.Fatalf("fastest provider = %s, want google-drive", best.Name)
+	}
+}
+
+func TestObjectIdentityString(t *testing.T) {
+	if NameKeyed.String() != "name-keyed" || IDKeyed.String() != "id-keyed" {
+		t.Fatal("ObjectIdentity string forms changed")
+	}
+}

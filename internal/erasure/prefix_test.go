@@ -1,0 +1,77 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPrefixStableDispersal verifies the property CYRUS's metadata layer
+// depends on (internal/core stores metadata shares at "all CSPs" and
+// decodes them without knowing how many CSPs existed at write time): the
+// coder's evaluation points form a deterministic stream, so share i's
+// bytes are identical for every n > i, and any shares decode with
+// n = MaxN.
+func TestPrefixStableDispersal(t *testing.T) {
+	c := NewCoder("prefix-key")
+	data := bytes.Repeat([]byte("stability matters "), 64)
+	const tt = 3
+
+	base, err := c.Encode(data, tt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 7, 12, MaxN} {
+		wide, err := c.Encode(data, tt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if !bytes.Equal(base[i].Data, wide[i].Data) {
+				t.Fatalf("share %d differs between n=4 and n=%d", i, n)
+			}
+		}
+	}
+
+	// Shares produced under n=4 decode when the reader assumes MaxN.
+	got, err := c.Decode(base[1:], MaxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode with larger n mismatched")
+	}
+
+	// And mixing shares produced under different n values still decodes —
+	// they are literally the same code.
+	narrow, _ := c.Encode(data, tt, 4)
+	wide, _ := c.Encode(data, tt, 9)
+	mixed := []Share{narrow[0], wide[5], wide[8]}
+	got, err = c.Decode(mixed, MaxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mixed-n decode mismatched")
+	}
+}
+
+// TestDispersalMatrixPrefixRows checks the same property at the matrix
+// level: Dispersal(t, n) is a row-prefix of Dispersal(t, m) for n < m.
+func TestDispersalMatrixPrefixRows(t *testing.T) {
+	c := NewCoder("matrix-prefix")
+	small, err := c.Dispersal(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.Dispersal(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < small.Rows; r++ {
+		for col := 0; col < small.Cols; col++ {
+			if small.At(r, col) != big.At(r, col) {
+				t.Fatalf("dispersal row %d differs between n=6 and n=20", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/selector"
+	"repro/internal/workload"
+)
+
+// TestbedConfig parameterizes the §7.2 testbed experiments.
+type TestbedConfig struct {
+	// Scale shrinks the Table-4 dataset (1.0 = the full 638 MB). Default
+	// 0.1; figure shapes are scale-invariant because bandwidth is fixed.
+	Scale float64
+	Seed  int64
+}
+
+func (c *TestbedConfig) defaults() {
+	if c.Scale == 0 {
+		c.Scale = 0.1
+	}
+}
+
+// shareConfig is one (t, n) setting evaluated in the testbed.
+type shareConfig struct{ t, n int }
+
+var testbedConfigs = []shareConfig{{2, 3}, {2, 4}, {3, 4}}
+
+// selectorByName builds the three download policies of Figure 14.
+func selectorByName(name string, seed int64) selector.Selector {
+	switch name {
+	case "cyrus":
+		return selector.Optimized{}
+	case "random":
+		return selector.Random{Seed: seed}
+	case "heuristic":
+		return selector.RoundRobin{}
+	}
+	panic("experiments: unknown selector " + name)
+}
+
+// testbedRun holds one (t, n) testbed pass: per-file upload times with the
+// CYRUS uploader and per-file download times per selection policy.
+type testbedRun struct {
+	cfg           shareConfig
+	fileBytes     []int64
+	uploadTimes   []float64
+	downloadTimes map[string][]float64 // selector -> per-file seconds
+}
+
+// runTestbed uploads the dataset once with (t, n) and then downloads every
+// file once per selection policy, all in virtual time.
+func runTestbed(sc shareConfig, cfg TestbedConfig, selectors []string) (*testbedRun, error) {
+	files, err := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	env := newSimEnv(netsim.NodeConfig{}, testbedClouds())
+	run := &testbedRun{cfg: sc, downloadTimes: make(map[string][]float64)}
+	for _, f := range files {
+		run.fileBytes = append(run.fileBytes, int64(len(f.Data)))
+	}
+
+	var runErr error
+	env.net.Run(func() {
+		uploader, err := env.newClient("uploader", sc.t, sc.n, testbedChunking(cfg.Scale), nil)
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, f := range files {
+			elapsed, err := env.timeOp(func() error { return uploader.Put(bg, f.Name, f.Data) })
+			if err != nil {
+				runErr = fmt.Errorf("upload %s: %w", f.Name, err)
+				return
+			}
+			run.uploadTimes = append(run.uploadTimes, elapsed)
+		}
+		for _, selName := range selectors {
+			dl, err := env.newClient("downloader-"+selName, sc.t, sc.n, testbedChunking(cfg.Scale), func(c *core.Config) {
+				c.Selector = selectorByName(selName, cfg.Seed+7)
+			})
+			if err != nil {
+				runErr = err
+				return
+			}
+			// Warm the metadata replica once so the per-file numbers
+			// measure data movement, not the initial tree sync.
+			if err := dl.Recover(bg); err != nil {
+				runErr = err
+				return
+			}
+			for _, f := range files {
+				elapsed, err := env.timeOp(func() error {
+					_, _, err := dl.Get(bg, f.Name)
+					return err
+				})
+				if err != nil {
+					runErr = fmt.Errorf("download %s with %s: %w", f.Name, selName, err)
+					return
+				}
+				run.downloadTimes[selName] = append(run.downloadTimes[selName], elapsed)
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return run, nil
+}
+
+// Figure14Result holds the download-policy comparison.
+type Figure14Result struct {
+	// MeanDownload[config][selector] is the mean per-file download
+	// completion time in seconds.
+	MeanDownload map[string]map[string]float64
+	// ThroughputBox[selector] summarizes per-file throughput (bytes/sec)
+	// for the (2,3) configuration — the paper's Figure 14b CDF.
+	ThroughputBox map[string]boxStats
+	Report        Report
+}
+
+// Figure14 compares random, heuristic (round-robin), and CYRUS downlink
+// selection across the three (t, n) configurations on the 4-fast/3-slow
+// testbed.
+func Figure14(cfg TestbedConfig) (Figure14Result, error) {
+	cfg.defaults()
+	selectors := []string{"random", "heuristic", "cyrus"}
+	res := Figure14Result{
+		MeanDownload:  make(map[string]map[string]float64),
+		ThroughputBox: make(map[string]boxStats),
+	}
+	r := Report{
+		ID:      "fig14",
+		Title:   "Testbed download performance of random, heuristic, and CYRUS cloud selection",
+		Columns: []string{"(t,n)", "selector", "mean completion", "total completion"},
+		Notes: []string{
+			"paper: CYRUS shortest for all configurations, random longest; (3,4) especially short for CYRUS",
+			fmt.Sprintf("dataset scale %g", cfg.Scale),
+		},
+	}
+	for _, sc := range testbedConfigs {
+		run, err := runTestbed(sc, cfg, selectors)
+		if err != nil {
+			return res, err
+		}
+		key := fmt.Sprintf("(%d,%d)", sc.t, sc.n)
+		res.MeanDownload[key] = make(map[string]float64)
+		for _, selName := range selectors {
+			times := run.downloadTimes[selName]
+			res.MeanDownload[key][selName] = mean(times)
+			r.Rows = append(r.Rows, []string{key, selName, secs(mean(times)), secs(total(times))})
+			if sc.t == 2 && sc.n == 3 {
+				tput := make([]float64, len(times))
+				for i := range times {
+					tput[i] = float64(run.fileBytes[i]) / times[i]
+				}
+				res.ThroughputBox[selName] = computeBox(tput)
+			}
+		}
+	}
+	r.Notes = append(r.Notes, "throughput distribution (2,3) [min q1 median q3 max]:")
+	for _, selName := range selectors {
+		b := res.ThroughputBox[selName]
+		r.Notes = append(r.Notes, fmt.Sprintf("  %-9s %s %s %s %s %s", selName,
+			mbps(b.Min), mbps(b.Q1), mbps(b.Median), mbps(b.Q3), mbps(b.Max)))
+	}
+	res.Report = r
+	return res, nil
+}
+
+// Figure15Result holds cumulative completion times per configuration.
+type Figure15Result struct {
+	// CumulativeUpload/Download[config] is the total time to move the
+	// whole dataset with CYRUS selection.
+	CumulativeUpload   map[string]float64
+	CumulativeDownload map[string]float64
+	Report             Report
+}
+
+// Figure15 measures cumulative upload and download completion times of the
+// whole dataset for each privacy/reliability configuration.
+func Figure15(cfg TestbedConfig) (Figure15Result, error) {
+	cfg.defaults()
+	res := Figure15Result{
+		CumulativeUpload:   make(map[string]float64),
+		CumulativeDownload: make(map[string]float64),
+	}
+	r := Report{
+		ID:      "fig15",
+		Title:   "Testbed cumulative completion times of privacy/reliability configurations",
+		Columns: []string{"(t,n)", "cumulative upload", "cumulative download"},
+		Notes: []string{
+			"paper: (3,4) consistently shortest (smaller shares), especially for uploads; (2,4) uploads slightly slower than (2,3) (one more share, including the slowest clouds)",
+			fmt.Sprintf("dataset scale %g", cfg.Scale),
+		},
+	}
+	for _, sc := range testbedConfigs {
+		run, err := runTestbed(sc, cfg, []string{"cyrus"})
+		if err != nil {
+			return res, err
+		}
+		key := fmt.Sprintf("(%d,%d)", sc.t, sc.n)
+		res.CumulativeUpload[key] = total(run.uploadTimes)
+		res.CumulativeDownload[key] = total(run.downloadTimes["cyrus"])
+		r.Rows = append(r.Rows, []string{key, secs(res.CumulativeUpload[key]), secs(res.CumulativeDownload[key])})
+	}
+	res.Report = r
+	return res, nil
+}

@@ -1,0 +1,186 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by most
+// Reed-Solomon implementations. Multiplication and division are table
+// driven: exp/log tables are built once at package init.
+//
+// This package is the arithmetic substrate for the non-systematic
+// Reed-Solomon secret sharing in internal/erasure.
+package gf256
+
+import "fmt"
+
+// Poly is the primitive polynomial generating the field, with the x^8 term
+// included (0x11D = x^8 + x^4 + x^3 + x^2 + 1).
+const Poly = 0x11D
+
+// Generator is the primitive element used to build the exp/log tables.
+const Generator = 0x02
+
+var (
+	expTable [512]byte // doubled so Mul can skip one modulo reduction
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Sub is identical to Add.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8), which equals Add(a, b).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns Generator^e for e >= 0.
+func Exp(e int) byte {
+	return expTable[e%255]
+}
+
+// Log returns the discrete logarithm of a base Generator. It panics if
+// a == 0, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: zero has no logarithm")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^e in GF(2^8) for e >= 0. Pow(0, 0) is defined as 1.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*e)%255]
+}
+
+// nibbleTables[c] holds the split multiplication tables for multiplier c:
+// c*b = lo[b&0x0F] ^ hi[b>>4]. Splitting by nibble turns the slice kernels
+// into two table lookups and a XOR per byte, with no branches and no
+// log/exp index arithmetic — the standard erasure-coding fast path. The
+// full set is 256 multipliers x 32 bytes = 8 KiB, built once at init.
+var nibbleTables [256][2][16]byte
+
+func init() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			nibbleTables[c][0][x] = mulSlow(byte(c), byte(x))
+			nibbleTables[c][1][x] = mulSlow(byte(c), byte(x<<4))
+		}
+	}
+}
+
+// mulSlow is table-free multiplication used only to build tables.
+func mulSlow(a, b byte) byte {
+	var p int
+	ai := int(a)
+	for i := 0; i < 8; i++ {
+		if b&(1<<i) != 0 {
+			p ^= ai << i
+		}
+	}
+	for i := 15; i >= 8; i-- {
+		if p&(1<<i) != 0 {
+			p ^= Poly << (i - 8)
+		}
+	}
+	return byte(p)
+}
+
+// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have equal
+// length; they may alias.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lo := &nibbleTables[c][0]
+	hi := &nibbleTables[c][1]
+	for i, s := range src {
+		dst[i] = lo[s&0x0F] ^ hi[s>>4]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i: a fused
+// multiply-accumulate, the inner loop of Reed-Solomon encoding.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		return
+	}
+	lo := &nibbleTables[c][0]
+	hi := &nibbleTables[c][1]
+	for i, s := range src {
+		dst[i] ^= lo[s&0x0F] ^ hi[s>>4]
+	}
+}
+
+// DotProduct returns the inner product of a and b in GF(2^8).
+func DotProduct(a, b []byte) byte {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("gf256: DotProduct length mismatch %d != %d", len(a), len(b)))
+	}
+	var acc byte
+	for i := range a {
+		acc ^= Mul(a[i], b[i])
+	}
+	return acc
+}

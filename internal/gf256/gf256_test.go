@@ -1,0 +1,270 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0x53, 0xCA); got != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", got, 0x53^0xCA)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{7, 0, 0},
+		{1, 1, 1},
+		{1, 0xFF, 0xFF},
+		{2, 2, 4},
+		{2, 0x80, 0x1D},    // 0x100 reduced by 0x11D
+		{0x53, 0xCA, 0x8F}, // under 0x11D; (it is 0x01 under the AES polynomial 0x11B)
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulMatchesSchoolbook(t *testing.T) {
+	// Carry-less polynomial multiplication reduced mod Poly must match the
+	// table-driven Mul for every pair.
+	slow := func(a, b byte) byte {
+		var p int
+		ai := int(a)
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				p ^= ai << i
+			}
+		}
+		for i := 15; i >= 8; i-- {
+			if p&(1<<i) != 0 {
+				p ^= Poly << (i - 8)
+			}
+		}
+		return byte(p)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commutative := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("multiplication not commutative: %v", err)
+	}
+	associative := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("multiplication not associative: %v", err)
+	}
+	distributive := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(distributive, cfg); err != nil {
+		t.Errorf("multiplication does not distribute over addition: %v", err)
+	}
+	addInverse := func(a byte) bool { return Sub(a, a) == 0 }
+	if err := quick.Check(addInverse, cfg); err != nil {
+		t.Errorf("a - a != 0: %v", err)
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%#x) = %#x but a*inv = %#x", a, inv, Mul(byte(a), inv))
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1, %#x) != Inv(%#x)", a, a)
+		}
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) != %#x", a, a)
+		}
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	// Generator must have multiplicative order 255: its powers enumerate all
+	// non-zero field elements.
+	seen := make(map[byte]bool)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator power repeats at exponent %d", i)
+		}
+		seen[x] = true
+		x = Mul(x, Generator)
+	}
+	if x != 1 {
+		t.Fatalf("generator^255 = %#x, want 1", x)
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator cycle covers %d elements, want 255", len(seen))
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Errorf("Pow(0, 0) = %d, want 1", Pow(0, 0))
+	}
+	if Pow(0, 5) != 0 {
+		t.Errorf("Pow(0, 5) = %d, want 0", Pow(0, 5))
+	}
+	f := func(a byte, e uint8) bool {
+		want := byte(1)
+		for i := 0; i < int(e); i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, int(e)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0x53, 0xFF}
+	dst := make([]byte, len(src))
+	MulSlice(0xCA, dst, src)
+	for i := range src {
+		if dst[i] != Mul(0xCA, src[i]) {
+			t.Fatalf("MulSlice[%d] = %#x, want %#x", i, dst[i], Mul(0xCA, src[i]))
+		}
+	}
+	// c == 0 zeroes dst.
+	MulSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("MulSlice(0) left non-zero at %d", i)
+		}
+	}
+	// c == 1 copies.
+	MulSlice(1, dst, src)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("MulSlice(1) did not copy at %d", i)
+		}
+	}
+	// Aliasing dst == src is allowed.
+	alias := []byte{3, 5, 7}
+	want := []byte{Mul(2, 3), Mul(2, 5), Mul(2, 7)}
+	MulSlice(2, alias, alias)
+	for i := range alias {
+		if alias[i] != want[i] {
+			t.Fatalf("aliased MulSlice[%d] = %#x, want %#x", i, alias[i], want[i])
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	dst := []byte{10, 20, 30, 40}
+	orig := append([]byte(nil), dst...)
+	MulAddSlice(7, dst, src)
+	for i := range dst {
+		want := orig[i] ^ Mul(7, src[i])
+		if dst[i] != want {
+			t.Fatalf("MulAddSlice[%d] = %#x, want %#x", i, dst[i], want)
+		}
+	}
+	// c == 0 is a no-op.
+	before := append([]byte(nil), dst...)
+	MulAddSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatalf("MulAddSlice(0) modified dst at %d", i)
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"DotProduct":  func() { DotProduct(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	want := Mul(1, 4) ^ Mul(2, 5) ^ Mul(3, 6)
+	if got := DotProduct(a, b); got != want {
+		t.Fatalf("DotProduct = %#x, want %#x", got, want)
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x57, dst, src)
+	}
+}

@@ -1,0 +1,201 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSingular is returned when a matrix that must be inverted has no
+// inverse, e.g. when a set of shares maps to linearly dependent rows of the
+// dispersal matrix.
+var ErrSingular = errors.New("gf256: matrix is singular")
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	data       []byte
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]byte, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices, which must all have the
+// same length. The rows are copied.
+func NewMatrixFromRows(rows [][]byte) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("gf256: empty matrix")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("gf256: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows x cols Vandermonde matrix whose row i is
+// [xs[i]^0, xs[i]^1, ..., xs[i]^(cols-1)]. Any cols distinct xs rows are
+// linearly independent, which is what makes the matrix usable as a
+// Reed-Solomon dispersal matrix. len(xs) must equal rows and the xs must be
+// pairwise distinct for the independence guarantee to hold (this is the
+// caller's responsibility; the constructor does not check).
+func Vandermonde(xs []byte, cols int) *Matrix {
+	m := NewMatrix(len(xs), cols)
+	for i, x := range xs {
+		row := m.Row(i)
+		row[0] = 1
+		for j := 1; j < cols; j++ {
+			row[j] = Mul(row[j-1], x)
+		}
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.Cols+c] = v }
+
+// Row returns row r as a mutable slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("gf256: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		prow := p.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			if mrow[k] != 0 {
+				MulAddSlice(mrow[k], prow, o.Row(k))
+			}
+		}
+	}
+	return p
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []byte) []byte {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("gf256: cannot multiply %dx%d by vector of length %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]byte, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = DotProduct(m.Row(i), v)
+	}
+	return out
+}
+
+// SubMatrix returns a copy of the matrix restricted to the given rows.
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	s := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(s.Row(i), m.Row(r))
+	}
+	return s
+}
+
+// Invert returns the inverse of the square matrix m using Gauss-Jordan
+// elimination with partial pivoting. It returns ErrSingular if m is not
+// invertible.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("gf256: cannot invert non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+
+	for col := 0; col < n; col++ {
+		// Find a pivot in or below row `col`.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row so the pivot element becomes 1.
+		if p := work.At(col, col); p != 1 {
+			ip := Inv(p)
+			MulSlice(ip, work.Row(col), work.Row(col))
+			MulSlice(ip, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				MulAddSlice(f, work.Row(r), work.Row(col))
+				MulAddSlice(f, inv.Row(r), inv.Row(col))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// String renders the matrix in hex, one row per line; useful in test
+// failures.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		fmt.Fprintf(&b, "% 02x\n", m.Row(i))
+	}
+	return b.String()
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

@@ -1,0 +1,200 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMul(t *testing.T) {
+	m := NewMatrixFromRows([][]byte{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	if got := m.Mul(Identity(3)); !got.Equal(m) {
+		t.Fatalf("m * I != m:\n%v", got)
+	}
+	if got := Identity(2).Mul(m); !got.Equal(m) {
+		t.Fatalf("I * m != m:\n%v", got)
+	}
+}
+
+func TestMulDimensionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestVandermondeStructure(t *testing.T) {
+	xs := []byte{1, 2, 3, 4}
+	v := Vandermonde(xs, 3)
+	for i, x := range xs {
+		if v.At(i, 0) != 1 {
+			t.Errorf("row %d col 0 = %#x, want 1", i, v.At(i, 0))
+		}
+		if v.At(i, 1) != x {
+			t.Errorf("row %d col 1 = %#x, want %#x", i, v.At(i, 1), x)
+		}
+		if v.At(i, 2) != Mul(x, x) {
+			t.Errorf("row %d col 2 = %#x, want %#x", i, v.At(i, 2), Mul(x, x))
+		}
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// Any t rows of a Vandermonde matrix with distinct xs must be
+	// invertible — the property that makes (t, n) decoding from any t shares
+	// possible.
+	xs := make([]byte, 8)
+	for i := range xs {
+		xs[i] = byte(i + 1)
+	}
+	v := Vandermonde(xs, 3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rows := rng.Perm(8)[:3]
+		sub := v.SubMatrix(rows)
+		inv, err := sub.Invert()
+		if err != nil {
+			t.Fatalf("submatrix rows %v not invertible: %v", rows, err)
+		}
+		if !sub.Mul(inv).Equal(Identity(3)) {
+			t.Fatalf("sub * inv != I for rows %v", rows)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrixFromRows([][]byte{
+		{1, 2},
+		{1, 2},
+	})
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("Invert(singular) err = %v, want ErrSingular", err)
+	}
+	z := NewMatrix(3, 3)
+	if _, err := z.Invert(); err != ErrSingular {
+		t.Fatalf("Invert(zero) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("Invert(non-square) did not error")
+	}
+}
+
+func TestInvertRandomQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, byte(rng.Intn(256)))
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			return true // singular random matrices are fine
+		}
+		return m.Mul(inv).Equal(Identity(n)) && inv.Mul(m).Equal(Identity(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMatrixMul(t *testing.T) {
+	m := NewMatrixFromRows([][]byte{
+		{1, 2, 3},
+		{4, 5, 6},
+		{9, 8, 7},
+	})
+	v := []byte{10, 20, 30}
+	got := m.MulVec(v)
+	col := NewMatrixFromRows([][]byte{{v[0]}, {v[1]}, {v[2]}})
+	want := m.Mul(col)
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %#x, want %#x", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := NewMatrixFromRows([][]byte{
+		{1, 2},
+		{3, 4},
+		{5, 6},
+	})
+	s := m.SubMatrix([]int{2, 0})
+	want := NewMatrixFromRows([][]byte{
+		{5, 6},
+		{1, 2},
+	})
+	if !s.Equal(want) {
+		t.Fatalf("SubMatrix = \n%v want \n%v", s, want)
+	}
+	// Mutating the submatrix must not affect the original.
+	s.Set(0, 0, 99)
+	if m.At(2, 0) != 5 {
+		t.Fatal("SubMatrix aliases parent storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(3)
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases parent storage")
+	}
+}
+
+func TestNewMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	NewMatrixFromRows([][]byte{{1, 2}, {3}})
+}
+
+func TestMatrixMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randM := func(r, c int) *Matrix {
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, byte(rng.Intn(256)))
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randM(3, 4), randM(4, 5), randM(5, 2)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if !left.Equal(right) {
+			t.Fatalf("matrix multiplication not associative (trial %d)", trial)
+		}
+	}
+}
+
+func BenchmarkInvert8x8(b *testing.B) {
+	xs := make([]byte, 8)
+	for i := range xs {
+		xs[i] = byte(i + 3)
+	}
+	v := Vandermonde(xs, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package hashring implements consistent hashing for CYRUS's uplink CSP
+// selection (paper §5.3).
+//
+// Chunk share placement maps the SHA-1 of the chunk content onto a ring
+// partitioned among CSPs via virtual nodes; the first n distinct CSPs
+// encountered clockwise receive the shares. Consistent hashing balances
+// stored data across CSPs and minimizes share reallocation when CSPs are
+// added or removed.
+//
+// The ring also supports cluster-constrained selection: when CSP platform
+// clusters are known (internal/topology), SelectClustered returns at most
+// one CSP per cluster, so correlated platform failures cannot take out two
+// shares of one chunk (paper §4.1).
+package hashring
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the default number of virtual nodes per CSP. Enough
+// for good balance across tens of CSPs while keeping the ring small.
+const DefaultReplicas = 128
+
+// Errors returned by selection.
+var (
+	ErrEmptyRing    = errors.New("hashring: ring has no nodes")
+	ErrNotEnough    = errors.New("hashring: not enough distinct nodes")
+	ErrDuplicate    = errors.New("hashring: node already present")
+	ErrUnknownNode  = errors.New("hashring: node not present")
+	ErrBadReplicas  = errors.New("hashring: replicas must be positive")
+	ErrNoneEligible = errors.New("hashring: no eligible nodes")
+)
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent hash ring over named nodes (CSP identifiers).
+// It is safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	vnodes   []vnode // sorted by hash
+	nodes    map[string]bool
+}
+
+// New returns an empty ring with the given number of virtual nodes per
+// member; replicas <= 0 selects DefaultReplicas.
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// hashKey maps an arbitrary string to a ring position.
+func hashKey(s string) uint64 {
+	sum := sha1.Sum([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node. It returns ErrDuplicate if the node is already a
+// member.
+func (r *Ring) Add(node string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return fmt.Errorf("%w: %q", ErrDuplicate, node)
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{hashKey(fmt.Sprintf("%s#%d", node, i)), node})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return nil
+}
+
+// Remove deletes a node. It returns ErrUnknownNode if absent.
+func (r *Ring) Remove(node string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	delete(r.nodes, node)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != node {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+	return nil
+}
+
+// Nodes returns the current members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Contains reports membership.
+func (r *Ring) Contains(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[node]
+}
+
+// SelectN returns the first n distinct nodes encountered walking the ring
+// clockwise from the position of key. The walk order is deterministic in
+// (ring membership, key).
+func (r *Ring) SelectN(key string, n int) ([]string, error) {
+	return r.selectFiltered(key, n, nil)
+}
+
+// SelectClustered is SelectN restricted to at most one node per cluster.
+// clusterOf maps a node to its platform cluster id; nodes missing from the
+// map are treated as singleton clusters.
+func (r *Ring) SelectClustered(key string, n int, clusterOf map[string]string) ([]string, error) {
+	seenCluster := make(map[string]bool)
+	accept := func(node string) bool {
+		c, ok := clusterOf[node]
+		if !ok {
+			c = "\x00singleton\x00" + node
+		}
+		if seenCluster[c] {
+			return false
+		}
+		seenCluster[c] = true
+		return true
+	}
+	return r.selectFiltered(key, n, accept)
+}
+
+// selectFiltered walks clockwise from the key position collecting distinct
+// nodes that pass accept (nil accepts everything).
+func (r *Ring) selectFiltered(key string, n int, accept func(string) bool) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hashring: select %d nodes", n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 {
+		return nil, ErrEmptyRing
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+
+	picked := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.vnodes); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if seen[v.node] {
+			continue
+		}
+		seen[v.node] = true
+		if accept != nil && !accept(v.node) {
+			continue
+		}
+		picked = append(picked, v.node)
+		if len(picked) == n {
+			return picked, nil
+		}
+	}
+	return picked, fmt.Errorf("%w: got %d of %d for key %q", ErrNotEnough, len(picked), n, key)
+}
+
+// Primary returns the single owner node for a key.
+func (r *Ring) Primary(key string) (string, error) {
+	nodes, err := r.SelectN(key, 1)
+	if err != nil {
+		return "", err
+	}
+	return nodes[0], nil
+}

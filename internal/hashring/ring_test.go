@@ -1,0 +1,221 @@
+package hashring
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func ringWith(t *testing.T, nodes ...string) *Ring {
+	t.Helper()
+	r := New(0)
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	r := ringWith(t, "a", "b")
+	if !r.Contains("a") || !r.Contains("b") || r.Contains("c") {
+		t.Fatal("membership wrong after Add")
+	}
+	if err := r.Add("a"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate Add err = %v", err)
+	}
+	if err := r.Remove("c"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Remove unknown err = %v", err)
+	}
+	if err := r.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains("a") || r.Len() != 1 {
+		t.Fatal("membership wrong after Remove")
+	}
+}
+
+func TestSelectNDistinctAndDeterministic(t *testing.T) {
+	r := ringWith(t, "a", "b", "c", "d", "e")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("chunk-%d", i)
+		got, err := r.SelectN(key, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate node %q", key, n)
+			}
+			seen[n] = true
+		}
+		again, err := r.SelectN(key, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != again[j] {
+				t.Fatalf("key %q: selection not deterministic", key)
+			}
+		}
+	}
+}
+
+func TestSelectNErrors(t *testing.T) {
+	empty := New(0)
+	if _, err := empty.SelectN("k", 1); !errors.Is(err, ErrEmptyRing) {
+		t.Fatalf("empty ring err = %v", err)
+	}
+	r := ringWith(t, "a", "b")
+	if _, err := r.SelectN("k", 3); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("too-many err = %v", err)
+	}
+	if _, err := r.SelectN("k", 0); err == nil {
+		t.Fatal("SelectN(0) did not error")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e", "f", "g"}
+	r := ringWith(t, nodes...)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		p, err := r.Primary(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	mean := float64(keys) / float64(len(nodes))
+	for n, c := range counts {
+		if float64(c) < 0.5*mean || float64(c) > 1.5*mean {
+			t.Errorf("node %q owns %d keys, mean %.0f — imbalanced", n, c, mean)
+		}
+	}
+}
+
+// TestMinimalRemap verifies consistent hashing's defining property: adding a
+// node moves only ~1/N of the keyspace; removing a node only remaps keys it
+// owned.
+func TestMinimalRemap(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := ringWith(t, nodes...)
+	const keys = 10000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		p, err := r.Primary(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[k] = p
+	}
+
+	if err := r.Add("f"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k, old := range before {
+		p, err := r.Primary(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != old {
+			if p != "f" {
+				t.Fatalf("key %q moved from %q to %q, not to the new node", k, old, p)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/6 of keys to move; tolerate 8%..28%.
+	if moved < keys*8/100 || moved > keys*28/100 {
+		t.Errorf("adding a node moved %d of %d keys; expected about %d", moved, keys, keys/6)
+	}
+
+	// Removal remaps only the removed node's keys.
+	if err := r.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	for k, old := range before {
+		p, err := r.Primary(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != old {
+			t.Fatalf("key %q changed owner (%q -> %q) after add+remove round trip", k, old, p)
+		}
+	}
+}
+
+func TestSelectClustered(t *testing.T) {
+	r := ringWith(t, "dropbox", "bitcasa", "s3", "gdrive", "box")
+	clusters := map[string]string{
+		"dropbox": "amazon",
+		"bitcasa": "amazon",
+		"s3":      "amazon",
+		"gdrive":  "google",
+		// box: unknown -> singleton
+	}
+	for i := 0; i < 200; i++ {
+		got, err := r.SelectClustered(fmt.Sprintf("c%d", i), 3, clusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			c, ok := clusters[n]
+			if !ok {
+				c = n
+			}
+			if seen[c] {
+				t.Fatalf("key c%d: two nodes from cluster %q in %v", i, c, got)
+			}
+			seen[c] = true
+		}
+	}
+	// Only 3 clusters exist (amazon, google, box): asking for 4 must fail.
+	if _, err := r.SelectClustered("k", 4, clusters); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("over-constrained selection err = %v", err)
+	}
+}
+
+func TestSelectClusteredPartialResultOnErr(t *testing.T) {
+	r := ringWith(t, "a", "b")
+	clusters := map[string]string{"a": "p", "b": "p"}
+	got, err := r.SelectClustered("k", 2, clusters)
+	if !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("partial result has %d nodes, want 1", len(got))
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := ringWith(t, "zeta", "alpha", "mid")
+	got := r.Nodes()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkSelectN(b *testing.B) {
+	r := New(0)
+	for i := 0; i < 20; i++ {
+		if err := r.Add(fmt.Sprintf("csp-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SelectN(fmt.Sprintf("chunk-%d", i), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i      for each constraint i
+//	            x ≥ 0
+//
+// It is the optimization substrate for CYRUS's downlink CSP selection
+// (internal/selector): the convexified relaxation of the paper's problem
+// (5)–(7) is solved as a sequence of LPs, and the per-chunk branch-and-bound
+// uses LP relaxations for bounding.
+//
+// The implementation uses the standard tableau method with Bland's rule for
+// anti-cycling. It is written for correctness and clarity on the small,
+// dense problems the selector produces (tens of variables), not for
+// large-scale sparse use.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // ≤
+	EQ           // =
+	GE           // ≥
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrBadProblem = errors.New("lp: malformed problem")
+)
+
+// eps is the numeric tolerance used in ratio tests and optimality checks.
+const eps = 1e-9
+
+// maxPivots bounds the number of simplex pivots per phase as a safety net;
+// Bland's rule guarantees termination but a bound keeps pathological
+// numerics from hanging the caller.
+const maxPivots = 200000
+
+type constraint struct {
+	coeffs []float64
+	op     Op
+	rhs    float64
+}
+
+// Problem is a linear program under construction. Create with NewProblem,
+// add constraints, then Solve. A Problem is not safe for concurrent
+// mutation.
+type Problem struct {
+	nVars       int
+	objective   []float64
+	constraints []constraint
+}
+
+// NewProblem returns an empty minimization problem over nVars variables,
+// all constrained to be non-negative. The default objective is 0.
+func NewProblem(nVars int) *Problem {
+	return &Problem{nVars: nVars, objective: make([]float64, nVars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nVars }
+
+// SetObjective sets the minimization objective coefficients. The slice is
+// copied.
+func (p *Problem) SetObjective(c []float64) error {
+	if len(c) != p.nVars {
+		return fmt.Errorf("%w: objective has %d coefficients, want %d", ErrBadProblem, len(c), p.nVars)
+	}
+	copy(p.objective, c)
+	return nil
+}
+
+// AddConstraint appends the constraint coeffs·x op rhs. The slice is copied.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) error {
+	if len(coeffs) != p.nVars {
+		return fmt.Errorf("%w: constraint has %d coefficients, want %d", ErrBadProblem, len(coeffs), p.nVars)
+	}
+	cc := make([]float64, len(coeffs))
+	copy(cc, coeffs)
+	p.constraints = append(p.constraints, constraint{cc, op, rhs})
+	return nil
+}
+
+// AddUpperBound adds x_i <= ub as a constraint.
+func (p *Problem) AddUpperBound(i int, ub float64) error {
+	if i < 0 || i >= p.nVars {
+		return fmt.Errorf("%w: variable %d out of range", ErrBadProblem, i)
+	}
+	row := make([]float64, p.nVars)
+	row[i] = 1
+	p.constraints = append(p.constraints, constraint{row, LE, ub})
+	return nil
+}
+
+// Solution is the result of a successful Solve.
+type Solution struct {
+	X         []float64 // optimal variable assignment
+	Objective float64   // optimal objective value
+}
+
+// tableau is the working state of the simplex method.
+//
+// Layout: columns 0..n-1 are structural variables, n..n+s-1 slack/surplus,
+// then artificial variables; the last column is the RHS. Row m is the
+// objective row.
+type tableau struct {
+	rows, cols int // constraint rows, total columns incl. RHS
+	a          [][]float64
+	basis      []int // basis[r] = column basic in row r
+}
+
+func (t *tableau) pivot(pr, pc int) {
+	p := t.a[pr][pc]
+	row := t.a[pr]
+	for j := range row {
+		row[j] /= p
+	}
+	for r := range t.a {
+		if r == pr {
+			continue
+		}
+		f := t.a[r][pc]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[r] {
+			t.a[r][j] -= f * row[j]
+		}
+	}
+	t.basis[pr] = pc
+}
+
+// simplex runs the primal simplex on the tableau with objective in the last
+// row, minimizing. allowed[j] marks columns eligible to enter the basis.
+func (t *tableau) simplex(allowed []bool) error {
+	obj := t.a[t.rows]
+	for iter := 0; iter < maxPivots; iter++ {
+		// Bland's rule: entering column = lowest index with negative
+		// reduced cost.
+		pc := -1
+		for j := 0; j < t.cols-1; j++ {
+			if allowed[j] && obj[j] < -eps {
+				pc = j
+				break
+			}
+		}
+		if pc == -1 {
+			return nil // optimal
+		}
+		// Ratio test; Bland tie-break on lowest basis column index.
+		pr := -1
+		best := math.Inf(1)
+		for r := 0; r < t.rows; r++ {
+			if t.a[r][pc] > eps {
+				ratio := t.a[r][t.cols-1] / t.a[r][pc]
+				if ratio < best-eps || (ratio < best+eps && (pr == -1 || t.basis[r] < t.basis[pr])) {
+					best = ratio
+					pr = r
+				}
+			}
+		}
+		if pr == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(pr, pc)
+	}
+	return fmt.Errorf("lp: pivot limit exceeded")
+}
+
+// Solve runs two-phase simplex and returns the optimal solution.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.constraints)
+	n := p.nVars
+
+	// Normalize to non-negative RHS.
+	cons := make([]constraint, m)
+	for i, c := range p.constraints {
+		cc := constraint{coeffs: append([]float64(nil), c.coeffs...), op: c.op, rhs: c.rhs}
+		if cc.rhs < 0 {
+			for j := range cc.coeffs {
+				cc.coeffs[j] = -cc.coeffs[j]
+			}
+			cc.rhs = -cc.rhs
+			switch cc.op {
+			case LE:
+				cc.op = GE
+			case GE:
+				cc.op = LE
+			}
+		}
+		cons[i] = cc
+	}
+
+	// Count slack (LE, GE) and artificial (EQ, GE) columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range cons {
+		if c.op == LE || c.op == GE {
+			nSlack++
+		}
+		if c.op == EQ || c.op == GE {
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt + 1
+	t := &tableau{rows: m, cols: cols, basis: make([]int, m)}
+	t.a = make([][]float64, m+1)
+	for r := range t.a {
+		t.a[r] = make([]float64, cols)
+	}
+
+	slackCol := n
+	artCol := n + nSlack
+	artCols := make([]int, 0, nArt)
+	for r, c := range cons {
+		copy(t.a[r], c.coeffs)
+		t.a[r][cols-1] = c.rhs
+		switch c.op {
+		case LE:
+			t.a[r][slackCol] = 1
+			t.basis[r] = slackCol
+			slackCol++
+		case GE:
+			t.a[r][slackCol] = -1
+			slackCol++
+			t.a[r][artCol] = 1
+			t.basis[r] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		case EQ:
+			t.a[r][artCol] = 1
+			t.basis[r] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		}
+	}
+
+	allowed := make([]bool, cols-1)
+	for j := range allowed {
+		allowed[j] = true
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		obj := t.a[m]
+		for _, ac := range artCols {
+			obj[ac] = 1
+		}
+		// Price out the artificial basics.
+		for r := 0; r < m; r++ {
+			if isArtificial(t.basis[r], n+nSlack) {
+				for j := 0; j < cols; j++ {
+					obj[j] -= t.a[r][j]
+				}
+			}
+		}
+		if err := t.simplex(allowed); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				return nil, fmt.Errorf("lp: phase-1 unbounded: %w", ErrBadProblem)
+			}
+			return nil, err
+		}
+		if phase1 := -t.a[m][cols-1]; phase1 > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any artificial variables out of the basis.
+		for r := 0; r < m; r++ {
+			if !isArtificial(t.basis[r], n+nSlack) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t.a[r][j]) > eps {
+					t.pivot(r, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; the artificial stays basic at zero, which
+				// is harmless as long as it can never re-enter.
+				continue
+			}
+		}
+		// Forbid artificial columns from re-entering.
+		for _, ac := range artCols {
+			allowed[ac] = false
+		}
+		// Reset the objective row for phase 2.
+		for j := range t.a[m] {
+			t.a[m][j] = 0
+		}
+	}
+
+	// Phase 2: minimize the real objective.
+	obj := t.a[m]
+	copy(obj, p.objective)
+	// Price out basic variables.
+	for r := 0; r < m; r++ {
+		if f := obj[t.basis[r]]; f != 0 {
+			for j := 0; j < cols; j++ {
+				obj[j] -= f * t.a[r][j]
+			}
+		}
+	}
+	if err := t.simplex(allowed); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for r := 0; r < m; r++ {
+		if t.basis[r] < n {
+			x[t.basis[r]] = t.a[r][cols-1]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.objective[j] * x[j]
+	}
+	return &Solution{X: x, Objective: objVal}, nil
+}
+
+func isArtificial(col, firstArt int) bool { return col >= firstArt }

@@ -1,0 +1,292 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximizationViaNegation(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  ->  x=4, y=0, obj 12.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{-3, -2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 3}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := solve(t, p)
+	if !approx(sol.Objective, -12) {
+		t.Fatalf("objective = %g, want -12", sol.Objective)
+	}
+	if !approx(sol.X[0], 4) || !approx(sol.X[1], 0) {
+		t.Fatalf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x - y = 1  -> x=2, y=1, obj 3.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{1, 1})
+	_ = p.AddConstraint([]float64{1, 2}, EQ, 4)
+	_ = p.AddConstraint([]float64{1, -1}, EQ, 1)
+	sol := solve(t, p)
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 1) {
+		t.Fatalf("x = %v, want [2 1]", sol.X)
+	}
+	if !approx(sol.Objective, 3) {
+		t.Fatalf("objective = %g, want 3", sol.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj 23.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{2, 3})
+	_ = p.AddConstraint([]float64{1, 1}, GE, 10)
+	_ = p.AddConstraint([]float64{1, 0}, GE, 2)
+	_ = p.AddConstraint([]float64{0, 1}, GE, 3)
+	sol := solve(t, p)
+	if !approx(sol.Objective, 23) {
+		t.Fatalf("objective = %g, want 23 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -5  (i.e. x >= 5) -> x=5.
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{1})
+	_ = p.AddConstraint([]float64{-1}, LE, -5)
+	sol := solve(t, p)
+	if !approx(sol.X[0], 5) {
+		t.Fatalf("x = %v, want [5]", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{1})
+	_ = p.AddConstraint([]float64{1}, LE, 1)
+	_ = p.AddConstraint([]float64{1}, GE, 2)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 0: unbounded below.
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{-1})
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := NewProblem(4)
+	_ = p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	_ = p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	_ = p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	_ = p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := solve(t, p)
+	if !approx(sol.Objective, -0.05) {
+		t.Fatalf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestUpperBoundHelper(t *testing.T) {
+	// max x + y (min -x -y), x <= 2, y <= 3 -> 5.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{-1, -1})
+	if err := p.AddUpperBound(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddUpperBound(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := solve(t, p)
+	if !approx(sol.Objective, -5) {
+		t.Fatalf("objective = %g, want -5", sol.Objective)
+	}
+	if err := p.AddUpperBound(5, 1); err == nil {
+		t.Fatal("out-of-range AddUpperBound accepted")
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("short objective err = %v", err)
+	}
+	if err := p.AddConstraint([]float64{1, 2, 3}, LE, 1); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("long constraint err = %v", err)
+	}
+}
+
+func TestZeroObjectiveFindsFeasiblePoint(t *testing.T) {
+	p := NewProblem(2)
+	_ = p.AddConstraint([]float64{1, 1}, EQ, 3)
+	_ = p.AddConstraint([]float64{1, -1}, EQ, 1)
+	sol := solve(t, p)
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 1) {
+		t.Fatalf("x = %v, want [2 1]", sol.X)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// x + y = 2 stated twice plus a consistent LE; must not break phase 1.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{1, 2})
+	_ = p.AddConstraint([]float64{1, 1}, EQ, 2)
+	_ = p.AddConstraint([]float64{1, 1}, EQ, 2)
+	_ = p.AddConstraint([]float64{1, 1}, LE, 2)
+	sol := solve(t, p)
+	if !approx(sol.Objective, 2) { // x=2, y=0
+		t.Fatalf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+// TestRandomProblemsAgainstBruteForce cross-checks the simplex optimum
+// against vertex enumeration on random small LPs with bounded feasible
+// regions.
+func TestRandomProblemsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(2) // 2 or 3 variables
+		m := 2 + rng.Intn(3)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = math.Round((rng.Float64()*4-2)*4) / 4
+		}
+		_ = p.SetObjective(obj)
+		type row struct {
+			a   []float64
+			rhs float64
+		}
+		var rows []row
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = math.Round(rng.Float64()*3*4) / 4 // non-negative coeffs keep region bounded with box
+			}
+			rhs := 1 + rng.Float64()*5
+			_ = p.AddConstraint(a, LE, rhs)
+			rows = append(rows, row{a, rhs})
+		}
+		// Box to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			_ = p.AddUpperBound(j, 10)
+			b := make([]float64, n)
+			b[j] = 1
+			rows = append(rows, row{b, 10})
+		}
+
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force on a grid (coarse lower bound check): simplex optimum
+		// must be <= any feasible grid point's objective.
+		const steps = 12
+		best := math.Inf(1)
+		var grid func(idx int, x []float64)
+		grid = func(idx int, x []float64) {
+			if idx == n {
+				for _, r := range rows {
+					dot := 0.0
+					for j := range x {
+						dot += r.a[j] * x[j]
+					}
+					if dot > r.rhs+1e-9 {
+						return
+					}
+				}
+				v := 0.0
+				for j := range x {
+					v += obj[j] * x[j]
+				}
+				if v < best {
+					best = v
+				}
+				return
+			}
+			for s := 0; s <= steps; s++ {
+				x[idx] = 10 * float64(s) / steps
+				grid(idx+1, x)
+			}
+		}
+		grid(0, make([]float64, n))
+		if sol.Objective > best+1e-6 {
+			t.Fatalf("trial %d: simplex %.6f worse than grid point %.6f", trial, sol.Objective, best)
+		}
+		// And the simplex solution itself must be feasible.
+		for ri, r := range rows {
+			dot := 0.0
+			for j := range sol.X {
+				dot += r.a[j] * sol.X[j]
+			}
+			if dot > r.rhs+1e-6 {
+				t.Fatalf("trial %d: solution violates constraint %d", trial, ri)
+			}
+		}
+		for j, xj := range sol.X {
+			if xj < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g negative", trial, j, xj)
+			}
+		}
+	}
+}
+
+func BenchmarkSolveSelectorShapedLP(b *testing.B) {
+	// A problem shaped like the selector's inner LP: 30 chunks x 7 CSPs
+	// assignment variables plus a makespan variable.
+	const R, C = 30, 7
+	n := R*C + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		obj[n-1] = 1
+		_ = p.SetObjective(obj)
+		rng := rand.New(rand.NewSource(3))
+		for c := 0; c < C; c++ {
+			row := make([]float64, n)
+			for r := 0; r < R; r++ {
+				row[r*C+c] = 1 + rng.Float64()
+			}
+			row[n-1] = -1
+			_ = p.AddConstraint(row, LE, 0)
+		}
+		for r := 0; r < R; r++ {
+			row := make([]float64, n)
+			for c := 0; c < C; c++ {
+				row[r*C+c] = 1
+			}
+			_ = p.AddConstraint(row, EQ, 2)
+			for c := 0; c < C; c++ {
+				_ = p.AddUpperBound(r*C+c, 1)
+			}
+		}
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package metadata
+
+import (
+	"sort"
+	"sync"
+)
+
+// ChunkTable is the global chunk table (paper §5.2): for every chunk whose
+// shares are stored in the cloud it records the share locations, size, the
+// sharing parameters, and a reference count over file versions. The upload
+// path consults it for deduplication ("avoid uploading redundant chunks by
+// checking whether shares of each chunk are already stored", Algorithm 2)
+// and the lazy-migration path updates it when shares move.
+type ChunkTable struct {
+	mu     sync.RWMutex
+	chunks map[string]*ChunkInfo
+}
+
+// ChunkInfo is the stored state of one unique chunk.
+type ChunkInfo struct {
+	ID     string
+	Size   int64
+	T, N   int
+	Shares map[int]string // share index -> CSP
+	Refs   int            // referencing file versions
+}
+
+func (c *ChunkInfo) clone() *ChunkInfo {
+	cp := *c
+	cp.Shares = make(map[int]string, len(c.Shares))
+	for k, v := range c.Shares {
+		cp.Shares[k] = v
+	}
+	return &cp
+}
+
+// NewChunkTable returns an empty table.
+func NewChunkTable() *ChunkTable {
+	return &ChunkTable{chunks: make(map[string]*ChunkInfo)}
+}
+
+// Lookup returns a copy of the chunk's info, if stored.
+func (t *ChunkTable) Lookup(chunkID string) (*ChunkInfo, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.chunks[chunkID]
+	if !ok {
+		return nil, false
+	}
+	return c.clone(), true
+}
+
+// Stored reports whether the chunk's shares are already in the cloud.
+func (t *ChunkTable) Stored(chunkID string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.chunks[chunkID]
+	return ok
+}
+
+// AddRef records a (new or existing) chunk referenced by one more file
+// version. For a new chunk the share locations must be supplied; for an
+// existing one shares may be nil (locations are already known).
+func (t *ChunkTable) AddRef(chunk ChunkRef, shares []ShareLoc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chunks[chunk.ID]
+	if !ok {
+		c = &ChunkInfo{ID: chunk.ID, Size: chunk.Size, T: chunk.T, N: chunk.N, Shares: make(map[int]string)}
+		t.chunks[chunk.ID] = c
+	}
+	for _, s := range shares {
+		if s.ChunkID == chunk.ID {
+			c.Shares[s.Index] = s.CSP
+		}
+	}
+	c.Refs++
+}
+
+// Release decrements a chunk's reference count; at zero the entry is
+// removed and its share locations returned so the caller may garbage
+// collect the share objects. (CYRUS leaves shares of deleted files alone by
+// default — other files may contain these chunks — but the table keeps the
+// refcount so an explicit GC can act safely.)
+func (t *ChunkTable) Release(chunkID string) (removed []ShareLoc, gone bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chunks[chunkID]
+	if !ok {
+		return nil, false
+	}
+	c.Refs--
+	if c.Refs > 0 {
+		return nil, false
+	}
+	delete(t.chunks, chunkID)
+	for idx, cspName := range c.Shares {
+		removed = append(removed, ShareLoc{ChunkID: chunkID, Index: idx, CSP: cspName})
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Index < removed[j].Index })
+	return removed, true
+}
+
+// MoveShare updates one share's location (lazy migration, paper §5.5).
+func (t *ChunkTable) MoveShare(chunkID string, index int, newCSP string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chunks[chunkID]
+	if !ok {
+		return false
+	}
+	if _, ok := c.Shares[index]; !ok {
+		return false
+	}
+	c.Shares[index] = newCSP
+	return true
+}
+
+// SharesOn returns the chunk IDs with at least one share on the given CSP —
+// the per-CSP view the paper's global chunk table provides.
+func (t *ChunkTable) SharesOn(cspName string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for id, c := range t.chunks {
+		for _, loc := range c.Shares {
+			if loc == cspName {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharesOnAll returns every chunk ID in the table, sorted — the universe a
+// garbage collector checks against the metadata tree.
+func (t *ChunkTable) SharesOnAll() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.chunks))
+	for id := range t.chunks {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a chunk entry unconditionally (garbage collection of
+// orphans); unlike Release it ignores the reference count.
+func (t *ChunkTable) Drop(chunkID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.chunks, chunkID)
+}
+
+// Len returns the number of unique stored chunks.
+func (t *ChunkTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.chunks)
+}
+
+// TotalStoredBytes returns the total share bytes implied by the table:
+// size/t per share times n shares per chunk (+ header overhead is ignored
+// here; this is the dedup accounting figure).
+func (t *ChunkTable) TotalStoredBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total int64
+	for _, c := range t.chunks {
+		shareSize := (c.Size + int64(c.T) - 1) / int64(c.T)
+		total += shareSize * int64(len(c.Shares))
+	}
+	return total
+}
+
+// Rebuild reconstructs the table from a set of metadata records (e.g. after
+// recovering the tree from the cloud). Reference counts count referencing
+// versions.
+func (t *ChunkTable) Rebuild(records []*FileMeta) {
+	t.mu.Lock()
+	t.chunks = make(map[string]*ChunkInfo)
+	t.mu.Unlock()
+	for _, m := range records {
+		for _, c := range m.Chunks {
+			t.AddRef(c, m.SharesOf(c.ID))
+		}
+	}
+}

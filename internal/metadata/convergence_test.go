@@ -1,0 +1,160 @@
+package metadata
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestTreeConvergenceProperty is the replica-convergence property CYRUS's
+// metadata design depends on: any two clients that have absorbed the same
+// set of records — in any order — agree on heads, conflicts, histories,
+// and name listings. Insert must therefore be commutative and idempotent.
+func TestTreeConvergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 50; trial++ {
+		records := randomRecordSet(rng)
+
+		// Replica A: in-order insertion. Replica B: shuffled, with random
+		// duplicate insertions.
+		a := NewTree()
+		for _, m := range records {
+			if _, err := a.Insert(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := NewTree()
+		perm := rng.Perm(len(records))
+		for _, i := range perm {
+			if _, err := b.Insert(records[i]); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				if _, err := b.Insert(records[rng.Intn(len(records))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		if got, want := b.Len(), a.Len(); got != want {
+			t.Fatalf("trial %d: len %d != %d", trial, got, want)
+		}
+		if !reflect.DeepEqual(a.VersionIDs(), b.VersionIDs()) {
+			t.Fatalf("trial %d: version sets differ", trial)
+		}
+		if !reflect.DeepEqual(a.Names(), b.Names()) {
+			t.Fatalf("trial %d: names differ", trial)
+		}
+		if !reflect.DeepEqual(a.Conflicts(), b.Conflicts()) {
+			t.Fatalf("trial %d: conflicts differ:\nA=%+v\nB=%+v", trial, a.Conflicts(), b.Conflicts())
+		}
+		for _, name := range a.Names() {
+			ha, ca, ea := a.Head(name)
+			hb, cb, eb := b.Head(name)
+			if (ea == nil) != (eb == nil) || ca != cb {
+				t.Fatalf("trial %d: head state differs for %q", trial, name)
+			}
+			if ea == nil && ha.VersionID() != hb.VersionID() {
+				t.Fatalf("trial %d: heads differ for %q: %s vs %s", trial, name, ha.VersionID(), hb.VersionID())
+			}
+			histA, _ := a.History(name)
+			histB, _ := b.History(name)
+			if len(histA) != len(histB) {
+				t.Fatalf("trial %d: history length differs for %q", trial, name)
+			}
+		}
+	}
+}
+
+// randomRecordSet builds a random but internally consistent version forest:
+// a few files, each with a chain of versions, occasional divergent edits
+// and deletions, from multiple clients.
+func randomRecordSet(rng *rand.Rand) []*FileMeta {
+	base := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+	clients := []string{"alice", "bob", "carol"}
+	var records []*FileMeta
+
+	nFiles := 1 + rng.Intn(4)
+	for f := 0; f < nFiles; f++ {
+		name := fmt.Sprintf("file-%d", f)
+		// 1 or 2 independent roots (type-1 conflicts sometimes).
+		nRoots := 1 + rng.Intn(2)
+		var frontier []string
+		for r := 0; r < nRoots; r++ {
+			m := buildMeta(name, fmt.Sprintf("%s-root-%d", name, r), "",
+				clients[rng.Intn(len(clients))], false, base.Add(time.Duration(rng.Intn(1000))*time.Second),
+				2, 3, int64(64+rng.Intn(512)))
+			records = append(records, m)
+			frontier = append(frontier, m.VersionID())
+		}
+		// Random chain extensions, sometimes branching (type-2 conflicts),
+		// sometimes deleting.
+		nEdits := rng.Intn(6)
+		for e := 0; e < nEdits; e++ {
+			parent := frontier[rng.Intn(len(frontier))]
+			deleted := rng.Intn(6) == 0
+			m := buildMeta(name, fmt.Sprintf("%s-edit-%d", name, e), parent,
+				clients[rng.Intn(len(clients))], deleted, base.Add(time.Duration(1000+rng.Intn(10000))*time.Second),
+				2, 3, int64(64+rng.Intn(512)))
+			if deleted {
+				m.Chunks, m.Shares, m.File.Size = nil, nil, 0
+			}
+			records = append(records, m)
+			if rng.Intn(2) == 0 {
+				// Replace the parent in the frontier (chain) ...
+				for i, fr := range frontier {
+					if fr == parent {
+						frontier[i] = m.VersionID()
+					}
+				}
+			} else {
+				// ... or branch (keep both live).
+				frontier = append(frontier, m.VersionID())
+			}
+		}
+	}
+	return records
+}
+
+// TestDecodeNeverPanics fuzzes the binary codec with random and mutated
+// inputs: Decode must return an error, never panic, on any byte soup.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	good, err := Encode(buildMeta("f", "v", "", "c", false, t0, 2, 3, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			data = make([]byte, rng.Intn(200))
+			rng.Read(data)
+		} else {
+			data = append([]byte(nil), good...)
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+			}
+			if rng.Intn(4) == 0 {
+				data = data[:rng.Intn(len(data)+1)]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %d-byte input: %v", len(data), r)
+				}
+			}()
+			m, err := Decode(data)
+			if err == nil && m != nil {
+				// Extremely unlikely a mutation survives validation; if it
+				// does, it must still be structurally valid.
+				if verr := m.Validate(); verr != nil {
+					t.Fatalf("Decode returned invalid record: %v", verr)
+				}
+			}
+		}()
+	}
+}

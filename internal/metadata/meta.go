@@ -1,0 +1,132 @@
+// Package metadata implements CYRUS's per-file metadata records and the
+// logical version tree used to share state between autonomous clients
+// (paper §5.2, Figure 6).
+//
+// Every upload creates one metadata record (a version node) holding three
+// tables: FileMap (identity, parentage, name, deletion, size), ChunkMap
+// (how to rebuild the file from chunks) and ShareMap (which CSP holds each
+// share of each chunk). Records serialize to small binary objects that are
+// themselves secret-shared across the metadata CSPs; clients keep a local
+// Tree replica and merge newly listed records into it.
+//
+// Conflicts are data, not errors: the tree detects the paper's two conflict
+// types — (1) independent creations of the same filename and (2) multiple
+// children of one parent version — and surfaces them for resolution.
+package metadata
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// MetaPrefix is the object-name prefix under which metadata records are
+// stored at CSPs; listing it is a full metadata sync.
+const MetaPrefix = "cyrus-meta-"
+
+// FileMap is the identity table of a version node (paper Figure 6).
+type FileMap struct {
+	ID       string    // SHA-1 (hex) of the file content
+	PrevID   string    // version ID of the parent node; "" for new files
+	ClientID string    // client that created this version
+	Name     string    // user-visible file name
+	Deleted  bool      // deletion marker (metadata is never removed)
+	Modified time.Time // last-modified time at the creating client
+	Size     int64     // file size in bytes
+}
+
+// ChunkRef is one row of the ChunkMap: how one chunk participates in the
+// file.
+type ChunkRef struct {
+	ID     string // SHA-1 (hex) of the chunk content
+	Offset int64  // position of the chunk in the file
+	Size   int64  // chunk size in bytes
+	T, N   int    // secret-sharing parameters used for this chunk
+}
+
+// ShareLoc is one row of the ShareMap: where one share lives.
+type ShareLoc struct {
+	ChunkID string // chunk content hash
+	Index   int    // share index (row of the dispersal matrix)
+	CSP     string // provider holding the share
+}
+
+// FileMeta is one version node: the three tables of Figure 6.
+type FileMeta struct {
+	File   FileMap
+	Chunks []ChunkRef
+	Shares []ShareLoc
+}
+
+// VersionID uniquely identifies the version node. The content hash alone
+// is not unique (a revert re-creates old content), so the version identity
+// covers content, parent, name, and creator.
+func (m *FileMeta) VersionID() string {
+	h := sha1.New()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%t", m.File.ID, m.File.PrevID, m.File.Name, m.File.ClientID, m.File.Deleted)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ObjectName returns the CSP object name for this record.
+func (m *FileMeta) ObjectName() string { return MetaPrefix + m.VersionID() }
+
+// Validate checks structural invariants before a record is accepted into a
+// tree or serialized.
+func (m *FileMeta) Validate() error {
+	if m.File.ID == "" {
+		return fmt.Errorf("metadata: %q: empty file ID", m.File.Name)
+	}
+	if m.File.Name == "" {
+		return fmt.Errorf("metadata: record %s: empty file name", m.File.ID)
+	}
+	if m.File.ClientID == "" {
+		return fmt.Errorf("metadata: %q: empty client ID", m.File.Name)
+	}
+	shareChunks := make(map[string]int)
+	for _, s := range m.Shares {
+		shareChunks[s.ChunkID]++
+	}
+	var total int64
+	for i, c := range m.Chunks {
+		if c.T <= 0 || c.N < c.T {
+			return fmt.Errorf("metadata: %q chunk %d: bad (t,n)=(%d,%d)", m.File.Name, i, c.T, c.N)
+		}
+		if c.Size <= 0 {
+			return fmt.Errorf("metadata: %q chunk %d: size %d", m.File.Name, i, c.Size)
+		}
+		if c.Offset != total {
+			return fmt.Errorf("metadata: %q chunk %d: offset %d, want %d (chunks must tile the file)", m.File.Name, i, c.Offset, total)
+		}
+		total += c.Size
+		if got := shareChunks[c.ID]; got < c.N {
+			return fmt.Errorf("metadata: %q chunk %d: %d share locations, want %d", m.File.Name, i, got, c.N)
+		}
+	}
+	if !m.File.Deleted && total != m.File.Size {
+		return fmt.Errorf("metadata: %q: chunks cover %d bytes, file size %d", m.File.Name, total, m.File.Size)
+	}
+	return nil
+}
+
+// SharesOf returns the share locations of one chunk, in index order.
+func (m *FileMeta) SharesOf(chunkID string) []ShareLoc {
+	var out []ShareLoc
+	for _, s := range m.Shares {
+		if s.ChunkID == chunkID {
+			out = append(out, s)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Index < out[j-1].Index; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// HashData returns the SHA-1 hex digest used for file and chunk IDs.
+func HashData(data []byte) string {
+	sum := sha1.Sum(data)
+	return hex.EncodeToString(sum[:])
+}

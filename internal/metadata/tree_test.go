@@ -1,0 +1,254 @@
+package metadata
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mustInsert(t *testing.T, tr *Tree, m *FileMeta) string {
+	t.Helper()
+	if _, err := tr.Insert(m); err != nil {
+		t.Fatal(err)
+	}
+	return m.VersionID()
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tr := NewTree()
+	m := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+	id := mustInsert(t, tr, m)
+	got, err := tr.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.File.Name != "a.txt" {
+		t.Fatalf("Get = %+v", got.File)
+	}
+	if !tr.Has(id) || tr.Has("nope") {
+		t.Fatal("Has wrong")
+	}
+	if _, err := tr.Get("nope"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Get unknown err = %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertIdempotentAndIsolated(t *testing.T) {
+	tr := NewTree()
+	m := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+	mustInsert(t, tr, m)
+	mustInsert(t, tr, m)
+	if tr.Len() != 1 {
+		t.Fatalf("duplicate insert: Len = %d", tr.Len())
+	}
+	// Mutating the caller's record must not affect the tree.
+	m.Chunks[0].Size = 9999
+	got, _ := tr.Get(m.VersionID())
+	if got != nil && got.Chunks[0].Size == 9999 {
+		t.Fatal("tree aliases inserted record")
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	tr := NewTree()
+	bad := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+	bad.File.Size = 5
+	if _, err := tr.Insert(bad); err == nil {
+		t.Fatal("invalid record inserted")
+	}
+}
+
+func TestHeadLinearHistory(t *testing.T) {
+	tr := NewTree()
+	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
+	id1 := mustInsert(t, tr, v1)
+	v2 := buildMeta("doc", "v2", id1, "alice", false, t0.Add(time.Hour), 2, 3, 10)
+	id2 := mustInsert(t, tr, v2)
+	v3 := buildMeta("doc", "v3", id2, "bob", false, t0.Add(2*time.Hour), 2, 3, 10)
+	id3 := mustInsert(t, tr, v3)
+
+	head, conflicted, err := tr.Head("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicted {
+		t.Fatal("linear history reported conflicted")
+	}
+	if head.VersionID() != id3 {
+		t.Fatalf("head = %s, want %s", head.VersionID(), id3)
+	}
+
+	hist, err := tr.History("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 || hist[0].VersionID() != id3 || hist[2].VersionID() != id1 {
+		t.Fatalf("history wrong: %d entries", len(hist))
+	}
+	if _, _, err := tr.Head("missing"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Head(missing) err = %v", err)
+	}
+}
+
+func TestOutOfOrderInsertion(t *testing.T) {
+	// Children can arrive before parents (async metadata sync).
+	tr := NewTree()
+	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
+	v2 := buildMeta("doc", "v2", v1.VersionID(), "alice", false, t0.Add(time.Hour), 2, 3, 10)
+	mustInsert(t, tr, v2)
+	// History stops at the missing parent.
+	hist, err := tr.History("doc")
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("partial history: %d, %v", len(hist), err)
+	}
+	mustInsert(t, tr, v1)
+	hist, _ = tr.History("doc")
+	if len(hist) != 2 {
+		t.Fatalf("full history after parent arrives: %d", len(hist))
+	}
+}
+
+func TestConflictType1SameNameCreation(t *testing.T) {
+	tr := NewTree()
+	a := buildMeta("report.doc", "alice-content", "", "alice", false, t0, 2, 3, 10)
+	b := buildMeta("report.doc", "bob-content", "", "bob", false, t0.Add(time.Minute), 2, 3, 10)
+	mustInsert(t, tr, a)
+	mustInsert(t, tr, b)
+
+	conflicts := tr.Conflicts()
+	if len(conflicts) != 1 {
+		t.Fatalf("got %d conflicts, want 1", len(conflicts))
+	}
+	c := conflicts[0]
+	if c.Type != SameNameCreation || c.Name != "report.doc" || len(c.Versions) != 2 {
+		t.Fatalf("conflict = %+v", c)
+	}
+	// Head still resolves deterministically to the later edit.
+	head, conflicted, err := tr.Head("report.doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conflicted {
+		t.Fatal("head not marked conflicted")
+	}
+	if head.VersionID() != b.VersionID() {
+		t.Fatal("head is not the latest version")
+	}
+}
+
+func TestConflictType2DivergentEdit(t *testing.T) {
+	tr := NewTree()
+	base := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
+	id := mustInsert(t, tr, base)
+	left := buildMeta("doc", "v2-alice", id, "alice", false, t0.Add(time.Hour), 2, 3, 10)
+	right := buildMeta("doc", "v2-bob", id, "bob", false, t0.Add(time.Hour), 2, 3, 10)
+	mustInsert(t, tr, left)
+	mustInsert(t, tr, right)
+
+	conflicts := tr.Conflicts()
+	if len(conflicts) != 1 || conflicts[0].Type != DivergentEdit {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	if len(conflicts[0].Versions) != 2 {
+		t.Fatalf("versions = %v", conflicts[0].Versions)
+	}
+}
+
+func TestConflictResolvedByDeletion(t *testing.T) {
+	tr := NewTree()
+	base := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
+	id := mustInsert(t, tr, base)
+	left := buildMeta("doc", "v2-alice", id, "alice", false, t0.Add(time.Hour), 2, 3, 10)
+	right := buildMeta("doc", "v2-bob", id, "bob", false, t0.Add(time.Hour), 2, 3, 10)
+	leftID := mustInsert(t, tr, left)
+	mustInsert(t, tr, right)
+	if len(tr.Conflicts()) != 1 {
+		t.Fatal("setup: conflict expected")
+	}
+	// Deleting one branch resolves the conflict.
+	del := buildMeta("doc", "v2-alice", leftID, "alice", true, t0.Add(2*time.Hour), 2, 3, 10)
+	del.Chunks, del.Shares, del.File.Size = nil, nil, 0
+	mustInsert(t, tr, del)
+	if got := tr.Conflicts(); len(got) != 0 {
+		t.Fatalf("conflicts after deletion = %+v", got)
+	}
+	head, conflicted, err := tr.Head("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicted {
+		t.Fatal("still conflicted after branch deletion")
+	}
+	if head.VersionID() != right.VersionID() {
+		t.Fatalf("head = %s, want surviving branch", head.File.ID)
+	}
+}
+
+func TestDeletedFileHead(t *testing.T) {
+	tr := NewTree()
+	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
+	id1 := mustInsert(t, tr, v1)
+	del := buildMeta("doc", "v1", id1, "alice", true, t0.Add(time.Hour), 2, 3, 10)
+	del.Chunks, del.Shares, del.File.Size = nil, nil, 0
+	mustInsert(t, tr, del)
+
+	head, conflicted, err := tr.Head("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicted || !head.File.Deleted {
+		t.Fatalf("head = %+v conflicted=%v", head.File, conflicted)
+	}
+	// Undelete via history: the previous version is still reachable.
+	hist, _ := tr.History("doc")
+	if len(hist) != 2 || hist[1].File.Deleted {
+		t.Fatalf("history = %d entries", len(hist))
+	}
+}
+
+func TestNamesAndVersionIDs(t *testing.T) {
+	tr := NewTree()
+	mustInsert(t, tr, buildMeta("b", "1", "", "c", false, t0, 2, 3, 10))
+	mustInsert(t, tr, buildMeta("a", "2", "", "c", false, t0, 2, 3, 10))
+	names := tr.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	ids := tr.VersionIDs()
+	if len(ids) != 2 || ids[0] > ids[1] {
+		t.Fatalf("VersionIDs = %v", ids)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	tr := NewTree()
+	m := buildMeta("a", "1", "", "c", false, t0, 2, 3, 10)
+	id := mustInsert(t, tr, m)
+	got := tr.Missing([]string{"zzz", id, "aaa"})
+	if len(got) != 2 || got[0] != "aaa" || got[1] != "zzz" {
+		t.Fatalf("Missing = %v", got)
+	}
+}
+
+func TestHeadTieBreakDeterministic(t *testing.T) {
+	tr := NewTree()
+	a := buildMeta("doc", "va", "", "alice", false, t0, 2, 3, 10)
+	b := buildMeta("doc", "vb", "", "bob", false, t0, 2, 3, 10) // same Modified
+	mustInsert(t, tr, a)
+	mustInsert(t, tr, b)
+	h1, _, _ := tr.Head("doc")
+	h2, _, _ := tr.Head("doc")
+	if h1.VersionID() != h2.VersionID() {
+		t.Fatal("tie-break not deterministic")
+	}
+	want := a.VersionID()
+	if b.VersionID() > want {
+		want = b.VersionID()
+	}
+	if h1.VersionID() != want {
+		t.Fatal("tie-break is not by larger version ID")
+	}
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerAndFlowInterleave(t *testing.T) {
+	// A sleeper and a transfer run concurrently; the clock must honor both
+	// event sources in order.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	var tSleep, tFlow float64
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); n.Sleep(3 * time.Second); tSleep = n.VirtualNow() })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Up, 50*MB); tFlow = n.VirtualNow() })
+		g.Wait()
+	})
+	approx(t, tSleep, 3, 1e-9, "sleep completion")
+	approx(t, tFlow, 5, 1e-6, "flow completion")
+	approx(t, n.VirtualNow(), 5, 1e-6, "final clock")
+}
+
+func TestRateChangeMidFlow(t *testing.T) {
+	// A long transfer shares its link cap change: a watcher halves the cap
+	// after 2 virtual seconds. First 2 s at 10 MB/s (20 MB done), the
+	// remaining 30 MB at 5 MB/s -> 6 s more, total 8 s.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Up, 50*MB) })
+		n.Go(func() {
+			defer g.Done()
+			n.Sleep(2 * time.Second)
+			n.SetLink("client", "csp", LinkConfig{UpBps: 5 * MB, DownBps: 5 * MB})
+		})
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 8, 1e-6, "transfer spanning a cap change")
+}
+
+func TestNowIsMonotonic(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: MB, DownBps: MB})
+	var stamps []time.Time
+	n.Run(func() {
+		for i := 0; i < 5; i++ {
+			stamps = append(stamps, n.Now())
+			_ = n.Transfer("client", "csp", Up, MB/4)
+		}
+		stamps = append(stamps, n.Now())
+	})
+	for i := 1; i < len(stamps); i++ {
+		if !stamps[i].After(stamps[i-1]) {
+			t.Fatalf("Now not strictly increasing at %d: %v vs %v", i, stamps[i-1], stamps[i])
+		}
+	}
+}
+
+func TestZeroSleepAndImmediateGroup(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.Run(func() {
+		n.Sleep(0)
+		g := n.NewGroup()
+		g.Add(1)
+		g.Done()
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 0, 1e-12, "no time passes")
+}
+
+func TestManySleepersWakeInOrder(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	var order []int
+	n.Run(func() {
+		g := n.NewGroup()
+		for i := 5; i >= 1; i-- {
+			i := i
+			g.Add(1)
+			n.Go(func() {
+				defer g.Done()
+				n.Sleep(time.Duration(i) * time.Second)
+				order = append(order, i) // woken alone: no race
+			})
+		}
+		g.Wait()
+	})
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("wake order = %v", order)
+		}
+	}
+	approx(t, n.VirtualNow(), 5, 1e-9, "last sleeper")
+}
+
+func TestUnregisteredBlockPanics(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("blocking outside Run/Go did not panic")
+		}
+	}()
+	n.Sleep(time.Second) // calling goroutine never registered
+}
+
+func TestRunReturnsAfterBackgroundWork(t *testing.T) {
+	// Run must not return until fn and, transitively, everything fn waits
+	// on is done; background goroutines fn does NOT wait for may still be
+	// running — they keep the network alive until they finish.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: MB, DownBps: MB})
+	done := make(chan struct{})
+	n.Run(func() {
+		n.Go(func() {
+			_ = n.Transfer("client", "csp", Up, MB)
+			close(done)
+		})
+	})
+	<-done // the detached goroutine completed under virtual time
+	approx(t, n.VirtualNow(), 1, 1e-6, "detached transfer")
+}

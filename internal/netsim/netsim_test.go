@@ -1,0 +1,324 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const MB = 1 << 20
+
+func newTestNet(nodeCfg NodeConfig) *Network {
+	n := New(time.Time{})
+	n.AddNode("client", nodeCfg)
+	return n
+}
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %.4f, want %.4f (±%.4f)", what, got, want, tol)
+	}
+}
+
+func TestSingleTransferTime(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 20 * MB})
+	n.Run(func() {
+		if err := n.Transfer("client", "csp", Up, 100*MB); err != nil {
+			t.Error(err)
+		}
+	})
+	approx(t, n.VirtualNow(), 10, 1e-6, "upload of 100MB at 10MB/s")
+}
+
+func TestDownUsesDownCap(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 20 * MB})
+	n.Run(func() {
+		_ = n.Transfer("client", "csp", Down, 100*MB)
+	})
+	approx(t, n.VirtualNow(), 5, 1e-6, "download of 100MB at 20MB/s")
+}
+
+func TestParallelFlowsShareLink(t *testing.T) {
+	// Two uploads on one 10 MB/s link: each gets 5 MB/s, both finish at 20s.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		g := n.NewGroup()
+		for i := 0; i < 2; i++ {
+			g.Add(1)
+			n.Go(func() {
+				defer g.Done()
+				_ = n.Transfer("client", "csp", Up, 100*MB)
+			})
+		}
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 20, 1e-6, "two parallel 100MB uploads on 10MB/s")
+}
+
+func TestIndependentLinksDoNotInterfere(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "a", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.SetLink("client", "b", LinkConfig{UpBps: 5 * MB, DownBps: 5 * MB})
+	var ta, tb float64
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "a", Up, 100*MB); ta = n.VirtualNow() })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "b", Up, 100*MB); tb = n.VirtualNow() })
+		g.Wait()
+	})
+	approx(t, ta, 10, 1e-6, "fast link completion")
+	approx(t, tb, 20, 1e-6, "slow link completion")
+}
+
+func TestClientAggregateCapBindsAcrossLinks(t *testing.T) {
+	// Two links of 10 MB/s each, but the client uplink is capped at 10:
+	// each flow gets 5 MB/s.
+	n := newTestNet(NodeConfig{UpBps: 10 * MB})
+	n.SetLink("client", "a", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.SetLink("client", "b", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "a", Up, 50*MB) })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "b", Up, 50*MB) })
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 10, 1e-6, "client-capped parallel uploads")
+}
+
+func TestMaxMinFairnessSpilloverToFastFlow(t *testing.T) {
+	// Client cap 12; link a caps at 2 (slow cloud), link b at 20. Max-min:
+	// flow a gets 2, flow b gets 10. a: 20MB/2 = 10s; b: 100MB/10 = 10s.
+	n := newTestNet(NodeConfig{UpBps: 12 * MB})
+	n.SetLink("client", "a", LinkConfig{UpBps: 2 * MB, DownBps: 2 * MB})
+	n.SetLink("client", "b", LinkConfig{UpBps: 20 * MB, DownBps: 20 * MB})
+	var ta, tb float64
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "a", Up, 20*MB); ta = n.VirtualNow() })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "b", Up, 100*MB); tb = n.VirtualNow() })
+		g.Wait()
+	})
+	approx(t, ta, 10, 1e-6, "slow-link flow at max-min rate 2MB/s")
+	approx(t, tb, 10, 1e-6, "fast-link flow at max-min rate 10MB/s")
+}
+
+func TestRateReallocationAfterCompletion(t *testing.T) {
+	// Two flows share a 10 MB/s link; one is 10 MB, the other 100 MB.
+	// Phase 1: both at 5 MB/s until t=2 (small one done).
+	// Phase 2: big one at 10 MB/s with 90 MB left -> 9s more. Total 11s.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	var tSmall, tBig float64
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Up, 10*MB); tSmall = n.VirtualNow() })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Up, 100*MB); tBig = n.VirtualNow() })
+		g.Wait()
+	})
+	approx(t, tSmall, 2, 1e-6, "small flow completion")
+	approx(t, tBig, 11, 1e-6, "big flow completion after reallocation")
+}
+
+func TestSleepAndNow(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	base := n.Now()
+	n.Run(func() {
+		n.Sleep(1500 * time.Millisecond)
+		n.Sleep(-5) // no-op
+	})
+	approx(t, n.VirtualNow(), 1.5, 1e-9, "virtual time after sleep")
+	if got := n.Now().Sub(base); got != 1500*time.Millisecond {
+		t.Fatalf("Now advanced by %v, want 1.5s", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{RTT: 137 * time.Millisecond, UpBps: MB, DownBps: MB})
+	n.Run(func() {
+		if err := n.RoundTrip("client", "csp"); err != nil {
+			t.Error(err)
+		}
+	})
+	approx(t, n.VirtualNow(), 0.137, 1e-9, "round trip latency")
+	if err := n.RoundTrip("client", "nope"); err == nil {
+		t.Fatal("RoundTrip to unknown CSP did not error")
+	}
+	if err := n.RoundTrip("ghost", "csp"); err == nil {
+		t.Fatal("RoundTrip from unknown node did not error")
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: MB, DownBps: MB})
+	n.Run(func() {
+		if err := n.Transfer("ghost", "csp", Up, 10); err == nil {
+			t.Error("unknown node accepted")
+		}
+		if err := n.Transfer("client", "ghost", Up, 10); err == nil {
+			t.Error("unknown CSP accepted")
+		}
+		if err := n.Transfer("client", "csp", Up, 0); err != nil {
+			t.Errorf("zero-byte transfer: %v", err)
+		}
+	})
+	approx(t, n.VirtualNow(), 0, 1e-12, "errors and empty transfers take no time")
+}
+
+func TestSequentialTransfersAccumulate(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		_ = n.Transfer("client", "csp", Up, 50*MB)   // 5s
+		_ = n.Transfer("client", "csp", Down, 20*MB) // 2s
+	})
+	approx(t, n.VirtualNow(), 7, 1e-6, "sequential up+down")
+}
+
+func TestMidSimulationLinkUpdate(t *testing.T) {
+	// Halve the link speed between two transfers (diurnal variation model).
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		_ = n.Transfer("client", "csp", Up, 10*MB) // 1s
+		n.SetLink("client", "csp", LinkConfig{UpBps: 5 * MB, DownBps: 5 * MB})
+		_ = n.Transfer("client", "csp", Up, 10*MB) // 2s
+	})
+	approx(t, n.VirtualNow(), 3, 1e-6, "transfers across a cap change")
+}
+
+func TestUpAndDownAreSeparateResources(t *testing.T) {
+	// A full-duplex link: simultaneous 10MB up and 10MB down at 10MB/s each
+	// finish in 1s, not 2.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Up, 10*MB) })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("client", "csp", Down, 10*MB) })
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 1, 1e-6, "full duplex transfers")
+}
+
+func TestManyGoroutinesDeterministic(t *testing.T) {
+	run := func() float64 {
+		n := New(time.Time{})
+		n.AddNode("client", NodeConfig{UpBps: 13 * MB})
+		for i := 0; i < 7; i++ {
+			name := string(rune('a' + i))
+			n.SetLink("client", name, LinkConfig{UpBps: float64(1+i) * MB, DownBps: MB})
+		}
+		n.Run(func() {
+			g := n.NewGroup()
+			for i := 0; i < 7; i++ {
+				name := string(rune('a' + i))
+				size := int64((i + 1) * 7 * MB)
+				g.Add(1)
+				n.Go(func() { defer g.Done(); _ = n.Transfer("client", name, Up, size) })
+			}
+			g.Wait()
+		})
+		return n.VirtualNow()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d gave %.9f, first gave %.9f — not deterministic", i, got, first)
+		}
+	}
+}
+
+func TestGroupReuseAndZeroWait(t *testing.T) {
+	n := newTestNet(NodeConfig{})
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Wait() // count 0: returns immediately
+		g.Add(1)
+		n.Go(func() { n.Sleep(time.Second); g.Done() })
+		g.Wait()
+		g.Add(1)
+		n.Go(func() { n.Sleep(time.Second); g.Done() })
+		g.Wait()
+	})
+	approx(t, n.VirtualNow(), 2, 1e-9, "two sequential group waits")
+}
+
+func TestNestedGoFanOut(t *testing.T) {
+	// Goroutines spawning goroutines, netsim must track all of them.
+	n := newTestNet(NodeConfig{})
+	n.SetLink("client", "csp", LinkConfig{UpBps: 10 * MB, DownBps: 10 * MB})
+	n.Run(func() {
+		outer := n.NewGroup()
+		for i := 0; i < 3; i++ {
+			outer.Add(1)
+			n.Go(func() {
+				defer outer.Done()
+				inner := n.NewGroup()
+				for j := 0; j < 2; j++ {
+					inner.Add(1)
+					n.Go(func() {
+						defer inner.Done()
+						_ = n.Transfer("client", "csp", Up, 10*MB)
+					})
+				}
+				inner.Wait()
+			})
+		}
+		outer.Wait()
+	})
+	// 6 concurrent flows of 10MB on a 10MB/s link: 6s.
+	approx(t, n.VirtualNow(), 6, 1e-6, "nested fan-out")
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	n := New(time.Time{})
+	n.AddNode("c", NodeConfig{})
+	n.AddNode("c", NodeConfig{})
+}
+
+func TestBadLinkCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-cap SetLink did not panic")
+		}
+	}()
+	n := New(time.Time{})
+	n.AddNode("c", NodeConfig{})
+	n.SetLink("c", "x", LinkConfig{UpBps: 0, DownBps: 1})
+}
+
+func TestTwoClientNodes(t *testing.T) {
+	// Two clients with separate aggregate caps talking to one CSP: the CSP
+	// side is modeled per client-link, so they do not interfere.
+	n := New(time.Time{})
+	n.AddNode("alice", NodeConfig{UpBps: 10 * MB})
+	n.AddNode("bob", NodeConfig{UpBps: 5 * MB})
+	n.SetLink("alice", "csp", LinkConfig{UpBps: 20 * MB, DownBps: 20 * MB})
+	n.SetLink("bob", "csp", LinkConfig{UpBps: 20 * MB, DownBps: 20 * MB})
+	var ta, tb float64
+	n.Run(func() {
+		g := n.NewGroup()
+		g.Add(2)
+		n.Go(func() { defer g.Done(); _ = n.Transfer("alice", "csp", Up, 50*MB); ta = n.VirtualNow() })
+		n.Go(func() { defer g.Done(); _ = n.Transfer("bob", "csp", Up, 50*MB); tb = n.VirtualNow() })
+		g.Wait()
+	})
+	approx(t, ta, 5, 1e-6, "alice at 10MB/s")
+	approx(t, tb, 10, 1e-6, "bob at 5MB/s")
+}

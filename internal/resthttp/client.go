@@ -1,0 +1,171 @@
+package resthttp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"repro/internal/csp"
+)
+
+// Store is a csp.Store talking the resthttp protocol — the connector role
+// of the paper's Figure 10 ("cloud connectors for popular commercial
+// CSPs"), for providers that serve this protocol (cmd/cyruscsp, or any
+// compatible implementation).
+type Store struct {
+	name    string
+	baseURL string
+	client  *http.Client
+
+	mu    sync.Mutex
+	token string
+}
+
+// NewStore builds a connector for the provider at baseURL (e.g.
+// "http://localhost:8081"). httpClient may be nil for http.DefaultClient.
+func NewStore(name, baseURL string, httpClient *http.Client) *Store {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Store{name: name, baseURL: baseURL, client: httpClient}
+}
+
+// Name implements csp.Store.
+func (s *Store) Name() string { return s.name }
+
+func (s *Store) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	s.mu.Lock()
+	token := s.token
+	s.mu.Unlock()
+	if token == "" {
+		return nil, fmt.Errorf("%w: %s", csp.ErrUnauthorized, s.name)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.baseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, s.name, err)
+	}
+	return resp, nil
+}
+
+// mapStatus converts an HTTP status to the csp error taxonomy.
+func (s *Store) mapStatus(resp *http.Response) error {
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	text := fmt.Sprintf("%s: http %d: %s", s.name, resp.StatusCode, bytes.TrimSpace(msg))
+	switch resp.StatusCode {
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return fmt.Errorf("%w: %s", csp.ErrUnauthorized, text)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", csp.ErrNotFound, text)
+	case http.StatusInsufficientStorage:
+		return fmt.Errorf("%w: %s", csp.ErrOverCapacity, text)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", csp.ErrUnavailable, text)
+	default:
+		return fmt.Errorf("%w: %s", csp.ErrUnavailable, text)
+	}
+}
+
+// Authenticate implements csp.Store: it validates the token against the
+// provider's auth endpoint and caches it for subsequent calls.
+func (s *Store) Authenticate(ctx context.Context, creds csp.Credentials) error {
+	if creds.Token == "" {
+		return fmt.Errorf("%w: empty token for %s", csp.ErrUnauthorized, s.name)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.baseURL+"/v1/auth", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+creds.Token)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, s.name, err)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return s.mapStatus(resp)
+	}
+	resp.Body.Close()
+	s.mu.Lock()
+	s.token = creds.Token
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements csp.Store.
+func (s *Store) List(ctx context.Context, prefix string) ([]csp.ObjectInfo, error) {
+	resp, err := s.do(ctx, http.MethodGet, "/v1/objects?prefix="+url.QueryEscape(prefix), nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, s.mapStatus(resp)
+	}
+	defer resp.Body.Close()
+	var raw []objectInfoJSON
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("%w: %s: bad listing: %v", csp.ErrUnavailable, s.name, err)
+	}
+	out := make([]csp.ObjectInfo, 0, len(raw))
+	for _, o := range raw {
+		out = append(out, csp.ObjectInfo{Name: o.Name, Size: o.Size, Modified: o.Modified})
+	}
+	return out, nil
+}
+
+// Upload implements csp.Store.
+func (s *Store) Upload(ctx context.Context, name string, data []byte) error {
+	resp, err := s.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(name), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return s.mapStatus(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Download implements csp.Store.
+func (s *Store) Download(ctx context.Context, name string) ([]byte, error) {
+	resp, err := s.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, s.mapStatus(resp)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxObjectBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, s.name, err)
+	}
+	return data, nil
+}
+
+// Delete implements csp.Store.
+func (s *Store) Delete(ctx context.Context, name string) error {
+	resp, err := s.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return s.mapStatus(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+var _ csp.Store = (*Store)(nil)

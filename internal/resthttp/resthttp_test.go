@@ -1,0 +1,230 @@
+package resthttp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/chunker"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+)
+
+var bg = context.Background()
+
+// provider spins up one HTTP CSP and returns its connector (already
+// authenticated when auth is true) plus the backend for fault injection.
+func provider(t *testing.T, name, token string, auth bool) (*Store, *cloudsim.Backend) {
+	t.Helper()
+	identity := csp.NameKeyed
+	if name[len(name)-1]%2 == 0 {
+		identity = csp.IDKeyed
+	}
+	b := cloudsim.NewBackend(name, identity, 0)
+	srv, err := NewServer(b, token, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	s := NewStore(name, ts.URL+"/", nil) // trailing slash is normalized
+	if auth {
+		if err := s.Authenticate(bg, csp.Credentials{Token: token}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, b
+}
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	s, _ := provider(t, "httpcsp1", "secret", true)
+
+	if err := s.Upload(bg, "dir/obj with spaces & percent%", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Download(bg, "dir/obj with spaces & percent%")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("download = %q, %v", got, err)
+	}
+	infos, err := s.List(bg, "dir/")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+	if infos[0].Name != "dir/obj with spaces & percent%" || infos[0].Size != 7 {
+		t.Fatalf("info = %+v", infos[0])
+	}
+	if err := s.Delete(bg, "dir/obj with spaces & percent%"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Download(bg, "dir/obj with spaces & percent%"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("deleted download err = %v", err)
+	}
+	if err := s.Delete(bg, "never-existed"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("delete missing err = %v", err)
+	}
+}
+
+func TestHTTPAuthRequired(t *testing.T) {
+	s, _ := provider(t, "httpcsp1", "secret", false)
+	if err := s.Upload(bg, "x", []byte("y")); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("unauthenticated upload err = %v", err)
+	}
+	if err := s.Authenticate(bg, csp.Credentials{Token: "wrong"}); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("wrong token err = %v", err)
+	}
+	if err := s.Authenticate(bg, csp.Credentials{}); !errors.Is(err, csp.ErrUnauthorized) {
+		t.Fatalf("empty token err = %v", err)
+	}
+	if err := s.Authenticate(bg, csp.Credentials{Token: "secret"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Upload(bg, "x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s, b := provider(t, "httpcsp1", "secret", true)
+	b.SetAvailable(false)
+	if err := s.Upload(bg, "x", []byte("y")); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("down upload err = %v", err)
+	}
+	b.SetAvailable(true)
+
+	// Capacity via a fresh capped backend.
+	capped := cloudsim.NewBackend("tiny", csp.NameKeyed, 4)
+	srv, err := NewServer(capped, "tok", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cs := NewStore("tiny", ts.URL, nil)
+	if err := cs.Authenticate(bg, csp.Credentials{Token: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Upload(bg, "big", []byte("more than four")); !errors.Is(err, csp.ErrOverCapacity) {
+		t.Fatalf("over-capacity err = %v", err)
+	}
+	// Admin endpoints are absent when admin=false.
+	resp, err := http.Post(ts.URL+"/admin/fail?n=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("admin endpoint exposed: %d", resp.StatusCode)
+	}
+	// Unreachable server maps to ErrUnavailable.
+	dead := NewStore("dead", "http://127.0.0.1:1", nil)
+	_ = dead.Authenticate(bg, csp.Credentials{Token: "t"})
+	if err := dead.Authenticate(bg, csp.Credentials{Token: "t"}); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("dead server err = %v", err)
+	}
+}
+
+func TestHTTPAdminFaultInjection(t *testing.T) {
+	s, _ := provider(t, "httpcsp1", "secret", true)
+	// Use the admin endpoint over the same base URL.
+	req, _ := http.NewRequest(http.MethodPost, s.baseURL+"/admin/fail?n=1", nil)
+	req.Header.Set("Authorization", "Bearer secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("admin fail status %d", resp.StatusCode)
+	}
+	if err := s.Upload(bg, "x", []byte("y")); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("injected fault err = %v", err)
+	}
+	if err := s.Upload(bg, "x", []byte("y")); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}
+
+// TestFullCyrusCloudOverHTTP is the end-to-end integration: a complete
+// CYRUS client running against four HTTP providers over real sockets.
+func TestFullCyrusCloudOverHTTP(t *testing.T) {
+	var stores []csp.Store
+	backends := map[string]*cloudsim.Backend{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("httpcsp%d", i+1)
+		s, b := provider(t, name, "secret", true)
+		stores = append(stores, s)
+		backends[name] = b
+	}
+	client, err := core.New(core.Config{
+		ClientID: "http-client", Key: "wire-key", T: 2, N: 3,
+		Chunking: chunker.Config{AverageSize: 4096, MinSize: 1024, MaxSize: 16384},
+	}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := bytes.Repeat([]byte("over the wire "), 2000)
+	if err := client.Put(bg, "wired.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Get(bg, "wired.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip over HTTP: %v", err)
+	}
+
+	// One provider fails; the client still reads (n-t tolerance) over the
+	// wire.
+	var victim string
+	for name, b := range backends {
+		if b.Stats().Objects > 0 {
+			victim = name
+			b.SetAvailable(false)
+			break
+		}
+	}
+	got, _, err = client.Get(bg, "wired.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read with %s down over HTTP: %v", victim, err)
+	}
+
+	// A second device recovers everything over HTTP.
+	var stores2 []csp.Store
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("httpcsp%d", i+1)
+		// Fresh connectors to the same servers.
+		s := NewStore(name, storesBase(t, stores[i]), nil)
+		if err := s.Authenticate(bg, csp.Credentials{Token: "secret"}); err != nil {
+			t.Fatal(err)
+		}
+		stores2 = append(stores2, s)
+	}
+	second, err := core.New(core.Config{
+		ClientID: "second", Key: "wire-key", T: 2, N: 3,
+		Chunking: chunker.Config{AverageSize: 4096, MinSize: 1024, MaxSize: 16384},
+	}, stores2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Recover(bg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = second.Get(bg, "wired.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("second device over HTTP: %v", err)
+	}
+}
+
+// storesBase extracts the base URL from an existing connector.
+func storesBase(t *testing.T, s csp.Store) string {
+	t.Helper()
+	hs, ok := s.(*Store)
+	if !ok {
+		t.Fatal("not a resthttp store")
+	}
+	return hs.baseURL
+}

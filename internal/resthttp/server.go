@@ -1,0 +1,209 @@
+// Package resthttp puts CYRUS's five-call provider interface on the wire:
+// a JSON/REST protocol of the shape commercial CSPs expose (paper Table 2
+// — "JSON, REST, OAuth 2.0"), with a Server that any blob backend can
+// serve and a Store connector implementing csp.Store over HTTP.
+//
+// Protocol (all requests carry "Authorization: Bearer <token>"):
+//
+//	GET    /v1/auth                     -> 204 (validates the token)
+//	GET    /v1/objects?prefix=P         -> 200 JSON [{name,size,modified}]
+//	GET    /v1/objects/<escaped-name>   -> 200 body
+//	PUT    /v1/objects/<escaped-name>   -> 201
+//	DELETE /v1/objects/<escaped-name>   -> 204
+//
+// Error mapping: 401 unauthorized, 404 not found, 503 unavailable,
+// 507 over capacity. The test/admin endpoints POST /admin/available and
+// POST /admin/fail drive the backend's fault injection for integration
+// tests and demos.
+package resthttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+)
+
+// maxObjectBytes bounds a single uploaded object (shares are chunk-sized;
+// 1 GiB leaves room for unchunked demo files).
+const maxObjectBytes = 1 << 30
+
+// objectInfoJSON is the wire form of csp.ObjectInfo.
+type objectInfoJSON struct {
+	Name     string    `json:"name"`
+	Size     int64     `json:"size"`
+	Modified time.Time `json:"modified"`
+}
+
+// Server serves one provider. Create with NewServer and mount its Handler.
+type Server struct {
+	backend *cloudsim.Backend
+	store   *cloudsim.SimStore // authenticated pass-through to the backend
+	token   string
+	admin   bool
+}
+
+// NewServer wraps a backend. token is the bearer token clients must
+// present; admin enables the fault-injection endpoints.
+func NewServer(backend *cloudsim.Backend, token string, admin bool) (*Server, error) {
+	if token == "" {
+		return nil, errors.New("resthttp: empty token")
+	}
+	s := cloudsim.NewSimStore(backend)
+	if err := s.Authenticate(context.Background(), csp.Credentials{Token: token}); err != nil {
+		return nil, err
+	}
+	return &Server{backend: backend, store: s, token: token, admin: admin}, nil
+}
+
+// Handler returns the http.Handler serving the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/auth", s.handleAuth)
+	mux.HandleFunc("/v1/objects", s.handleList)
+	mux.HandleFunc("/v1/objects/", s.handleObject)
+	if s.admin {
+		mux.HandleFunc("/admin/available", s.handleAvailable)
+		mux.HandleFunc("/admin/fail", s.handleFail)
+	}
+	return mux
+}
+
+// authorized validates the bearer token.
+func (s *Server) authorized(r *http.Request) bool {
+	h := r.Header.Get("Authorization")
+	return strings.HasPrefix(h, "Bearer ") && h[len("Bearer "):] == s.token
+}
+
+// writeErr maps backend errors to status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, csp.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, csp.ErrOverCapacity):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	case errors.Is(err, csp.ErrUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, csp.ErrUnauthorized):
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleAuth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	infos, err := s.store.List(r.Context(), r.URL.Query().Get("prefix"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]objectInfoJSON, 0, len(infos))
+	for _, i := range infos {
+		out = append(out, objectInfoJSON{Name: i.Name, Size: i.Size, Modified: i.Modified})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return // client went away
+	}
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	name, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/v1/objects/"))
+	if err != nil || name == "" {
+		http.Error(w, "bad object name", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, err := s.store.Download(r.Context(), name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(data) > maxObjectBytes {
+			http.Error(w, "object too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := s.store.Upload(r.Context(), name, data); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := s.store.Delete(r.Context(), name); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleAvailable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || !s.authorized(r) {
+		http.Error(w, "nope", http.StatusForbidden)
+		return
+	}
+	up := r.URL.Query().Get("up") != "false"
+	s.backend.SetAvailable(up)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || !s.authorized(r) {
+		http.Error(w, "nope", http.StatusForbidden)
+		return
+	}
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		http.Error(w, "bad n", http.StatusBadRequest)
+		return
+	}
+	s.backend.FailNext(n)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+var _ fmt.Stringer = csp.NameKeyed // keep csp linked for the doc reference

@@ -1,0 +1,111 @@
+package selector
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Random selects t source CSPs uniformly at random per chunk — the paper's
+// "random" baseline in Figure 14. Seeded for reproducibility.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Selector.
+func (Random) Name() string { return "random" }
+
+// Select implements Selector.
+func (r Random) Select(in Instance) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	pick := make(map[string][]string, len(in.Chunks))
+	for _, ch := range in.Chunks {
+		stored := append([]string(nil), ch.StoredOn...)
+		sort.Strings(stored)
+		rng.Shuffle(len(stored), func(i, j int) { stored[i], stored[j] = stored[j], stored[i] })
+		pick[ch.ID] = stored[:in.T]
+	}
+	return finish(in, pick), nil
+}
+
+// RoundRobin cycles through the eligible CSPs — the paper's "heuristic"
+// baseline (a round-robin scheme).
+type RoundRobin struct{}
+
+// Name implements Selector.
+func (RoundRobin) Name() string { return "heuristic" }
+
+// Select implements Selector.
+func (RoundRobin) Select(in Instance) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	all := sortedCSPs(in)
+	pick := make(map[string][]string, len(in.Chunks))
+	cursor := 0
+	for _, ch := range in.Chunks {
+		stored := make(map[string]bool, len(ch.StoredOn))
+		for _, c := range ch.StoredOn {
+			stored[c] = true
+		}
+		var chosen []string
+		for scanned := 0; scanned < len(all) && len(chosen) < in.T; scanned++ {
+			c := all[cursor%len(all)]
+			cursor++
+			if stored[c] {
+				chosen = append(chosen, c)
+			}
+		}
+		// The rotation may have skipped eligible CSPs; complete the set
+		// deterministically.
+		if len(chosen) < in.T {
+			for _, c := range ch.StoredOn {
+				if len(chosen) == in.T {
+					break
+				}
+				dup := false
+				for _, x := range chosen {
+					if x == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					chosen = append(chosen, c)
+				}
+			}
+		}
+		pick[ch.ID] = chosen
+	}
+	return finish(in, pick), nil
+}
+
+// Greedy always downloads from the fastest CSPs holding a share — DepSky's
+// policy ("a greedy algorithm that always downloads shares from the fastest
+// CSPs", §7.3). All chunks pile onto the same t fast clouds.
+type Greedy struct{}
+
+// Name implements Selector.
+func (Greedy) Name() string { return "greedy" }
+
+// Select implements Selector.
+func (g Greedy) Select(in Instance) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	pick := make(map[string][]string, len(in.Chunks))
+	for _, ch := range in.Chunks {
+		stored := append([]string(nil), ch.StoredOn...)
+		sort.Slice(stored, func(i, j int) bool {
+			bi, bj := in.LinkBps[stored[i]], in.LinkBps[stored[j]]
+			if bi != bj {
+				return bi > bj
+			}
+			return stored[i] < stored[j]
+		})
+		pick[ch.ID] = stored[:in.T]
+	}
+	return finish(in, pick), nil
+}

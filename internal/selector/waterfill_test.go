@@ -1,0 +1,127 @@
+package selector
+
+import (
+	"math"
+	"testing"
+)
+
+func wf(load []float64, caps []float64, clientBps float64) []float64 {
+	csps := make([]string, len(load))
+	links := map[string]float64{}
+	for i := range load {
+		csps[i] = string(rune('a' + i))
+		links[csps[i]] = caps[i]
+	}
+	return waterfill(load, csps, Instance{LinkBps: links, ClientBps: clientBps})
+}
+
+func TestWaterfillNoClientCap(t *testing.T) {
+	beta := wf([]float64{10, 20}, []float64{5, 7}, 0)
+	if beta[0] != 5 || beta[1] != 7 {
+		t.Fatalf("beta = %v, want link caps", beta)
+	}
+}
+
+func TestWaterfillClientCapNotBinding(t *testing.T) {
+	beta := wf([]float64{10, 20}, []float64{5, 7}, 100)
+	if beta[0] != 5 || beta[1] != 7 {
+		t.Fatalf("beta = %v, want link caps", beta)
+	}
+}
+
+func TestWaterfillProportionalToLoad(t *testing.T) {
+	// Two uncapped-ish links, client cap 10, loads 1:3 — optimal equalizes
+	// load/beta: beta = 2.5 and 7.5.
+	beta := wf([]float64{10, 30}, []float64{100, 100}, 10)
+	if math.Abs(beta[0]-2.5) > 1e-6 || math.Abs(beta[1]-7.5) > 1e-6 {
+		t.Fatalf("beta = %v, want [2.5 7.5]", beta)
+	}
+	// Budget fully used.
+	if math.Abs(beta[0]+beta[1]-10) > 1e-6 {
+		t.Fatalf("budget unused: %v", beta)
+	}
+}
+
+func TestWaterfillRespectsLinkCapUnderClientCap(t *testing.T) {
+	// Load wants to give link 0 most of the budget but its cap binds; the
+	// rest goes where it helps.
+	beta := wf([]float64{30, 10}, []float64{3, 100}, 10)
+	if beta[0] > 3+1e-9 {
+		t.Fatalf("beta[0] = %g exceeds its cap", beta[0])
+	}
+	// Makespan is then bounded by link 0: y = 30/3 = 10; link 1 needs only
+	// 10/10 = 1 to match, and never more than its residual budget.
+	if beta[1] < 1-1e-6 || beta[1] > 7+1e-6 {
+		t.Fatalf("beta[1] = %g out of [1, 7]", beta[1])
+	}
+	// Resulting makespan equals the bound.
+	y := math.Max(30/beta[0], 10/beta[1])
+	if y > 10+1e-6 {
+		t.Fatalf("makespan %g > 10", y)
+	}
+}
+
+func TestWaterfillZeroLoad(t *testing.T) {
+	beta := wf([]float64{0, 0, 0}, []float64{4, 4, 4}, 6)
+	for i, b := range beta {
+		if b <= 0 || b > 4 {
+			t.Fatalf("beta[%d] = %g", i, b)
+		}
+	}
+}
+
+func TestWaterfillIdleLinkGetsPositiveRate(t *testing.T) {
+	beta := wf([]float64{10, 0}, []float64{8, 8}, 6)
+	if beta[1] <= 0 {
+		t.Fatalf("idle link starved: %v", beta)
+	}
+	if beta[0] <= 0 {
+		t.Fatalf("loaded link starved: %v", beta)
+	}
+}
+
+func TestOptimizedDisjointStorageSets(t *testing.T) {
+	// Chunks stored on disjoint provider subsets: selection must stay
+	// within each chunk's own subset and still balance globally.
+	links := map[string]float64{"a": 10 * MB, "b": 10 * MB, "c": 2 * MB, "d": 2 * MB}
+	in := Instance{T: 2, LinkBps: links, Chunks: []Chunk{
+		{ID: "x", ShareSize: 4 * MB, StoredOn: []string{"a", "c"}},
+		{ID: "y", ShareSize: 4 * MB, StoredOn: []string{"b", "d"}},
+	}}
+	a, err := Optimized{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one feasible selection per chunk (t equals stored count).
+	if len(a.Pick["x"]) != 2 || len(a.Pick["y"]) != 2 {
+		t.Fatalf("pick = %v", a.Pick)
+	}
+	want := 4.0 * MB / (2.0 * MB) // gated by the slow providers
+	if math.Abs(a.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %g, want %g", a.Makespan, want)
+	}
+}
+
+func TestOptimizedManyChunksStress(t *testing.T) {
+	links := testbedLinks()
+	in := makeInstance(400, 2, MB, links, 0)
+	a, err := Optimized{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, a)
+	// Load must be spread: no provider takes more than 3x its fair
+	// bandwidth-weighted share.
+	loads := a.LoadBytes(in)
+	var capSum float64
+	for _, c := range links {
+		capSum += c
+	}
+	totalBytes := float64(400 * 2 * MB)
+	for name, l := range loads {
+		fair := totalBytes * links[name] / capSum
+		if float64(l) > 3*fair {
+			t.Fatalf("provider %s overloaded: %d bytes vs fair %.0f", name, l, fair)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package topology infers which CSPs share physical cloud platforms
+// (paper §4.1, Figure 3).
+//
+// CYRUS probes the route from the client to each CSP (the paper uses
+// traceroute), builds a graph from the observed paths, computes its minimal
+// spanning tree rooted at the client, and hierarchically clusters the CSPs
+// by horizontally cutting the tree at a level: CSPs that remain in the same
+// subtree below the cut share infrastructure and must not hold two shares
+// of one chunk.
+//
+// Real traceroute is unavailable offline, so Probe results are produced by
+// a deterministic synthetic route model (SyntheticProber) whose ground
+// truth is the platform column of the provider registry; the inference
+// pipeline itself is implemented exactly as published and works on any
+// Route values.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ClientNode is the label of the probing client, the root of every route.
+const ClientNode = "client"
+
+// Route is one observed path from the client to a CSP, as a sequence of
+// hop labels (router identities). The first hop is the client itself and
+// the last hop is the CSP.
+type Route struct {
+	CSP  string
+	Hops []string
+}
+
+// Validate checks route shape.
+func (r Route) Validate() error {
+	if r.CSP == "" {
+		return errors.New("topology: route with empty CSP")
+	}
+	if len(r.Hops) < 2 {
+		return fmt.Errorf("topology: route to %q has %d hops, need >= 2", r.CSP, len(r.Hops))
+	}
+	if r.Hops[0] != ClientNode {
+		return fmt.Errorf("topology: route to %q does not start at the client", r.CSP)
+	}
+	if r.Hops[len(r.Hops)-1] != r.CSP {
+		return fmt.Errorf("topology: route to %q ends at %q", r.CSP, r.Hops[len(r.Hops)-1])
+	}
+	return nil
+}
+
+// Prober produces routes from the client to each named CSP.
+type Prober interface {
+	Probe(csps []string) ([]Route, error)
+}
+
+// Tree is the minimal spanning tree of the route graph, rooted at the
+// client.
+type Tree struct {
+	parent map[string]string // node -> parent (root maps to "")
+	depth  map[string]int
+	csps   []string
+}
+
+// edge in the route graph; weight is hop distance from the client along
+// the first route that used it.
+type edge struct {
+	a, b   string
+	weight int
+}
+
+// BuildTree constructs the route graph from the given routes and extracts
+// its minimal spanning tree with Kruskal's algorithm, keeping the tree
+// rooted at the client. Edge weights are the hop depth, so the MST
+// reproduces the shared prefixes of the routes: two CSPs whose routes share
+// a deep hop (a platform backbone router) end up in the same deep subtree.
+func BuildTree(routes []Route) (*Tree, error) {
+	if len(routes) == 0 {
+		return nil, errors.New("topology: no routes")
+	}
+	var edges []edge
+	seenEdge := map[[2]string]bool{}
+	nodes := map[string]bool{ClientNode: true}
+	var csps []string
+	for _, r := range routes {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		csps = append(csps, r.CSP)
+		for i := 1; i < len(r.Hops); i++ {
+			a, b := r.Hops[i-1], r.Hops[i]
+			nodes[a], nodes[b] = true, true
+			key := [2]string{a, b}
+			if a > b {
+				key = [2]string{b, a}
+			}
+			if !seenEdge[key] {
+				seenEdge[key] = true
+				edges = append(edges, edge{a, b, i})
+			}
+		}
+	}
+	// Kruskal: sort edges by weight (then lexicographically for
+	// determinism) and union.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight < edges[j].weight
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	uf := newUnionFind()
+	adj := map[string][]string{}
+	for _, e := range edges {
+		if uf.union(e.a, e.b) {
+			adj[e.a] = append(adj[e.a], e.b)
+			adj[e.b] = append(adj[e.b], e.a)
+		}
+	}
+
+	// Root the tree at the client with a BFS.
+	t := &Tree{parent: map[string]string{ClientNode: ""}, depth: map[string]int{ClientNode: 0}, csps: csps}
+	queue := []string{ClientNode}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		children := append([]string(nil), adj[cur]...)
+		sort.Strings(children)
+		for _, nb := range children {
+			if _, ok := t.parent[nb]; ok {
+				continue
+			}
+			t.parent[nb] = cur
+			t.depth[nb] = t.depth[cur] + 1
+			queue = append(queue, nb)
+		}
+	}
+	for _, c := range csps {
+		if _, ok := t.parent[c]; !ok {
+			return nil, fmt.Errorf("topology: CSP %q not reachable from client in MST", c)
+		}
+	}
+	sort.Strings(t.csps)
+	return t, nil
+}
+
+// CSPs returns the leaf CSPs, sorted.
+func (t *Tree) CSPs() []string { return append([]string(nil), t.csps...) }
+
+// Depth returns the depth of a node (client = 0), or -1 if unknown.
+func (t *Tree) Depth(node string) int {
+	d, ok := t.depth[node]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// AncestorAt returns the ancestor of node at the given depth. If the node
+// is shallower than depth, the node itself is returned.
+func (t *Tree) AncestorAt(node string, depth int) string {
+	cur := node
+	for t.depth[cur] > depth {
+		cur = t.parent[cur]
+	}
+	return cur
+}
+
+// ClustersAt cuts the tree horizontally at the given depth and groups CSPs
+// by the subtree they fall in (paper: "we hierarchically cluster the CSPs
+// by horizontally cutting the tree at a given level"). Each cluster is
+// sorted; clusters are sorted by their first member.
+func (t *Tree) ClustersAt(depth int) [][]string {
+	if depth < 1 {
+		depth = 1
+	}
+	groups := map[string][]string{}
+	for _, c := range t.csps {
+		anc := t.AncestorAt(c, depth)
+		groups[anc] = append(groups[anc], c)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		sort.Strings(groups[k])
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return groups[keys[i]][0] < groups[keys[j]][0] })
+	out := make([][]string, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// ClusterMap returns csp -> cluster-id for the cut at the given depth, in
+// the format hashring.SelectClustered expects.
+func (t *Tree) ClusterMap(depth int) map[string]string {
+	m := make(map[string]string, len(t.csps))
+	for _, c := range t.csps {
+		m[c] = t.AncestorAt(c, depth)
+	}
+	return m
+}
+
+// union-find for Kruskal.
+type unionFind struct{ parent map[string]string }
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *unionFind) union(a, b string) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRouteValidate(t *testing.T) {
+	good := Route{CSP: "box", Hops: []string{ClientNode, "h1", "box"}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Route{
+		{CSP: "", Hops: []string{ClientNode, "x"}},
+		{CSP: "box", Hops: []string{"box"}},
+		{CSP: "box", Hops: []string{"h0", "box"}},
+		{CSP: "box", Hops: []string{ClientNode, "h1", "notbox"}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad route %d validated", i)
+		}
+	}
+}
+
+func TestBuildTreeSharedPlatform(t *testing.T) {
+	routes := []Route{
+		{CSP: "s3", Hops: []string{ClientNode, "isp", "transit", "amazon", "s3"}},
+		{CSP: "dropbox", Hops: []string{ClientNode, "isp", "transit", "amazon", "dropbox"}},
+		{CSP: "gdrive", Hops: []string{ClientNode, "isp", "transit", "google", "gdrive"}},
+	}
+	tree, err := BuildTree(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := tree.ClustersAt(3)
+	want := [][]string{{"dropbox", "s3"}, {"gdrive"}}
+	if !reflect.DeepEqual(clusters, want) {
+		t.Fatalf("ClustersAt(3) = %v, want %v", clusters, want)
+	}
+	// Cutting at depth 1 merges everything (same ISP).
+	all := tree.ClustersAt(1)
+	if len(all) != 1 || len(all[0]) != 3 {
+		t.Fatalf("ClustersAt(1) = %v, want one cluster of 3", all)
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	if _, err := BuildTree(nil); err == nil {
+		t.Fatal("empty routes accepted")
+	}
+	if _, err := BuildTree([]Route{{CSP: "x", Hops: []string{"y", "x"}}}); err == nil {
+		t.Fatal("invalid route accepted")
+	}
+}
+
+func TestTreeDepthAndAncestor(t *testing.T) {
+	routes := []Route{
+		{CSP: "a", Hops: []string{ClientNode, "h1", "h2", "a"}},
+	}
+	tree, err := BuildTree(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(ClientNode); d != 0 {
+		t.Fatalf("client depth = %d", d)
+	}
+	if d := tree.Depth("a"); d != 3 {
+		t.Fatalf("leaf depth = %d", d)
+	}
+	if d := tree.Depth("missing"); d != -1 {
+		t.Fatalf("missing depth = %d", d)
+	}
+	if got := tree.AncestorAt("a", 1); got != "h1" {
+		t.Fatalf("AncestorAt(a, 1) = %q", got)
+	}
+	if got := tree.AncestorAt("h1", 3); got != "h1" {
+		t.Fatalf("AncestorAt(shallow node) = %q", got)
+	}
+}
+
+// paperPlatforms mirrors Table 2's asterisks: five CSPs resolve into Amazon
+// infrastructure.
+var paperPlatforms = map[string]string{
+	"amazon-s3":     "amazon",
+	"digitalbucket": "amazon",
+	"bitcasa":       "amazon",
+	"cloudapp":      "amazon",
+	"safecreative":  "amazon",
+}
+
+func paperCSPs() []string {
+	return []string{
+		"amazon-s3", "box", "dropbox", "onedrive", "google-drive",
+		"sugarsync", "cloudmine", "rackspace", "copy", "sharefile",
+		"4shared", "digitalbucket", "bitcasa", "egnyte", "mediafire",
+		"hp-cloud", "cloudapp", "safecreative", "filesanywhere", "centurylink",
+	}
+}
+
+func TestInferClustersRecoversAmazonGroup(t *testing.T) {
+	prober := &SyntheticProber{PlatformOf: paperPlatforms}
+	clusterOf, clusters, err := InferClusters(prober, paperCSPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The five Amazon-hosted CSPs must share one cluster id.
+	amazonID := clusterOf["amazon-s3"]
+	for csp := range paperPlatforms {
+		if clusterOf[csp] != amazonID {
+			t.Errorf("%s clustered as %q, want %q", csp, clusterOf[csp], amazonID)
+		}
+	}
+	// Everyone else must be alone.
+	for _, csp := range paperCSPs() {
+		if _, hosted := paperPlatforms[csp]; hosted {
+			continue
+		}
+		if clusterOf[csp] == amazonID {
+			t.Errorf("%s wrongly joined the amazon cluster", csp)
+		}
+	}
+	// 20 CSPs, 5 shared -> 16 clusters.
+	if len(clusters) != 16 {
+		t.Fatalf("got %d clusters, want 16", len(clusters))
+	}
+}
+
+func TestSyntheticProberNoiseKeepsClusters(t *testing.T) {
+	prober := &SyntheticProber{PlatformOf: paperPlatforms, Noise: 2}
+	clusterOf, _, err := InferClusters(prober, paperCSPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusterOf["bitcasa"] != clusterOf["cloudapp"] {
+		t.Fatal("noise hops broke platform clustering")
+	}
+	if clusterOf["box"] == clusterOf["bitcasa"] {
+		t.Fatal("noise hops merged unrelated CSPs")
+	}
+}
+
+func TestSyntheticProberDeterministicAndSorted(t *testing.T) {
+	prober := &SyntheticProber{PlatformOf: paperPlatforms}
+	a, err := prober.Probe([]string{"zeta", "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := prober.Probe([]string{"alpha", "zeta"})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("probe output depends on input order")
+	}
+	if a[0].CSP != "alpha" {
+		t.Fatalf("routes not sorted: %v", a[0].CSP)
+	}
+}
+
+func TestSyntheticProberRegions(t *testing.T) {
+	us := &SyntheticProber{Region: "us"}
+	kr := &SyntheticProber{Region: "kr"}
+	ru, _ := us.Probe([]string{"box"})
+	rk, _ := kr.Probe([]string{"box"})
+	if reflect.DeepEqual(ru[0].Hops, rk[0].Hops) {
+		t.Fatal("regions produce identical routes")
+	}
+	for _, h := range ru[0].Hops {
+		if strings.Contains(h, "kr") {
+			t.Fatalf("us route contains kr hop %q", h)
+		}
+	}
+}
+
+func TestClusterMapMatchesClusters(t *testing.T) {
+	prober := &SyntheticProber{PlatformOf: paperPlatforms}
+	routes, err := prober.Probe(paperCSPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := tree.ClusterMap(PlatformDepth)
+	for _, cluster := range tree.ClustersAt(PlatformDepth) {
+		for _, csp := range cluster {
+			if cm[csp] != cm[cluster[0]] {
+				t.Fatalf("ClusterMap disagrees with ClustersAt for %s", csp)
+			}
+		}
+	}
+}

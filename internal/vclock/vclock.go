@@ -1,0 +1,45 @@
+// Package vclock abstracts the scheduler and clock so the same CYRUS client
+// code runs both in real time (production: goroutines, sync.WaitGroup,
+// time.Sleep) and under internal/netsim's deterministic virtual time (all
+// latency experiments).
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Group is the subset of sync.WaitGroup CYRUS needs to join parallel share
+// transfers.
+type Group interface {
+	Add(delta int)
+	Done()
+	Wait()
+}
+
+// Runtime supplies concurrency and time. Implementations: Real (this
+// package) and *netsim.Network.
+type Runtime interface {
+	// Go runs fn concurrently. Under virtual time the goroutine is
+	// registered with the scheduler; fn must only block through the same
+	// Runtime (Sleep, Group.Wait) or through operations that are themselves
+	// Runtime-aware (netsim transfers).
+	Go(fn func())
+	// NewGroup returns a fresh join barrier.
+	NewGroup() Group
+	// Sleep suspends the caller.
+	Sleep(d time.Duration)
+	// Now returns the current (possibly virtual) wall-clock time.
+	Now() time.Time
+}
+
+type realRuntime struct{}
+
+// Real returns the production runtime backed by the Go scheduler and the
+// system clock.
+func Real() Runtime { return realRuntime{} }
+
+func (realRuntime) Go(fn func())          { go fn() }
+func (realRuntime) NewGroup() Group       { return &sync.WaitGroup{} }
+func (realRuntime) Sleep(d time.Duration) { time.Sleep(d) }
+func (realRuntime) Now() time.Time        { return time.Now() }

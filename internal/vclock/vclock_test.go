@@ -1,0 +1,33 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealRuntime(t *testing.T) {
+	rt := Real()
+
+	// Go + Group join.
+	var ran atomic.Int32
+	g := rt.NewGroup()
+	for i := 0; i < 4; i++ {
+		g.Add(1)
+		rt.Go(func() {
+			defer g.Done()
+			ran.Add(1)
+		})
+	}
+	g.Wait()
+	if ran.Load() != 4 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+
+	// Sleep advances the real clock.
+	before := rt.Now()
+	rt.Sleep(10 * time.Millisecond)
+	if elapsed := rt.Now().Sub(before); elapsed < 10*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload synthesizes the evaluation datasets and edit traces the
+// paper's experiments use.
+//
+// Table 4's testbed dataset (172 files, 638.43 MB across seven file types)
+// is reproduced exactly at scale 1.0: per-extension file counts and total
+// bytes match the published table. Contents are seeded-random with a
+// configurable cross-file redundancy fraction so deduplication has
+// something to find, as real document corpora do.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ExtSpec is one row of Table 4.
+type ExtSpec struct {
+	Ext        string
+	Files      int
+	TotalBytes int64
+}
+
+// Table4 is the paper's testbed dataset composition, verbatim.
+func Table4() []ExtSpec {
+	return []ExtSpec{
+		{"pdf", 70, 60_575_608},
+		{"pptx", 11, 12_263_894},
+		{"docx", 15, 9_844_628},
+		{"jpg", 55, 151_918_946},
+		{"mov", 7, 351_603_110},
+		{"apk", 10, 4_872_703},
+		{"ipa", 4, 47_354_590},
+	}
+}
+
+// Table4TotalBytes is the published dataset size (638.43 MB).
+const Table4TotalBytes = 638_433_479
+
+// File is one synthesized file.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// Config controls dataset synthesis.
+type Config struct {
+	// Seed fixes the generator; equal configs produce identical datasets.
+	Seed int64
+	// Scale multiplies all file sizes (1.0 = the paper's 638 MB). File
+	// counts are preserved. Default 1.0.
+	Scale float64
+	// Redundancy in [0, 1) is the fraction of each file drawn from a
+	// shared block pool, giving cross-file duplicate chunks. Default 0.
+	Redundancy float64
+	// Specs defaults to Table4().
+	Specs []ExtSpec
+}
+
+// Generate synthesizes the dataset. File sizes within an extension follow
+// a deterministic spread around the mean (0.4x to 2.2x) and are adjusted
+// so per-extension totals match the spec exactly (after scaling).
+func Generate(cfg Config) ([]File, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Scale < 0 || cfg.Redundancy < 0 || cfg.Redundancy >= 1 {
+		return nil, fmt.Errorf("workload: bad config scale=%g redundancy=%g", cfg.Scale, cfg.Redundancy)
+	}
+	specs := cfg.Specs
+	if specs == nil {
+		specs = Table4()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared pool for redundancy: 64 KiB blocks.
+	const poolBlock = 64 << 10
+	pool := make([]byte, 64*poolBlock)
+	rng.Read(pool)
+
+	var files []File
+	for _, spec := range specs {
+		if spec.Files <= 0 {
+			return nil, fmt.Errorf("workload: %s has %d files", spec.Ext, spec.Files)
+		}
+		total := int64(float64(spec.TotalBytes) * cfg.Scale)
+		sizes := spreadSizes(rng, spec.Files, total)
+		for i, size := range sizes {
+			data := make([]byte, size)
+			rng.Read(data)
+			// Overwrite a redundant prefix fraction with pool blocks so
+			// identical chunks recur across files.
+			if cfg.Redundancy > 0 {
+				red := int(float64(size) * cfg.Redundancy)
+				for off := 0; off < red; off += poolBlock {
+					bi := rng.Intn(64)
+					n := copy(data[off:min(off+poolBlock, red)], pool[bi*poolBlock:(bi+1)*poolBlock])
+					_ = n
+				}
+			}
+			files = append(files, File{
+				Name: fmt.Sprintf("%s/file-%03d.%s", spec.Ext, i, spec.Ext),
+				Data: data,
+			})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	return files, nil
+}
+
+// spreadSizes splits total bytes over n files with a deterministic spread,
+// summing exactly to total.
+func spreadSizes(rng *rand.Rand, n int, total int64) []int64 {
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = 0.4 + 1.8*rng.Float64()
+		sum += weights[i]
+	}
+	sizes := make([]int64, n)
+	var used int64
+	for i := range sizes {
+		sizes[i] = int64(float64(total) * weights[i] / sum)
+		used += sizes[i]
+	}
+	sizes[n-1] += total - used // exact total
+	if sizes[n-1] < 0 {
+		sizes[n-1] = 0
+	}
+	return sizes
+}
+
+// Stats summarizes a dataset per extension — the Table-4 view.
+type Stats struct {
+	Ext      string
+	Files    int
+	Total    int64
+	AvgBytes int64
+}
+
+// Summarize recomputes Table 4 from a generated dataset.
+func Summarize(files []File) []Stats {
+	byExt := map[string]*Stats{}
+	var order []string
+	for _, f := range files {
+		ext := extOf(f.Name)
+		s, ok := byExt[ext]
+		if !ok {
+			s = &Stats{Ext: ext}
+			byExt[ext] = s
+			order = append(order, ext)
+		}
+		s.Files++
+		s.Total += int64(len(f.Data))
+	}
+	sort.Strings(order)
+	out := make([]Stats, 0, len(order))
+	for _, ext := range order {
+		s := byExt[ext]
+		s.AvgBytes = s.Total / int64(s.Files)
+		out = append(out, *s)
+	}
+	return out
+}
+
+func extOf(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+		if name[i] == '/' {
+			break
+		}
+	}
+	return ""
+}
+
+// Edit returns a copy of data with an in-place modification of editLen
+// bytes at a deterministic position — the incremental-update workload used
+// to exercise content-defined chunking and dedup.
+func Edit(data []byte, seed int64, editLen int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 || editLen <= 0 {
+		return out
+	}
+	if editLen > len(out) {
+		editLen = len(out)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	off := 0
+	if len(out) > editLen {
+		off = rng.Intn(len(out) - editLen)
+	}
+	patch := make([]byte, editLen)
+	rng.Read(patch)
+	copy(out[off:], patch)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

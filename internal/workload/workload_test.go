@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chunker"
+)
+
+func TestGenerateMatchesTable4(t *testing.T) {
+	files, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 172 {
+		t.Fatalf("generated %d files, Table 4 has 172", len(files))
+	}
+	var total int64
+	for _, f := range files {
+		total += int64(len(f.Data))
+	}
+	if total != Table4TotalBytes {
+		t.Fatalf("total = %d bytes, Table 4 says %d", total, Table4TotalBytes)
+	}
+	stats := Summarize(files)
+	want := map[string]ExtSpec{}
+	for _, s := range Table4() {
+		want[s.Ext] = s
+	}
+	for _, s := range stats {
+		w := want[s.Ext]
+		if s.Files != w.Files || s.Total != w.TotalBytes {
+			t.Errorf("%s: %d files / %d bytes, want %d / %d", s.Ext, s.Files, s.Total, w.Files, w.TotalBytes)
+		}
+	}
+}
+
+func TestGenerateScaled(t *testing.T) {
+	files, err := Generate(Config{Seed: 2, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 172 {
+		t.Fatalf("scaling changed file count: %d", len(files))
+	}
+	var total int64
+	for _, f := range files {
+		total += int64(len(f.Data))
+	}
+	// ~1% of 638MB with rounding slack.
+	if total < Table4TotalBytes/150 || total > Table4TotalBytes/50 {
+		t.Fatalf("scaled total = %d", total)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{Seed: 7, Scale: 0.001})
+	b, _ := Generate(Config{Seed: 7, Scale: 0.001})
+	if len(a) != len(b) {
+		t.Fatal("file counts differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	c, _ := Generate(Config{Seed: 8, Scale: 0.001})
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Data, c[i].Data) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Scale: -1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := Generate(Config{Redundancy: 1.0}); err == nil {
+		t.Fatal("redundancy 1.0 accepted")
+	}
+	if _, err := Generate(Config{Specs: []ExtSpec{{"x", 0, 10}}}); err == nil {
+		t.Fatal("zero files accepted")
+	}
+}
+
+func TestRedundancyCreatesDuplicateChunks(t *testing.T) {
+	ch, err := chunker.New(chunker.Config{AverageSize: 64 << 10, MinSize: 16 << 10, MaxSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniqueFraction := func(files []File) float64 {
+		seen := map[string]bool{}
+		total, unique := 0, 0
+		for _, f := range files {
+			for _, c := range ch.Split(f.Data) {
+				total++
+				key := string(c.Data[:min(64, len(c.Data))]) // cheap fingerprint for the test
+				if !seen[key] {
+					seen[key] = true
+					unique++
+				}
+			}
+		}
+		return float64(unique) / float64(total)
+	}
+	plain, _ := Generate(Config{Seed: 3, Scale: 0.02})
+	dedupable, _ := Generate(Config{Seed: 3, Scale: 0.02, Redundancy: 0.5})
+	if uf := uniqueFraction(plain); uf < 0.99 {
+		t.Fatalf("random dataset has duplicate chunks: %.2f unique", uf)
+	}
+	if uf := uniqueFraction(dedupable); uf > 0.9 {
+		t.Fatalf("redundant dataset has no duplicate chunks: %.2f unique", uf)
+	}
+}
+
+func TestEdit(t *testing.T) {
+	orig := make([]byte, 10_000)
+	edited := Edit(orig, 1, 64)
+	if bytes.Equal(orig, edited) {
+		t.Fatal("edit changed nothing")
+	}
+	if len(edited) != len(orig) {
+		t.Fatal("edit changed length")
+	}
+	diff := 0
+	for i := range orig {
+		if orig[i] != edited[i] {
+			diff++
+		}
+	}
+	if diff > 64 {
+		t.Fatalf("edit touched %d bytes", diff)
+	}
+	// Edge cases.
+	if got := Edit(nil, 1, 10); len(got) != 0 {
+		t.Fatal("editing empty data")
+	}
+	if got := Edit([]byte{1, 2}, 1, 100); len(got) != 2 {
+		t.Fatal("oversized edit")
+	}
+}
+
+func TestSummarizeExtParsing(t *testing.T) {
+	files := []File{
+		{Name: "a/b.pdf", Data: make([]byte, 10)},
+		{Name: "noext", Data: make([]byte, 5)},
+	}
+	stats := Summarize(files)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
