@@ -83,6 +83,108 @@ func (b *Backend) FailNext(n int) {
 	b.failNext = n
 }
 
+// SetCapacity changes the provider's byte capacity mid-simulation (0 =
+// unlimited). Shrinking below the bytes already used does not delete
+// anything; it only makes subsequent uploads fail with ErrOverCapacity —
+// the way a real account behaves when its quota is reduced.
+func (b *Backend) SetCapacity(bytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = bytes
+}
+
+// Capacity returns the current byte capacity (0 = unlimited).
+func (b *Backend) Capacity() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// The methods below are the state-dump and fault-injection surface used by
+// the chaos harness (internal/harness). They bypass availability gating,
+// op counters, and transport costs on purpose: they model an omniscient
+// observer (or a byzantine operator) acting directly on the provider's
+// durable state, not a client performing API calls.
+
+// ObjectNames returns the names of all stored objects under prefix, sorted.
+// Ungated: works even while the provider is marked unavailable.
+func (b *Backend) ObjectNames(prefix string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for name, vs := range b.objects {
+		if len(vs) > 0 && hasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PeekObject returns a copy of the latest stored bytes of an object without
+// counting as a download and without availability gating.
+func (b *Backend) PeekObject(name string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return nil, false
+	}
+	return append([]byte(nil), vs[len(vs)-1].data...), true
+}
+
+// MutateObject applies fn to the latest version of an object in place —
+// bit rot and tampering injection. fn receives a copy and returns the new
+// bytes; returning nil keeps the object unchanged. Reports whether the
+// object existed.
+func (b *Backend) MutateObject(name string, fn func([]byte) []byte) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return false
+	}
+	old := vs[len(vs)-1].data
+	mutated := fn(append([]byte(nil), old...))
+	if mutated == nil {
+		return false
+	}
+	b.used += int64(len(mutated)) - int64(len(old))
+	vs[len(vs)-1].data = mutated
+	return true
+}
+
+// InjectObject writes an object directly into the store, bypassing
+// capacity, availability, and identity semantics — used by the harness to
+// seed deliberately invalid states (e.g. a share placed on a provider the
+// placement guard would have refused).
+func (b *Backend) InjectObject(name string, data []byte, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, v := range b.objects[name] {
+		b.used -= int64(len(v.data))
+	}
+	cp := append([]byte(nil), data...)
+	b.objects[name] = []version{{data: cp, modified: now}}
+	b.used += int64(len(cp))
+}
+
+// RemoveObject deletes an object directly (all versions), bypassing gating
+// and counters — models silent durable-state loss at the provider.
+func (b *Backend) RemoveObject(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return false
+	}
+	for _, v := range vs {
+		b.used -= int64(len(v.data))
+	}
+	delete(b.objects, name)
+	return true
+}
+
 // gate applies availability and fault injection; callers hold b.mu.
 func (b *Backend) gateLocked() error {
 	if !b.available {

@@ -1,0 +1,137 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/csp"
+)
+
+// The state-dump and fault-injection surface (ObjectNames, PeekObject,
+// MutateObject, InjectObject, RemoveObject, SetCapacity) backs the chaos
+// harness; these tests pin its contract: direct durable-state access,
+// no gating, no counter side effects.
+
+func TestObjectNamesAndPeekBypassGating(t *testing.T) {
+	t.Parallel()
+	b := NewBackend("s3", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	for _, name := range []string{"meta-2", "meta-1", "chunk-x"} {
+		if err := s.Upload(ctx, name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SetAvailable(false)
+
+	names := b.ObjectNames("meta-")
+	if len(names) != 2 || names[0] != "meta-1" || names[1] != "meta-2" {
+		t.Fatalf("ObjectNames(meta-) = %v, want sorted [meta-1 meta-2]", names)
+	}
+	data, ok := b.PeekObject("chunk-x")
+	if !ok || !bytes.Equal(data, []byte("chunk-x")) {
+		t.Fatalf("PeekObject = %q, %v", data, ok)
+	}
+	if _, ok := b.PeekObject("absent"); ok {
+		t.Fatal("PeekObject(absent) reported existence")
+	}
+	downloads := b.Stats().Downloads
+	if downloads != 0 {
+		t.Fatalf("peeking counted %d downloads", downloads)
+	}
+}
+
+func TestMutateObjectInjectsRot(t *testing.T) {
+	t.Parallel()
+	b := NewBackend("s3", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	if err := s.Upload(ctx, "obj", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.MutateObject("obj", func(d []byte) []byte { d[1] ^= 0xff; return d }) {
+		t.Fatal("MutateObject reported missing object")
+	}
+	got, err := s.Download(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2 ^ 0xff, 3}) {
+		t.Fatalf("mutation not visible to downloads: %v", got)
+	}
+	// Returning nil keeps the object unchanged.
+	if b.MutateObject("obj", func(d []byte) []byte { return nil }) {
+		t.Fatal("nil-returning mutation reported a change")
+	}
+	if b.MutateObject("absent", func(d []byte) []byte { return d }) {
+		t.Fatal("MutateObject invented an object")
+	}
+}
+
+func TestMutateObjectAdjustsUsedBytes(t *testing.T) {
+	t.Parallel()
+	b := NewBackend("s3", csp.NameKeyed, 10)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	if err := s.Upload(ctx, "obj", make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Growing the object through mutation must count against capacity.
+	b.MutateObject("obj", func(d []byte) []byte { return make([]byte, 9) })
+	if err := s.Upload(ctx, "other", make([]byte, 2)); !errors.Is(err, csp.ErrOverCapacity) {
+		t.Fatalf("upload after growth: %v, want ErrOverCapacity", err)
+	}
+}
+
+func TestInjectAndRemoveObject(t *testing.T) {
+	t.Parallel()
+	b := NewBackend("s3", csp.IDKeyed, 3) // capacity smaller than the injected object
+	s := authedStore(t, b)
+	ctx := context.Background()
+
+	b.InjectObject("planted", []byte("oversized"), time.Unix(100, 0))
+	got, err := s.Download(ctx, "planted")
+	if err != nil || string(got) != "oversized" {
+		t.Fatalf("Download(planted) = %q, %v", got, err)
+	}
+
+	if !b.RemoveObject("planted") {
+		t.Fatal("RemoveObject reported missing object")
+	}
+	if b.RemoveObject("planted") {
+		t.Fatal("double remove reported success")
+	}
+	if _, err := s.Download(ctx, "planted"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("download after removal: %v, want ErrNotFound", err)
+	}
+}
+
+func TestSetCapacityShrinkKeepsData(t *testing.T) {
+	t.Parallel()
+	b := NewBackend("s3", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	if err := s.Upload(ctx, "kept", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	b.SetCapacity(16)
+	if got := b.Capacity(); got != 16 {
+		t.Fatalf("Capacity = %d, want 16", got)
+	}
+	// Existing data survives the quota cut; new uploads bounce.
+	if _, err := s.Download(ctx, "kept"); err != nil {
+		t.Fatalf("existing object lost after shrink: %v", err)
+	}
+	if err := s.Upload(ctx, "new", make([]byte, 8)); !errors.Is(err, csp.ErrOverCapacity) {
+		t.Fatalf("upload after shrink: %v, want ErrOverCapacity", err)
+	}
+
+	b.SetCapacity(0)
+	if err := s.Upload(ctx, "new", make([]byte, 8)); err != nil {
+		t.Fatalf("upload after lifting cap: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 // as at most n-t providers are down at once, every acknowledged write
 // remains readable and correct, and failed writes leave no visible state.
 func TestChaos(t *testing.T) {
+	t.Parallel()
 	const (
 		providers = 5 // t=2, n=3: tolerate 1 down among any chunk's holders
 		ops       = 300
@@ -127,6 +128,7 @@ func TestChaos(t *testing.T) {
 // TestChaosRecoverAfterwards verifies that a fresh device can recover the
 // full post-chaos state.
 func TestChaosRecoverAfterwards(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	c := env.client("writer", nil)
 	rng := rand.New(rand.NewSource(77))

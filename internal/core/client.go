@@ -346,6 +346,30 @@ func (c *Client) shareName(chunkID string, index, t int) string {
 	return SharePrefix + hex.EncodeToString(h.Sum(nil))
 }
 
+// Inspection hooks. The chaos harness (internal/harness) audits provider
+// state from outside the client, which requires recomputing the key-derived
+// object names and knowing the configured quorums. These accessors expose
+// exactly that — no mutable internals.
+
+// ID returns the configured ClientID.
+func (c *Client) ID() string { return c.cfg.ClientID }
+
+// MetaQuorum returns MetaT: the number of metadata shares needed (and
+// sufficient) to recover a metadata record.
+func (c *Client) MetaQuorum() int { return c.cfg.MetaT }
+
+// ShareObjectName returns the provider object name under which share
+// `index` of the given chunk is stored at privacy level t.
+func (c *Client) ShareObjectName(chunkID string, index, t int) string {
+	return c.shareName(chunkID, index, t)
+}
+
+// MetaShareObjectName returns the provider object name of one metadata
+// share of the given version.
+func (c *Client) MetaShareObjectName(versionID string, index int) string {
+	return metaShareName(versionID, index)
+}
+
 // Tree exposes the local metadata tree (read-mostly; used by the CLI and
 // experiments).
 func (c *Client) Tree() *metadata.Tree { return c.tree }

@@ -95,6 +95,7 @@ func randData(seed int64, n int) []byte {
 var bg = context.Background()
 
 func TestPutGetRoundTrip(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(1, 10_000)
@@ -114,6 +115,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 }
 
 func TestGetMissingFile(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if _, _, err := c.Get(bg, "ghost"); !errors.Is(err, ErrNoSuchFile) {
@@ -122,6 +124,7 @@ func TestGetMissingFile(t *testing.T) {
 }
 
 func TestEmptyFile(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "empty", nil); err != nil {
@@ -137,6 +140,7 @@ func TestEmptyFile(t *testing.T) {
 }
 
 func TestPutValidation(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "", []byte("x")); err == nil {
@@ -145,6 +149,7 @@ func TestPutValidation(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := New(Config{Key: "k"}, nil); err == nil {
 		t.Fatal("missing ClientID accepted")
 	}
@@ -157,6 +162,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestNoSingleCSPCanReconstruct(t *testing.T) {
+	t.Parallel()
 	// Privacy: with t=2, no provider may hold two shares of one chunk, and
 	// no stored object may contain file plaintext.
 	env := newEnv(t, 4)
@@ -202,6 +208,7 @@ func TestNoSingleCSPCanReconstruct(t *testing.T) {
 }
 
 func TestShareNamesAreOpaque(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "visible-name.txt", randData(2, 5000)); err != nil {
@@ -220,6 +227,7 @@ func TestShareNamesAreOpaque(t *testing.T) {
 }
 
 func TestDeduplication(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(3, 8_000)
@@ -250,6 +258,7 @@ func TestDeduplication(t *testing.T) {
 }
 
 func TestUnchangedPutIsNoOp(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(4, 3000)
@@ -266,6 +275,7 @@ func TestUnchangedPutIsNoOp(t *testing.T) {
 }
 
 func TestVersioningAndHistory(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	v1 := randData(5, 4000)
@@ -303,6 +313,7 @@ func TestVersioningAndHistory(t *testing.T) {
 }
 
 func TestDeleteAndUndelete(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(6, 2000)
@@ -349,6 +360,7 @@ func TestDeleteAndUndelete(t *testing.T) {
 }
 
 func TestListWithDirectoryPrefix(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	_ = c.Put(bg, "docs/a", randData(7, 500))
@@ -368,6 +380,7 @@ func TestListWithDirectoryPrefix(t *testing.T) {
 }
 
 func TestTwoClientsShareFiles(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	alice := env.client("alice", nil)
 	bob := env.client("bob", nil)
@@ -402,6 +415,7 @@ func TestTwoClientsShareFiles(t *testing.T) {
 }
 
 func TestCrossClientDeduplication(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	alice := env.client("alice", nil)
 	bob := env.client("bob", nil)
@@ -428,6 +442,7 @@ func TestCrossClientDeduplication(t *testing.T) {
 }
 
 func TestConflictDetectionAndResolution(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	alice := env.client("alice", nil)
 	bob := env.client("bob", nil)

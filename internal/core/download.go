@@ -16,7 +16,7 @@ import (
 // (competing concurrent versions exist); the returned bytes are the
 // deterministic winning head.
 func (c *Client) Get(ctx context.Context, name string) ([]byte, FileInfo, error) {
-	_, _ = c.Sync(ctx) // best effort; Algorithm 3 line 2
+	c.syncBestEffort(ctx) // Algorithm 3 line 2
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
 		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)

@@ -15,6 +15,11 @@ const (
 	EvMetaGet
 	EvChunkComplete
 	EvFileComplete
+	// EvSyncError reports a failed best-effort metadata sync (the ones Get,
+	// Put, List, … run before serving from the local tree). The operation
+	// itself proceeds on the possibly-stale replica; the event is the only
+	// place the failure surfaces.
+	EvSyncError
 )
 
 func (e EventType) String() string {
@@ -31,6 +36,8 @@ func (e EventType) String() string {
 		return "CHUNK COMPLETE"
 	case EvFileComplete:
 		return "FILE COMPLETE"
+	case EvSyncError:
+		return "SYNC ERROR"
 	}
 	return "UNKNOWN"
 }

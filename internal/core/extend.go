@@ -24,7 +24,7 @@ import (
 // the file's current version and returns exactly those bytes. Chunks
 // outside the range are neither selected nor transferred.
 func (c *Client) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, FileInfo, error) {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
 		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
@@ -179,7 +179,7 @@ type GCStats struct {
 // Chunks referenced by any version, including deleted files' old versions
 // (which remain restorable), are never touched.
 func (c *Client) GC(ctx context.Context) (GCStats, error) {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 
 	referenced := map[string]bool{}
 	for _, m := range c.tree.All() {

@@ -13,6 +13,7 @@ import (
 )
 
 func TestGetRange(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(40, 20_000) // many 1 KiB-average chunks
@@ -55,6 +56,7 @@ func TestGetRange(t *testing.T) {
 }
 
 func TestGetRangeMovesFewerBytes(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(41, 40_000)
@@ -81,6 +83,7 @@ func TestGetRangeMovesFewerBytes(t *testing.T) {
 }
 
 func TestImport(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	// The user has a pre-CYRUS object sitting at one provider.
@@ -122,6 +125,7 @@ func TestImport(t *testing.T) {
 }
 
 func TestGCCollectsOrphans(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(43, 6_000)
@@ -168,6 +172,7 @@ func TestGCCollectsOrphans(t *testing.T) {
 }
 
 func TestGCKeepsHistoryChunks(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	v1 := randData(45, 4_000)
@@ -199,6 +204,7 @@ func TestGCKeepsHistoryChunks(t *testing.T) {
 }
 
 func TestCSPListPropagation(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	alice := env.client("alice", nil)
 	bob := env.client("bob", nil)
@@ -255,6 +261,7 @@ func TestCSPListPropagation(t *testing.T) {
 }
 
 func TestCSPListCodec(t *testing.T) {
+	t.Parallel()
 	removed := map[string]bool{"b": true, "a": true, "ignored": false}
 	enc := encodeCSPList(removed)
 	dec := decodeCSPList(enc)
@@ -272,6 +279,7 @@ func TestCSPListCodec(t *testing.T) {
 }
 
 func TestProbeFailedRecovers(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	c := env.client("alice", func(cfg *Config) { cfg.FailureThreshold = time.Nanosecond })
 	env.backends["cspa"].SetAvailable(false)

@@ -14,6 +14,7 @@ import (
 )
 
 func TestUploadFallsBackOnFailedCSP(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5) // 5 CSPs, n=3: fallback room
 	c := env.client("alice", nil)
 	// Every op on cspa fails for a while.
@@ -33,6 +34,7 @@ func TestUploadFallsBackOnFailedCSP(t *testing.T) {
 }
 
 func TestUploadFailsWhenTooFewCSPs(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 3) // exactly n=3 providers
 	c := env.client("alice", nil)
 	env.backends["cspb"].SetAvailable(false)
@@ -43,6 +45,7 @@ func TestUploadFailsWhenTooFewCSPs(t *testing.T) {
 }
 
 func TestDownloadToleratesFailuresUpToNMinusT(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil) // t=2, n=3
 	data := randData(22, 5000)
@@ -65,6 +68,7 @@ func TestDownloadToleratesFailuresUpToNMinusT(t *testing.T) {
 }
 
 func TestTransientFaultRetriesOtherSource(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	data := randData(23, 4000)
@@ -82,6 +86,7 @@ func TestTransientFaultRetriesOtherSource(t *testing.T) {
 }
 
 func TestRemoveCSPAndLazyMigration(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	c := env.client("alice", nil)
 	data := randData(24, 6000)
@@ -142,6 +147,7 @@ func TestRemoveCSPAndLazyMigration(t *testing.T) {
 }
 
 func TestAddCSPExpandsPlacement(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 3)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "doc1", randData(25, 2000)); err != nil {
@@ -176,6 +182,7 @@ func TestAddCSPExpandsPlacement(t *testing.T) {
 }
 
 func TestRecoverFreshClient(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	alice := env.client("alice", nil)
 	data1 := randData(26, 5000)
@@ -215,6 +222,7 @@ func TestRecoverFreshClient(t *testing.T) {
 }
 
 func TestWrongKeyClientCannotRead(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	alice := env.client("alice", nil)
 	data := randData(28, 4000)
@@ -232,6 +240,7 @@ func TestWrongKeyClientCannotRead(t *testing.T) {
 }
 
 func TestClusterConstraintRespected(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 6)
 	clusters := map[string]string{
 		"cspa": "amazon", "cspb": "amazon", "cspc": "amazon",
@@ -261,6 +270,7 @@ func TestClusterConstraintRespected(t *testing.T) {
 }
 
 func TestClusterConstraintLimitsN(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	clusters := map[string]string{
 		"cspa": "p1", "cspb": "p1", "cspc": "p1", "cspd": "p1",
@@ -275,6 +285,7 @@ func TestClusterConstraintLimitsN(t *testing.T) {
 }
 
 func TestAutomaticNFromEpsilon(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 6)
 	c := env.client("alice", func(cfg *Config) {
 		cfg.N = 0
@@ -296,6 +307,7 @@ func TestAutomaticNFromEpsilon(t *testing.T) {
 }
 
 func TestEventsEmitted(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	var mu sync.Mutex
@@ -326,6 +338,7 @@ func TestEventsEmitted(t *testing.T) {
 }
 
 func TestEstimatorMarksRepeatedFailures(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	c := env.client("alice", func(cfg *Config) {
 		cfg.FailureThreshold = time.Nanosecond // immediate outage counting
@@ -348,6 +361,7 @@ func TestEstimatorMarksRepeatedFailures(t *testing.T) {
 // same code path the latency experiments use. It checks that virtual time
 // advances plausibly (RTTs + bandwidth) and the data survives.
 func TestClientUnderVirtualTime(t *testing.T) {
+	t.Parallel()
 	const MB = 1 << 20
 	net := netsim.New(time.Time{})
 	net.AddNode("client", netsim.NodeConfig{})

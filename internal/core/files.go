@@ -41,7 +41,7 @@ func newDeletionMarker(prev *metadata.FileMeta, clientID string, now time.Time) 
 // other files may reference the same chunks, and previous versions stay
 // recoverable.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	head, _, err := c.tree.Head(name)
 	if err != nil {
 		return fmt.Errorf("%w: %q", ErrNoSuchFile, name)
@@ -55,7 +55,7 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 // List returns the files under a directory prefix — [(f, r), ...] =
 // list(s, d). Deleted files are omitted; conflicted files are flagged.
 func (c *Client) List(ctx context.Context, dir string) ([]FileInfo, error) {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	if dir != "" && !strings.HasSuffix(dir, "/") {
 		dir += "/"
 	}
@@ -78,7 +78,7 @@ func (c *Client) List(ctx context.Context, dir string) ([]FileInfo, error) {
 // Deleted files are reported with Deleted set rather than an error, so
 // callers can distinguish "never existed" from "deleted".
 func (c *Client) Stat(ctx context.Context, name string) (FileInfo, error) {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
 		return FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
@@ -90,7 +90,7 @@ func (c *Client) Stat(ctx context.Context, name string) (FileInfo, error) {
 // "clients can recover previous versions of files by traversing the
 // metadata tree up from the current file version").
 func (c *Client) History(ctx context.Context, name string) ([]FileInfo, error) {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	chain, err := c.tree.History(name)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
@@ -107,7 +107,7 @@ func (c *Client) History(ctx context.Context, name string) ([]FileInfo, error) {
 // content. No chunk data moves: the restored version reuses the stored
 // shares.
 func (c *Client) Restore(ctx context.Context, name, versionID string) error {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	old, err := c.tree.Get(versionID)
 	if err != nil {
 		return err

@@ -27,6 +27,7 @@ func (l *lockedBuf) String() string {
 }
 
 func TestStructuredLogging(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	var sink lockedBuf
 	logger := slog.New(slog.NewTextHandler(&sink, nil))
@@ -59,6 +60,7 @@ func TestStructuredLogging(t *testing.T) {
 }
 
 func TestNilLoggerIsSilentAndSafe(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil) // Logger nil
 	if err := c.Put(bg, "doc", randData(91, 1_000)); err != nil {
@@ -70,6 +72,7 @@ func TestNilLoggerIsSilentAndSafe(t *testing.T) {
 }
 
 func TestCapacityFallback(t *testing.T) {
+	t.Parallel()
 	// One provider has almost no space: share uploads that land there are
 	// rejected with ErrOverCapacity and must fall back to other providers.
 	env := newEnv(t, 5)

@@ -46,6 +46,13 @@ func parseMetaShareName(obj string) (versionID string, index int, ok bool) {
 	return rest[:dot], idx, true
 }
 
+// ParseMetaShareObjectName is the inverse of MetaShareObjectName, exposed
+// for tools that audit raw provider state (the chaos harness classifies
+// every stored object; metadata share names are the only parseable ones).
+func ParseMetaShareObjectName(obj string) (versionID string, index int, ok bool) {
+	return parseMetaShareName(obj)
+}
+
 // metaTargets returns the metadata CSP set: every active provider, sorted
 // so all clients agree on share indices.
 func (c *Client) metaTargets() []string {
@@ -173,8 +180,13 @@ func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]strin
 }
 
 // fetchMeta downloads and decodes one metadata record given its share
-// locations. Shares with distinct indices are fetched until MetaT decode
-// succeeds; corrupt or missing shares trigger alternates.
+// locations. The happy path fetches exactly MetaT shares with distinct
+// indices; if the decode is inconsistent or the decoded record does not
+// hash to the expected version ID (a corrupt or tampered share), fetchMeta
+// keeps gathering surplus shares and reruns the error-correcting decoder —
+// a single rotten metadata share must not make a record unreadable while
+// intact replicas exist (each index lives on exactly one provider, so
+// there are no per-index alternates to fall back to).
 func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]string) (*metadata.FileMeta, error) {
 	// Flatten candidate (index, csp) pairs, one per distinct index first.
 	idxs := make([]int, 0, len(locs))
@@ -183,12 +195,27 @@ func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]strin
 	}
 	sort.Ints(idxs)
 
+	decodeVerified := func(shares []erasure.Share) (*metadata.FileMeta, error) {
+		blob, bad, err := c.coder.DecodeCorrecting(shares, erasure.MaxN)
+		if err != nil {
+			return nil, fmt.Errorf("cyrus: decode metadata %s: %w", vid, err)
+		}
+		if len(bad) > 0 {
+			c.logf("corrected corrupt metadata shares", "version", vid, "indices", fmt.Sprint(bad))
+		}
+		m, err := metadata.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("cyrus: parse metadata %s: %w", vid, err)
+		}
+		if m.VersionID() != vid {
+			return nil, fmt.Errorf("%w: metadata %s decodes to version %s", ErrDamaged, vid, m.VersionID())
+		}
+		return m, nil
+	}
+
 	var shares []erasure.Share
 	var lastErr error
 	for _, idx := range idxs {
-		if len(shares) >= c.cfg.MetaT {
-			break
-		}
 		var data []byte
 		for _, provider := range locs[idx] {
 			store, ok := c.store(provider)
@@ -205,26 +232,28 @@ func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]strin
 			data = d
 			break
 		}
-		if data != nil {
-			shares = append(shares, erasure.Share{Index: idx, Data: data})
+		if data == nil {
+			continue
 		}
+		shares = append(shares, erasure.Share{Index: idx, Data: data})
+		if len(shares) < c.cfg.MetaT {
+			continue
+		}
+		m, err := decodeVerified(shares)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no further shares available")
 	}
 	if len(shares) < c.cfg.MetaT {
-		return nil, fmt.Errorf("%w: metadata %s: %d of %d shares (last error: %v)",
+		return nil, fmt.Errorf("%w: metadata %s: %d of %d shares (last error: %w)",
 			ErrDamaged, vid, len(shares), c.cfg.MetaT, lastErr)
 	}
-	blob, err := c.coder.Decode(shares, erasure.MaxN)
-	if err != nil {
-		return nil, fmt.Errorf("cyrus: decode metadata %s: %w", vid, err)
-	}
-	m, err := metadata.Decode(blob)
-	if err != nil {
-		return nil, fmt.Errorf("cyrus: parse metadata %s: %w", vid, err)
-	}
-	if m.VersionID() != vid {
-		return nil, fmt.Errorf("%w: metadata %s decodes to version %s", ErrDamaged, vid, m.VersionID())
-	}
-	return m, nil
+	return nil, fmt.Errorf("%w: metadata %s unreadable from %d shares (last error: %w)",
+		ErrDamaged, vid, len(shares), lastErr)
 }
 
 // absorb inserts a fetched record into the local replica, updating the

@@ -7,6 +7,7 @@ import (
 )
 
 func TestPutSucceedsWithDegradedMetadataFanout(t *testing.T) {
+	t.Parallel()
 	// Metadata goes to all providers but only MetaT successes are
 	// required. Two of five providers go down after shares would land:
 	// uploads fall back for shares, and metadata reaches the remaining
@@ -28,6 +29,7 @@ func TestPutSucceedsWithDegradedMetadataFanout(t *testing.T) {
 }
 
 func TestPutFailsWhenMetadataCannotReachQuorum(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 3)
 	c := env.client("alice", nil)
 	data := randData(81, 2_000)
@@ -61,6 +63,7 @@ func TestPutFailsWhenMetadataCannotReachQuorum(t *testing.T) {
 }
 
 func TestFetchMetaFromMinimumShares(t *testing.T) {
+	t.Parallel()
 	// Write with five providers, then make all but two unreachable: the
 	// metadata (MetaT = 2) must still decode from the two survivors.
 	env := newEnv(t, 5)
@@ -89,6 +92,7 @@ func TestFetchMetaFromMinimumShares(t *testing.T) {
 }
 
 func TestParseMetaShareName(t *testing.T) {
+	t.Parallel()
 	vid, idx, ok := parseMetaShareName(metaShareName("abc123", 7))
 	if !ok || vid != "abc123" || idx != 7 {
 		t.Fatalf("round trip = %q %d %v", vid, idx, ok)
@@ -108,6 +112,7 @@ func TestParseMetaShareName(t *testing.T) {
 }
 
 func TestGetRangeOnDeletedFile(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "doc", randData(84, 2_000)); err != nil {
@@ -122,6 +127,7 @@ func TestGetRangeOnDeletedFile(t *testing.T) {
 }
 
 func TestResolveValidation(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 4)
 	c := env.client("alice", nil)
 	if err := c.Put(bg, "a", randData(85, 1_000)); err != nil {

@@ -32,31 +32,50 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 		var stale []int
 		holding := make(map[string]bool)
 		for idx, cspName := range locs[id] {
+			// Stale holders count as holding too: the old share object stays
+			// behind (a removed provider may be reinstated later), and a
+			// platform that physically stores one share must never receive a
+			// second — t-privacy is a property of physical placement, not of
+			// the chunk table.
+			holding[cspName] = true
 			if c.shareLocationStale(cspName) {
 				stale = append(stale, idx)
-			} else {
-				holding[cspName] = true
 			}
 		}
 		if len(stale) == 0 {
 			continue
 		}
 		// Candidate targets: ring order for this chunk, skipping providers
-		// that already hold one of its shares.
+		// that already hold one of its shares. The local view can lag —
+		// another client may have migrated a share of this chunk already,
+		// and old metadata still lists the pre-migration location — so
+		// before committing to a candidate, probe whether it physically
+		// holds any share of the chunk. Without the probe two clients with
+		// stale tables can double-place shares on one platform, silently
+		// breaking t-privacy.
 		prefs, err := c.placementOrder(id)
 		if err != nil {
 			continue
 		}
 		pi := 0
 		for _, idx := range stale {
-			for pi < len(prefs) && holding[prefs[pi]] {
+			var target string
+			for pi < len(prefs) {
+				cand := prefs[pi]
 				pi++
+				if holding[cand] {
+					continue
+				}
+				if c.holdsAnyShare(ctx, cand, ref) {
+					holding[cand] = true
+					continue
+				}
+				target = cand
+				break
 			}
-			if pi == len(prefs) {
+			if target == "" {
 				break // nowhere to put it; keep the stale location
 			}
-			target := prefs[pi]
-			pi++
 			holding[target] = true
 			jobs = append(jobs, moveJob{ref: ref, index: idx, target: target})
 		}
@@ -91,9 +110,36 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 			c.table.MoveShare(j.ref.ID, j.index, j.target)
 			mu.Unlock()
 			c.logf("migrated share", "chunk", j.ref.ID[:8], "index", j.index, "to", j.target)
+			// The source copy is deliberately NOT deleted. Old metadata
+			// records still list it, and a fresh client recovering from
+			// nothing but the cloud locates shares through those records —
+			// draining the source would strand such clients one share short
+			// whenever another provider is unreachable. The stray copy costs
+			// space, never privacy: target selection skips every physical
+			// holder, so no platform ever accumulates a second share.
 		})
 	}
 	g.Wait()
+}
+
+// holdsAnyShare probes whether a provider physically stores any share of
+// the chunk, regardless of what the local table claims. Errors count as
+// holding: an unverifiable candidate is skipped rather than risked.
+func (c *Client) holdsAnyShare(ctx context.Context, cspName string, ref metadata.ChunkRef) bool {
+	store, ok := c.store(cspName)
+	if !ok {
+		return true
+	}
+	for i := 0; i < ref.N; i++ {
+		infos, err := store.List(ctx, c.shareName(ref.ID, i, ref.T))
+		if err != nil {
+			return true
+		}
+		if len(infos) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // shareLocationStale reports whether shares should move off a provider:

@@ -11,6 +11,7 @@ import (
 // the Client promises safety for concurrent use, and the race detector
 // holds it to that.
 func TestConcurrentClientOperations(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	c := env.client("alice", nil)
 
@@ -78,6 +79,7 @@ func TestConcurrentClientOperations(t *testing.T) {
 // backends concurrently; every file every client wrote must be readable by
 // a late joiner.
 func TestConcurrentMultiClient(t *testing.T) {
+	t.Parallel()
 	env := newEnv(t, 5)
 	const clients = 4
 	var wg sync.WaitGroup

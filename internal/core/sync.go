@@ -64,6 +64,17 @@ func (c *Client) Sync(ctx context.Context) (int, error) {
 	return absorbed, firstErr
 }
 
+// syncBestEffort runs Sync for the call sites that tolerate staleness
+// (Algorithm 3 line 2 and friends). The operation proceeds either way, but
+// a failure is not swallowed: it is logged and emitted as an EvSyncError
+// event so applications can tell "fresh view" from "serving stale state".
+func (c *Client) syncBestEffort(ctx context.Context) {
+	if _, err := c.Sync(ctx); err != nil {
+		c.logf("best-effort sync failed", "err", err)
+		c.events.emit(Event{Type: EvSyncError, Err: err})
+	}
+}
+
 // Recover rebuilds the client's state purely from the cloud — the paper's
 // s' = recover(s). It resyncs the metadata tree and reconstructs the global
 // chunk table from every known record, so a fresh device with only the key
@@ -79,7 +90,7 @@ func (c *Client) Recover(ctx context.Context) error {
 // Conflicts returns the currently detected file conflicts (both types of
 // Figure 8), after a best-effort sync.
 func (c *Client) Conflicts(ctx context.Context) []ConflictInfo {
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 	raw := c.tree.Conflicts()
 	out := make([]ConflictInfo, 0, len(raw))
 	for _, cf := range raw {

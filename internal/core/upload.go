@@ -23,7 +23,7 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 	}
 	// Step 1-2: refresh the tree, find the parent version. Sync failures
 	// are tolerated — conflicts, if any, are detected after the fact.
-	_, _ = c.Sync(ctx)
+	c.syncBestEffort(ctx)
 
 	prevID := ""
 	if head, _, err := c.tree.Head(name); err == nil {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestDecodeCorrectingCleanShares(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := bytes.Repeat([]byte("clean"), 100)
 	shares := mustEncode(t, c, data, 2, 4)
@@ -18,6 +19,7 @@ func TestDecodeCorrectingCleanShares(t *testing.T) {
 }
 
 func TestDecodeCorrectingOneBadShare(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := bytes.Repeat([]byte{9, 8, 7, 6}, 64)
 	shares := mustEncode(t, c, data, 2, 4)
@@ -36,6 +38,7 @@ func TestDecodeCorrectingOneBadShare(t *testing.T) {
 }
 
 func TestDecodeCorrectingTwoBadOfSix(t *testing.T) {
+	t.Parallel()
 	// e < (k - t + 1)/2: at t=2, six shares tolerate two corruptions.
 	c := NewCoder("k")
 	data := bytes.Repeat([]byte("payload!"), 50)
@@ -56,6 +59,7 @@ func TestDecodeCorrectingTwoBadOfSix(t *testing.T) {
 }
 
 func TestDecodeCorrectingTooManyBad(t *testing.T) {
+	t.Parallel()
 	// 3 shares, t=2, one corrupt: majority is 2 of 3 — correctable.
 	// Corrupt two of three: no majority, must refuse rather than guess.
 	c := NewCoder("k")
@@ -69,6 +73,7 @@ func TestDecodeCorrectingTooManyBad(t *testing.T) {
 }
 
 func TestDecodeCorrectingNoSurplus(t *testing.T) {
+	t.Parallel()
 	// Exactly t shares: corruption is undetectable and uncorrectable; the
 	// plain Decode path succeeds silently (no surplus to check against),
 	// so DecodeCorrecting also returns, but content hashing upstream
@@ -92,6 +97,7 @@ func TestDecodeCorrectingNoSurplus(t *testing.T) {
 }
 
 func TestDecodeCorrectingRandomized(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("rand")
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 60; trial++ {

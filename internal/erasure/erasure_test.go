@@ -18,6 +18,7 @@ func mustEncode(t *testing.T, c *Coder, data []byte, tt, n int) []Share {
 }
 
 func TestRoundTripAllSubsets(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("user-key")
 	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
 	const tt, n = 3, 5
@@ -40,6 +41,7 @@ func TestRoundTripAllSubsets(t *testing.T) {
 }
 
 func TestRoundTripQuick(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("property-key")
 	rng := rand.New(rand.NewSource(1))
 	f := func(raw []byte) bool {
@@ -65,6 +67,7 @@ func TestRoundTripQuick(t *testing.T) {
 }
 
 func TestEmptyAndTinyInputs(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	for _, size := range []int{0, 1, 2, 3, 7} {
 		data := bytes.Repeat([]byte{0xAB}, size)
@@ -80,6 +83,7 @@ func TestEmptyAndTinyInputs(t *testing.T) {
 }
 
 func TestNonSystematic(t *testing.T) {
+	t.Parallel()
 	// No share payload may contain a long run of the original plaintext.
 	c := NewCoder("k")
 	data := bytes.Repeat([]byte("SECRETDATA"), 100)
@@ -92,6 +96,7 @@ func TestNonSystematic(t *testing.T) {
 }
 
 func TestFewerThanTSharesInsufficient(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := []byte("top secret payload")
 	shares := mustEncode(t, c, data, 3, 5)
@@ -107,6 +112,7 @@ func TestFewerThanTSharesInsufficient(t *testing.T) {
 }
 
 func TestWrongKeyCannotDecode(t *testing.T) {
+	t.Parallel()
 	enc := NewCoder("alice")
 	dec := NewCoder("mallory")
 	data := bytes.Repeat([]byte("confidential "), 50)
@@ -118,6 +124,7 @@ func TestWrongKeyCannotDecode(t *testing.T) {
 }
 
 func TestSurplusShareDetectsCorruption(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 40)
 	shares := mustEncode(t, c, data, 2, 4)
@@ -134,6 +141,7 @@ func TestSurplusShareDetectsCorruption(t *testing.T) {
 }
 
 func TestHeaderValidation(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := []byte("payload")
 	shares := mustEncode(t, c, data, 2, 3)
@@ -162,6 +170,7 @@ func TestHeaderValidation(t *testing.T) {
 }
 
 func TestMixedParameterSharesRejected(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	a := mustEncode(t, c, []byte("aaaa"), 2, 3)
 	b := mustEncode(t, c, []byte("bbbbbbbb"), 3, 4)
@@ -171,6 +180,7 @@ func TestMixedParameterSharesRejected(t *testing.T) {
 }
 
 func TestBadParams(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	cases := []struct{ t, n int }{
 		{0, 3},   // t below MinT
@@ -185,6 +195,7 @@ func TestBadParams(t *testing.T) {
 }
 
 func TestShareSizeIndependentOfN(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	data := make([]byte, 1000)
 	for n := 3; n <= 8; n++ {
@@ -199,6 +210,7 @@ func TestShareSizeIndependentOfN(t *testing.T) {
 }
 
 func TestShareSizeFormula(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		dataLen int64
 		t       int
@@ -218,6 +230,7 @@ func TestShareSizeFormula(t *testing.T) {
 }
 
 func TestDeterministicEncoding(t *testing.T) {
+	t.Parallel()
 	data := []byte("determinism matters for share-name stability")
 	a := mustEncode(t, NewCoder("same-key"), data, 2, 4)
 	b := mustEncode(t, NewCoder("same-key"), data, 2, 4)
@@ -229,6 +242,7 @@ func TestDeterministicEncoding(t *testing.T) {
 }
 
 func TestDispersalPointsDistinct(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("point-check")
 	m, err := c.Dispersal(1, MaxN)
 	if err != nil {
@@ -256,6 +270,7 @@ func TestDispersalPointsDistinct(t *testing.T) {
 }
 
 func TestDecodeEmptyShareList(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("k")
 	if _, err := c.Decode(nil, 3); !errors.Is(err, ErrNotEnough) {
 		t.Fatalf("Decode(nil) err = %v, want ErrNotEnough", err)
@@ -263,6 +278,7 @@ func TestDecodeEmptyShareList(t *testing.T) {
 }
 
 func TestLargeChunkRoundTrip(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("large chunk in -short mode")
 	}

@@ -12,6 +12,7 @@ import (
 // bytes are identical for every n > i, and any shares decode with
 // n = MaxN.
 func TestPrefixStableDispersal(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("prefix-key")
 	data := bytes.Repeat([]byte("stability matters "), 64)
 	const tt = 3
@@ -58,6 +59,7 @@ func TestPrefixStableDispersal(t *testing.T) {
 // TestDispersalMatrixPrefixRows checks the same property at the matrix
 // level: Dispersal(t, n) is a row-prefix of Dispersal(t, m) for n < m.
 func TestDispersalMatrixPrefixRows(t *testing.T) {
+	t.Parallel()
 	c := NewCoder("matrix-prefix")
 	small, err := c.Dispersal(4, 6)
 	if err != nil {

@@ -1,0 +1,112 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// The dispersal property the whole system leans on, stated as the paper
+// states it: for ANY (t, n) and ANY data, dropping ANY n−t shares leaves a
+// decodable set that reconstructs the data byte-identically, while t−1
+// shares reveal nothing reconstructible. Exercised across random
+// parameters, sizes (including empty and sub-t inputs), and drop subsets.
+func TestEncodeDropAnyDecodeProperty(t *testing.T) {
+	t.Parallel()
+	c := NewCoder("dispersal-property-key")
+	rng := rand.New(rand.NewSource(2015))
+	for iter := 0; iter < 300; iter++ {
+		tt := MinT + rng.Intn(8)
+		n := tt + rng.Intn(8)
+		size := rng.Intn(1 << 12)
+		if iter%17 == 0 {
+			size = rng.Intn(3) // stress empty/tiny payloads
+		}
+		data := make([]byte, size)
+		rng.Read(data)
+
+		shares, err := c.Encode(data, tt, n)
+		if err != nil {
+			t.Fatalf("iter %d: Encode(t=%d n=%d size=%d): %v", iter, tt, n, size, err)
+		}
+
+		// Drop a random set of exactly n−t shares: what's left must decode.
+		perm := rng.Perm(n)
+		kept := make([]Share, 0, tt)
+		for _, i := range perm[:tt] {
+			kept = append(kept, shares[i])
+		}
+		got, err := c.Decode(kept, n)
+		if err != nil {
+			t.Fatalf("iter %d: Decode after dropping %d of %d (t=%d): %v", iter, n-tt, n, tt, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("iter %d: reconstruction differs (t=%d n=%d size=%d)", iter, tt, n, size)
+		}
+
+		// One share short must refuse, not return wrong bytes.
+		if _, err := c.Decode(kept[:tt-1], n); !errors.Is(err, ErrNotEnough) {
+			t.Fatalf("iter %d: Decode with t-1 shares: err = %v, want ErrNotEnough", iter, err)
+		}
+	}
+}
+
+// A share whose HEADER is corrupted (not just its payload) must be set
+// aside and corrected like any other corrupt share — a garbled length or
+// parameter field must not make the whole decode bail while a correctable
+// quorum exists.
+func TestDecodeCorrectingCorruptHeader(t *testing.T) {
+	t.Parallel()
+	c := NewCoder("header-rot-key")
+	data := []byte("header corruption should be survivable with surplus shares")
+	const tt, n = 2, 5
+	shares, err := c.Encode(data, tt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte 0 sits in the share header (version/params region).
+	shares[1].Data[0] ^= 0xff
+
+	got, bad, err := c.DecodeCorrecting(shares, n)
+	if err != nil {
+		t.Fatalf("DecodeCorrecting with one rotten header: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruction differs")
+	}
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("corrupt set = %v, want [1]", bad)
+	}
+}
+
+// Headers corrupted into *parseable but wrong* parameters must lose the
+// majority vote rather than poison the group selection.
+func TestDecodeCorrectingHeaderParameterLie(t *testing.T) {
+	t.Parallel()
+	c := NewCoder("param-lie-key")
+	data := []byte("majority parameters win")
+	const tt, n = 2, 6
+	shares, err := c.Encode(data, tt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the same data at different parameters and swap one share
+	// in: its header parses cleanly but disagrees with the majority.
+	other, err := c.Encode(data, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[4] = other[4]
+
+	got, bad, err := c.DecodeCorrecting(shares, n)
+	if err != nil {
+		t.Fatalf("DecodeCorrecting with a parameter-lying share: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruction differs")
+	}
+	if len(bad) != 1 || bad[0] != 4 {
+		t.Fatalf("corrupt set = %v, want [4]", bad)
+	}
+}

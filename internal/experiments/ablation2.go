@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -80,6 +81,7 @@ func concurrencyCyrus(seed int64, writers int) (float64, error) {
 			clients[i] = client
 		}
 		start := env.net.VirtualNow()
+		var mu sync.Mutex
 		g := env.net.NewGroup()
 		for i := 0; i < writers; i++ {
 			i := i
@@ -87,7 +89,9 @@ func concurrencyCyrus(seed int64, writers int) (float64, error) {
 			env.net.Go(func() {
 				defer g.Done()
 				if perr := clients[i].Put(bg, "shared.doc", payloads[i]); perr != nil {
+					mu.Lock()
 					err = perr
+					mu.Unlock()
 				}
 			})
 		}
@@ -128,9 +132,14 @@ func concurrencyLocking(seed int64, writers int) (float64, error) {
 		lock := make(chan struct{}, 1)
 		lock <- struct{}{}
 		start := env.net.VirtualNow()
+		var mu sync.Mutex
 		g := env.net.NewGroup()
 		for i := 0; i < writers; i++ {
 			i := i
+			// Writers run concurrently between netsim blocking points, so
+			// each gets its own backoff stream (math/rand.Rand is not
+			// goroutine-safe).
+			wrng := rand.New(rand.NewSource(seed + int64(i)*7919))
 			g.Add(1)
 			env.net.Go(func() {
 				defer g.Done()
@@ -140,11 +149,13 @@ func concurrencyLocking(seed int64, writers int) (float64, error) {
 					default:
 						// Foreign lock seen: back off and re-check (one
 						// list round trip + random 1-3 s).
-						env.net.Sleep(time.Duration(1+rng.Intn(2000))*time.Millisecond + time.Second)
+						env.net.Sleep(time.Duration(1+wrng.Intn(2000))*time.Millisecond + time.Second)
 						continue
 					}
 					if uerr := ds.Upload(bg, fmt.Sprintf("shared-%d.doc", i), payloads[i]); uerr != nil {
+						mu.Lock()
 						err = uerr
+						mu.Unlock()
 					}
 					lock <- struct{}{}
 					return

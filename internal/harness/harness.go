@@ -1,0 +1,367 @@
+// Package harness is a seedable, deterministic multi-client chaos
+// simulation for the whole CYRUS stack. It drives N concurrent
+// core.Clients against shared cloudsim backends while a scripted fault
+// schedule crashes and restarts providers, injects transient faults,
+// exhausts capacity, corrupts stored shares, and throttles links under
+// netsim virtual time. At every quiescent point it audits the system's
+// global invariants by direct inspection of provider state and the
+// clients' version trees:
+//
+//   - durability: every acknowledged write stays readable, byte-exact,
+//     under any failure subset of up to n−t providers;
+//   - placement: no provider (and, when clustering is on, no platform)
+//     physically holds more than one share of a chunk;
+//   - t-privacy: no platform holds enough shares to reconstruct a chunk;
+//   - metadata replication: every version's record stays recoverable from
+//     at least MetaT intact metadata shares;
+//   - garbage-freedom: every object stored at any provider is accounted
+//     for (a share of a referenced chunk, residue of a failed upload, a
+//     metadata share of a known version, or the CSP status list), and
+//     deletion never removes data that other versions still reference;
+//   - convergence: after a full sync all clients agree on the version
+//     tree, on every file's head, and on the detected conflicts.
+//
+// The driver is deterministic: the operation mix and the fault schedule
+// derive only from the seed and the scripted Schedule, so a failing run
+// reproduces from its seed. (Operation outcomes feed back into later
+// driver choices only through client state, which is itself a function of
+// the same seed and schedule.)
+//
+// The harness is the regression gate for the scaling work tracked in
+// ROADMAP.md: any refactor or performance change must keep every named
+// scenario in harness_test.go green.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/chunker"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/erasure"
+	"repro/internal/netsim"
+)
+
+// Options configures one simulation run. Zero values take the documented
+// defaults.
+type Options struct {
+	// Seed drives every random choice of the run. Runs with equal Options
+	// are reproducible.
+	Seed int64
+
+	Clients   int // concurrent clients (default 2)
+	Providers int // simulated CSPs (default 5)
+	T         int // chunk privacy level (default 2)
+	N         int // shares per chunk (default 3)
+	MetaT     int // metadata privacy level (default 2)
+
+	Ops      int // workload length (default 160)
+	Files    int // distinct file names the workload touches (default 6)
+	MaxBytes int // maximum file size per Put (default 4096)
+
+	// Clustered groups providers two per platform cluster and enables the
+	// at-most-one-share-per-platform placement constraint.
+	Clustered bool
+
+	// Virtual runs the clients under netsim virtual time, each on its own
+	// node with per-provider links; the SlowLink/RestoreLink schedule
+	// actions only work in this mode.
+	Virtual bool
+
+	// Schedule is the scripted fault sequence, applied by op index.
+	Schedule Schedule
+
+	// CheckKills controls the failure sweep of the durability check:
+	// 0 (the default) fails every provider subset of size N−T, the
+	// system's tolerance; −1 disables simulated failures (the fresh-client
+	// recovery check still runs with everything up — scenarios that
+	// deliberately corrupt chunk shares use this, since a corruption plus
+	// a failure exceeds the correcting decoder's bound); k > 0 fails every
+	// subset of exactly k providers.
+	CheckKills int
+
+	// BreakPlacement seeds a deliberate bug: after the first acknowledged
+	// Put, one share of its first chunk is copied onto a provider that
+	// already holds another share of the same chunk — the state a reverted
+	// placement guard would produce. The placement/privacy invariants must
+	// flag it (used by the harness's own self-test).
+	BreakPlacement bool
+
+	// BreakDurability seeds a deliberate bug: after the first acknowledged
+	// Put, two share objects of its first chunk are silently removed from
+	// the providers' durable state. The durability invariant must flag it.
+	BreakDurability bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients == 0 {
+		o.Clients = 2
+	}
+	if o.Providers == 0 {
+		o.Providers = 5
+	}
+	if o.T == 0 {
+		o.T = 2
+	}
+	if o.N == 0 {
+		o.N = 3
+	}
+	if o.MetaT == 0 {
+		o.MetaT = 2
+	}
+	if o.Ops == 0 {
+		o.Ops = 160
+	}
+	if o.Files == 0 {
+		o.Files = 6
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 4096
+	}
+	return o
+}
+
+// chunkingConfig is shared by every client and by the invariant checker
+// (which re-chunks acknowledged contents to recompute expected share
+// bytes).
+var chunkingConfig = chunker.Config{AverageSize: 1024, MinSize: 256, MaxSize: 4096, Window: 48}
+
+// sharedKey is the user key all clients of a run share.
+const sharedKey = "harness-shared-user-key"
+
+// AckedWrite is one acknowledged Put: the durability oracle.
+type AckedWrite struct {
+	File      string
+	VersionID string
+	Client    string
+	Data      []byte
+}
+
+// Violation is one invariant breach found by a checkpoint.
+type Violation struct {
+	Invariant string // durability | placement | privacy | meta-replication | garbage | convergence | read
+	Detail    string
+}
+
+// Report summarizes a run.
+type Report struct {
+	Ops         int
+	Acked       int
+	FailedPuts  int
+	Reads       int
+	Versions    int // version nodes in the converged tree
+	Chunks      int // unique referenced chunks
+	Checkpoints int
+	AckedVIDs   []string // acknowledged version IDs in ack order
+	Violations  []Violation
+}
+
+// String renders a one-line summary plus any violations.
+func (r *Report) String() string {
+	s := fmt.Sprintf("ops=%d acked=%d failedPuts=%d reads=%d versions=%d chunks=%d checkpoints=%d violations=%d",
+		r.Ops, r.Acked, r.FailedPuts, r.Reads, r.Versions, r.Chunks, r.Checkpoints, len(r.Violations))
+	for _, v := range r.Violations {
+		s += fmt.Sprintf("\n  [%s] %s", v.Invariant, v.Detail)
+	}
+	return s
+}
+
+// Harness owns the simulated world of one run.
+type Harness struct {
+	opts     Options
+	rng      *rand.Rand
+	net      *netsim.Network // nil unless Virtual
+	backends map[string]*cloudsim.Backend
+	names    []string          // provider names, sorted
+	clusters map[string]string // provider -> platform; nil unless Clustered
+	clients  []*core.Client
+	chunk    *chunker.Chunker
+	coder    *erasure.Coder
+
+	acked      []AckedWrite
+	ackedByVID map[string][]byte
+	lastAcked  map[string][]byte // file -> last acknowledged content
+	failedPuts [][]byte          // contents of failed Puts (expected residue)
+	corrupted  map[string]bool   // csp + "/" + object: harness-injected rot
+	sabotaged  bool              // Break* injection already performed
+
+	pending []Step // schedule sorted by At
+	report  Report
+}
+
+// defaultLink is the virtual-time link every client gets to every provider
+// until a SlowLink step degrades it.
+var defaultLink = netsim.LinkConfig{RTT: 20 * time.Millisecond, UpBps: 4 << 20, DownBps: 8 << 20}
+
+// New builds the simulated world: backends, clients, and (when Virtual)
+// the netsim network.
+func New(opts Options) (*Harness, error) {
+	opts = opts.withDefaults()
+	h := &Harness{
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		backends:   make(map[string]*cloudsim.Backend),
+		ackedByVID: make(map[string][]byte),
+		lastAcked:  make(map[string][]byte),
+		corrupted:  make(map[string]bool),
+		coder:      erasure.NewCoder(sharedKey),
+	}
+	ch, err := chunker.New(chunkingConfig)
+	if err != nil {
+		return nil, err
+	}
+	h.chunk = ch
+
+	if opts.Virtual {
+		h.net = netsim.New(time.Date(2015, 4, 21, 0, 0, 0, 0, time.UTC))
+	}
+	for i := 0; i < opts.Providers; i++ {
+		name := fmt.Sprintf("csp%c", 'a'+i)
+		identity := csp.NameKeyed
+		if i%2 == 1 {
+			identity = csp.IDKeyed
+		}
+		h.backends[name] = cloudsim.NewBackend(name, identity, 0)
+		h.names = append(h.names, name)
+	}
+	sort.Strings(h.names)
+	if opts.Clustered {
+		h.clusters = make(map[string]string, len(h.names))
+		for i, name := range h.names {
+			h.clusters[name] = fmt.Sprintf("platform%d", i/2)
+		}
+	}
+
+	// Client construction authenticates every store, which in virtual mode
+	// charges the network — so it must run inside the scheduler.
+	var buildErr error
+	build := func() {
+		for i := 0; i < opts.Clients; i++ {
+			id := fmt.Sprintf("client%d", i)
+			var node string
+			if h.net != nil {
+				node = id
+				h.net.AddNode(node, netsim.NodeConfig{})
+				for _, cspName := range h.names {
+					h.net.SetLink(node, cspName, defaultLink)
+				}
+			}
+			c, err := h.buildClient(id, node)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			h.clients = append(h.clients, c)
+		}
+	}
+	if h.net != nil {
+		h.net.Run(build)
+	} else {
+		build()
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	h.pending = append(h.pending, opts.Schedule...)
+	for i := range h.pending {
+		if h.pending[i].At > opts.Ops {
+			h.pending[i].At = opts.Ops
+		}
+	}
+	sort.SliceStable(h.pending, func(i, j int) bool { return h.pending[i].At < h.pending[j].At })
+	return h, nil
+}
+
+// buildClient assembles one authenticated client. With node == "" the
+// client's stores bypass the network (instant transfers, real clock);
+// otherwise operations are charged to that netsim node's links.
+func (h *Harness) buildClient(id, node string) (*core.Client, error) {
+	cfg := core.Config{
+		ClientID:  id,
+		Key:       sharedKey,
+		T:         h.opts.T,
+		N:         h.opts.N,
+		MetaT:     h.opts.MetaT,
+		Chunking:  chunkingConfig,
+		ClusterOf: h.clusters,
+	}
+	if node != "" {
+		cfg.Runtime = h.net
+	}
+	var stores []csp.Store
+	for _, name := range h.names {
+		var sopts []cloudsim.Option
+		if node != "" {
+			sopts = append(sopts,
+				cloudsim.WithTransport(cloudsim.NodeTransport{Net: h.net, Node: node}),
+				cloudsim.WithClock(h.net.Now))
+		}
+		s := cloudsim.NewSimStore(h.backends[name], sopts...)
+		if err := s.Authenticate(context.Background(), csp.Credentials{Token: "harness"}); err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	return core.New(cfg, stores)
+}
+
+// inspector builds a fresh transport-less client used by the invariant
+// checks — the paper's recover() device: only the key and the provider
+// accounts, no local state.
+func (h *Harness) inspector(id string) (*core.Client, error) {
+	return h.buildClient(id, "")
+}
+
+// now returns the run's notion of wall-clock time.
+func (h *Harness) now() time.Time {
+	if h.net != nil {
+		return h.net.Now()
+	}
+	return time.Now()
+}
+
+// Run executes the workload under the schedule, finishes with a quiescent
+// checkpoint, and returns the report. It may be called once.
+func (h *Harness) Run(ctx context.Context) *Report {
+	body := func() {
+		next := 0
+		for i := 0; i < h.opts.Ops; i++ {
+			next = h.applySchedule(ctx, i, next)
+			h.step(ctx, i)
+			h.report.Ops++
+		}
+		h.applySchedule(ctx, h.opts.Ops, next)
+		h.checkpoint(ctx)
+	}
+	if h.net != nil {
+		h.net.Run(body)
+	} else {
+		body()
+	}
+	return &h.report
+}
+
+// violate records one invariant breach.
+func (h *Harness) violate(invariant, format string, args ...any) {
+	h.report.Violations = append(h.report.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// randBytes draws n deterministic pseudo-random bytes.
+func (h *Harness) randBytes(n int) []byte {
+	b := make([]byte, n)
+	h.rng.Read(b)
+	return b
+}
+
+func short(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}

@@ -1,0 +1,342 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// baseSeed returns the seed for this test process. The CI matrix and the
+// acceptance gate vary it: CYRUS_HARNESS_SEED=n go test ./internal/harness
+func baseSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("CYRUS_HARNESS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CYRUS_HARNESS_SEED %q: %v", s, err)
+		}
+		return n
+	}
+	return 7
+}
+
+// runScenario executes one configured run and fails the test on any
+// invariant violation.
+func runScenario(t *testing.T, opts Options) *Report {
+	t.Helper()
+	h, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := h.Run(context.Background())
+	t.Logf("seed=%d %s", opts.Seed, rep)
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("[%s] %s", v.Invariant, v.Detail)
+		}
+	}
+	if rep.Acked == 0 {
+		t.Errorf("no Put was ever acknowledged — the scenario exercised nothing")
+	}
+	return rep
+}
+
+// TestScenarios is the chaos suite: every named fault pattern must leave
+// all system-wide invariants intact.
+func TestScenarios(t *testing.T) {
+	seed := baseSeed(t)
+	scenarios := []struct {
+		name string
+		opts Options
+	}{
+		{
+			// No faults at all: the invariants hold trivially, and the
+			// checker's own bookkeeping (oracle, share recomputation,
+			// object classification) is validated against a clean world.
+			name: "baseline-no-faults",
+			opts: Options{},
+		},
+		{
+			// One provider suffers a long hard outage and comes back.
+			name: "single-crash-restart",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 20, Act: Crash, CSP: "cspb"},
+					{At: 80, Act: Restart, CSP: "cspb"},
+					{At: 80, Act: Checkpoint},
+					{At: 100, Act: Crash, CSP: "cspd"},
+					{At: 140, Act: Restart, CSP: "cspd"},
+				},
+			},
+		},
+		{
+			// Every provider takes a turn being down; at most one is down
+			// at a time, so all operations should keep succeeding.
+			name: "rolling-outages",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 10, Act: Crash, CSP: "cspa"}, {At: 35, Act: Restart, CSP: "cspa"},
+					{At: 40, Act: Crash, CSP: "cspb"}, {At: 65, Act: Restart, CSP: "cspb"},
+					{At: 70, Act: Crash, CSP: "cspc"}, {At: 95, Act: Restart, CSP: "cspc"},
+					{At: 100, Act: Crash, CSP: "cspd"}, {At: 125, Act: Restart, CSP: "cspd"},
+					{At: 130, Act: Crash, CSP: "cspe"}, {At: 155, Act: Restart, CSP: "cspe"},
+				},
+			},
+		},
+		{
+			// Short transient fault bursts on individual providers.
+			name: "transient-faults",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 15, Act: FailNext, CSP: "cspa", Count: 3},
+					{At: 40, Act: FailNext, CSP: "cspc", Count: 5},
+					{At: 70, Act: FailNext, CSP: "cspe", Count: 2},
+					{At: 90, Act: FailNext, CSP: "cspb", Count: 4},
+					{At: 120, Act: FailNext, CSP: "cspd", Count: 3},
+				},
+			},
+		},
+		{
+			// One provider runs out of space mid-run; uploads must fail
+			// over without ever double-placing shares, and the capacity
+			// comes back later (the provider kept its stored bytes).
+			name: "capacity-exhaustion",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 30, Act: SetCapacity, CSP: "cspc", Bytes: 16 << 10},
+					{At: 120, Act: SetCapacity, CSP: "cspc", Bytes: 0},
+				},
+			},
+		},
+		{
+			// Metadata shares rot on a single provider. Each record keeps
+			// every other replica, so reads and recovery must correct
+			// through the damage (and log it), never serve bad metadata.
+			name: "metadata-corruption",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 50, Act: CorruptMeta, CSP: "cspa", Count: 4},
+					{At: 100, Act: CorruptMeta, CSP: "cspa", Count: 4},
+				},
+			},
+		},
+		{
+			// Chunk shares rot. n=4, t=2 gives the unique-decoding budget
+			// to correct one bad share per chunk; CheckKills −1 keeps the
+			// durability sweep from stacking a failure on top of the
+			// corruption (which would exceed e < (k−t+1)/2).
+			name: "share-corruption",
+			opts: Options{
+				N:          4,
+				CheckKills: -1,
+				Schedule: Schedule{
+					{At: 60, Act: CorruptShares, CSP: "cspb", Count: 3},
+					{At: 110, Act: CorruptShares, CSP: "cspd", Count: 3},
+				},
+			},
+		},
+		{
+			// Providers grouped two per platform: the placement constraint
+			// tightens to one share per *cluster*, and the checker audits
+			// exactly that.
+			name: "clustered-platforms",
+			opts: Options{
+				Providers: 6,
+				Clustered: true,
+				Schedule: Schedule{
+					{At: 25, Act: Crash, CSP: "cspe"},
+					{At: 75, Act: Restart, CSP: "cspe"},
+				},
+			},
+		},
+		{
+			// BlindSync makes every provider's next operation fail, so the
+			// next writer uploads against a stale tree — manufacturing the
+			// paper's divergent-edit conflicts. All replicas must still
+			// converge and agree on the conflicts; Resolve ops settle them.
+			name: "concurrent-divergence",
+			opts: Options{
+				Clients: 3,
+				Files:   3,
+				Schedule: Schedule{
+					{At: 15, Act: BlindSync}, {At: 35, Act: BlindSync},
+					{At: 55, Act: BlindSync}, {At: 75, Act: BlindSync},
+					{At: 95, Act: BlindSync}, {At: 115, Act: BlindSync},
+					{At: 135, Act: BlindSync},
+				},
+			},
+		},
+		{
+			// A provider is gracefully retired; later downloads lazily
+			// migrate its shares (draining the old copies), then the
+			// provider rejoins. A second retirement exercises repeated
+			// migration — the case where a past holder must never be
+			// handed a second share of the same chunk.
+			name: "churn-remove-reinstate",
+			opts: Options{
+				Schedule: Schedule{
+					{At: 30, Act: RemoveCSP, CSP: "cspa", Client: 0},
+					{At: 90, Act: Checkpoint},
+					{At: 90, Act: ReinstateCSP, CSP: "cspa", Client: 1},
+					{At: 110, Act: RemoveCSP, CSP: "cspc", Client: 1},
+				},
+			},
+		},
+		{
+			// Virtual time: each client reaches the providers over its own
+			// netsim links; mid-run one provider's links collapse to 5% of
+			// their bandwidth, then recover.
+			name: "slow-links-netsim",
+			opts: Options{
+				Virtual: true,
+				Ops:     90,
+				Schedule: Schedule{
+					{At: 20, Act: SlowLink, CSP: "cspb", Factor: 0.05},
+					{At: 60, Act: RestoreLink, CSP: "cspb"},
+					{At: 70, Act: Crash, CSP: "cspd"},
+				},
+			},
+		},
+	}
+	for i, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			sc.opts.Seed = seed + int64(i)*1000
+			runScenario(t, sc.opts)
+		})
+	}
+}
+
+// TestSeededPlacementBugCaught proves the checker has teeth: a share
+// deliberately copied onto a provider that already holds one (the state a
+// reverted placement guard would produce) must trip the placement and
+// privacy invariants.
+func TestSeededPlacementBugCaught(t *testing.T) {
+	t.Parallel()
+	h, err := New(Options{Seed: baseSeed(t), Ops: 40, BreakPlacement: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := h.Run(context.Background())
+	t.Logf("%s", rep)
+	var placement, privacy bool
+	for _, v := range rep.Violations {
+		placement = placement || v.Invariant == "placement"
+		privacy = privacy || v.Invariant == "privacy"
+	}
+	if !placement || !privacy {
+		t.Fatalf("seeded placement bug not caught (placement=%v privacy=%v):\n%s", placement, privacy, rep)
+	}
+}
+
+// TestSeededShareLossCaught proves the durability check has teeth: shares
+// silently destroyed beyond the n−t budget must be reported.
+func TestSeededShareLossCaught(t *testing.T) {
+	t.Parallel()
+	h, err := New(Options{Seed: baseSeed(t), Ops: 40, BreakDurability: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := h.Run(context.Background())
+	t.Logf("%s", rep)
+	for _, v := range rep.Violations {
+		if v.Invariant == "durability" {
+			return
+		}
+	}
+	t.Fatalf("seeded share loss not caught:\n%s", rep)
+}
+
+// TestDeterminism re-runs a faulty scenario with the same seed and checks
+// the acknowledged-version sequence is identical — the property that makes
+// any harness failure reproducible from its seed.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	opts := Options{
+		Seed: baseSeed(t),
+		Ops:  80,
+		Schedule: Schedule{
+			{At: 10, Act: Crash, CSP: "cspb"},
+			{At: 50, Act: Restart, CSP: "cspb"},
+		},
+	}
+	run := func() *Report {
+		h, err := New(opts)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return h.Run(context.Background())
+	}
+	a, b := run(), run()
+	if len(a.AckedVIDs) != len(b.AckedVIDs) {
+		t.Fatalf("ack counts differ: %d vs %d", len(a.AckedVIDs), len(b.AckedVIDs))
+	}
+	for i := range a.AckedVIDs {
+		if a.AckedVIDs[i] != b.AckedVIDs[i] {
+			t.Fatalf("ack %d differs: %s vs %s", i, a.AckedVIDs[i], b.AckedVIDs[i])
+		}
+	}
+}
+
+// TestSoak is the long-running mode: several independent worlds with
+// randomized (but seed-derived) fault schedules layered over a larger
+// workload. Skipped under -short; CI runs the short suite, the soak runs
+// locally or in scheduled jobs.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak mode disabled with -short")
+	}
+	seed := baseSeed(t)
+	for round := 0; round < 3; round++ {
+		round := round
+		t.Run(strconv.Itoa(round), func(t *testing.T) {
+			t.Parallel()
+			opts := Options{
+				Seed:      seed + int64(round)*7919,
+				Clients:   3,
+				Providers: 6,
+				Ops:       400,
+				Files:     8,
+				Schedule:  soakSchedule(seed+int64(round), 400),
+			}
+			runScenario(t, opts)
+		})
+	}
+}
+
+// soakSchedule derives a random-but-reproducible fault schedule: rolling
+// crash windows, transient fault bursts, and a capacity dip, plus a
+// mid-run checkpoint.
+func soakSchedule(seed int64, ops int) Schedule {
+	names := []string{"cspa", "cspb", "cspc", "cspd", "cspe", "cspf"}
+	var sch Schedule
+	// Derive positions from the seed without pulling in the harness RNG:
+	// a simple LCG is plenty and keeps the schedule independent of the
+	// workload stream.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for i := 0; i < 4; i++ {
+		at := next(ops - 40)
+		cspName := names[next(len(names))]
+		sch = append(sch,
+			Step{At: at, Act: Crash, CSP: cspName},
+			Step{At: at + 20 + next(20), Act: Restart, CSP: cspName},
+		)
+	}
+	for i := 0; i < 5; i++ {
+		sch = append(sch, Step{At: next(ops), Act: FailNext, CSP: names[next(len(names))], Count: 1 + next(4)})
+	}
+	dip := names[next(len(names))]
+	at := next(ops / 2)
+	sch = append(sch,
+		Step{At: at, Act: SetCapacity, CSP: dip, Bytes: 32 << 10},
+		Step{At: at + ops/4, Act: SetCapacity, CSP: dip, Bytes: 0},
+		Step{At: ops / 2, Act: Checkpoint},
+	)
+	return sch
+}

@@ -1,0 +1,417 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/erasure"
+	"repro/internal/metadata"
+)
+
+// checkpoint quiesces the simulated world and audits every system-wide
+// invariant by direct inspection of provider durable state and the
+// clients' version trees. It is called at least once, at the end of the
+// run; mid-run Checkpoint schedule steps call it too.
+func (h *Harness) checkpoint(ctx context.Context) {
+	h.quiesce(ctx)
+	h.checkConvergence()
+
+	tree := h.clients[0].Tree()
+	records := tree.All()
+	h.report.Versions = len(records)
+
+	st := h.buildWorldState(records)
+	h.report.Chunks = len(st.chunkRefs)
+	h.classifyObjects(st)
+	h.checkPlacementAndPrivacy(st)
+	h.checkStructuralDurability(st)
+	h.checkMetaReplication(tree, records, st)
+	h.checkBehavioralDurability(ctx)
+	h.report.Checkpoints++
+}
+
+// quiesce restores every provider and link, lets the clients probe failed
+// providers back in, and syncs everyone so the trees can converge.
+func (h *Harness) quiesce(ctx context.Context) {
+	for _, name := range h.names {
+		b := h.backends[name]
+		b.SetAvailable(true)
+		b.FailNext(0)
+	}
+	h.scaleLinks("", 1)
+	for _, c := range h.clients {
+		c.ProbeFailed(ctx)
+	}
+	// Two rounds: round one may publish resolution markers or migrated
+	// state that round two then distributes to every replica.
+	for round := 0; round < 2; round++ {
+		for _, c := range h.clients {
+			_, _ = c.Sync(ctx)
+		}
+	}
+}
+
+// checkConvergence verifies all clients agree on the version set, on every
+// file's head, and on the detected conflicts.
+func (h *Harness) checkConvergence() {
+	ref := h.clients[0]
+	refIDs := ref.Tree().VersionIDs()
+	refConf := fmt.Sprint(ref.Tree().Conflicts())
+	for _, c := range h.clients[1:] {
+		ids := c.Tree().VersionIDs()
+		if !equalStrings(refIDs, ids) {
+			h.violate("convergence", "%s and %s disagree on the version set (%d vs %d records)",
+				ref.ID(), c.ID(), len(refIDs), len(ids))
+			continue
+		}
+		if conf := fmt.Sprint(c.Tree().Conflicts()); conf != refConf {
+			h.violate("convergence", "%s and %s disagree on conflicts: %s vs %s", ref.ID(), c.ID(), refConf, conf)
+		}
+	}
+	for _, name := range ref.Tree().Names() {
+		h0, conflicted0, err0 := ref.Tree().Head(name)
+		for _, c := range h.clients[1:] {
+			hc, conflictedC, errC := c.Tree().Head(name)
+			if (err0 == nil) != (errC == nil) || conflicted0 != conflictedC {
+				h.violate("convergence", "%s and %s disagree on head state of %s", ref.ID(), c.ID(), name)
+				continue
+			}
+			if err0 == nil && h0.VersionID() != hc.VersionID() {
+				h.violate("convergence", "%s and %s disagree on head of %s: %s vs %s",
+					ref.ID(), c.ID(), name, short(h0.VersionID()), short(hc.VersionID()))
+			}
+		}
+	}
+}
+
+// worldState is everything the offline checks need: which chunks exist,
+// their parameters and contents, the expected bytes of every share, and
+// which provider physically holds which share index.
+type worldState struct {
+	chunkRefs    map[string]metadata.ChunkRef // referenced chunks
+	chunkShares  map[string][]erasure.Share   // chunk -> expected shares (content known)
+	shareNames   map[string]shareKey          // object name -> (chunk, index) for every known chunk
+	knownVIDs    map[string]bool
+	presence     map[string]map[string]map[int]bool // chunk -> csp -> indices physically present
+	intact       map[string]map[int]bool            // chunk -> indices with >= 1 byte-exact copy
+	ghostIndices map[string]map[int]bool            // unknown vid -> meta share indices present
+}
+
+type shareKey struct {
+	chunk      string
+	index      int
+	referenced bool
+}
+
+func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
+	st := &worldState{
+		chunkRefs:    make(map[string]metadata.ChunkRef),
+		chunkShares:  make(map[string][]erasure.Share),
+		shareNames:   make(map[string]shareKey),
+		knownVIDs:    make(map[string]bool),
+		presence:     make(map[string]map[string]map[int]bool),
+		intact:       make(map[string]map[int]bool),
+		ghostIndices: make(map[string]map[int]bool),
+	}
+	for _, m := range records {
+		st.knownVIDs[m.VersionID()] = true
+		for _, ref := range m.Chunks {
+			if prev, ok := st.chunkRefs[ref.ID]; ok && (prev.T != ref.T || prev.N != ref.N) {
+				h.violate("placement", "chunk %s referenced with conflicting parameters (%d,%d) vs (%d,%d)",
+					short(ref.ID), prev.T, prev.N, ref.T, ref.N)
+				continue
+			}
+			st.chunkRefs[ref.ID] = ref
+		}
+	}
+
+	// Recompute expected share bytes for every chunk whose content the
+	// oracle knows (all of them, unless a Put raced a crash so oddly that
+	// even its residue is unknowable — impossible here, since the oracle
+	// records contents before the Put runs).
+	naming := h.clients[0]
+	addContent := func(data []byte) {
+		for _, chunk := range h.chunk.Split(data) {
+			id := metadata.HashData(chunk.Data)
+			if _, done := st.chunkShares[id]; done {
+				continue
+			}
+			t, n := h.opts.T, h.opts.N
+			referenced := false
+			if ref, ok := st.chunkRefs[id]; ok {
+				t, n, referenced = ref.T, ref.N, true
+			}
+			shares, err := h.coder.Encode(chunk.Data, t, n)
+			if err != nil {
+				continue
+			}
+			st.chunkShares[id] = shares
+			for i := 0; i < n; i++ {
+				st.shareNames[naming.ShareObjectName(id, i, t)] = shareKey{chunk: id, index: i, referenced: referenced}
+			}
+		}
+	}
+	for _, aw := range h.acked {
+		addContent(aw.Data)
+	}
+	for _, data := range h.failedPuts {
+		addContent(data)
+	}
+	return st
+}
+
+// classifyObjects walks every object on every provider and accounts for
+// it: a share of a known chunk, a metadata share of a known version,
+// residue of a failed metadata upload, or the CSP status list. Anything
+// else is garbage — and a metadata record durable enough to be readable
+// (>= MetaT shares) that no client's tree contains is a lost update.
+func (h *Harness) classifyObjects(st *worldState) {
+	for _, cspName := range h.names {
+		b := h.backends[cspName]
+		for _, obj := range b.ObjectNames("") {
+			if key, ok := st.shareNames[obj]; ok {
+				if !key.referenced {
+					continue // residue of a failed Put: allowed, not tracked
+				}
+				if st.presence[key.chunk] == nil {
+					st.presence[key.chunk] = make(map[string]map[int]bool)
+				}
+				if st.presence[key.chunk][cspName] == nil {
+					st.presence[key.chunk][cspName] = make(map[int]bool)
+				}
+				st.presence[key.chunk][cspName][key.index] = true
+				data, _ := b.PeekObject(obj)
+				expected := st.chunkShares[key.chunk][key.index].Data
+				if bytes.Equal(data, expected) {
+					if st.intact[key.chunk] == nil {
+						st.intact[key.chunk] = make(map[int]bool)
+					}
+					st.intact[key.chunk][key.index] = true
+				} else if !h.corrupted[cspName+"/"+obj] {
+					h.violate("durability", "%s: share object %s has unexplained content rot", cspName, short(obj))
+				}
+				continue
+			}
+			if vid, idx, ok := core.ParseMetaShareObjectName(obj); ok {
+				if st.knownVIDs[vid] {
+					continue // verified by checkMetaReplication
+				}
+				if st.ghostIndices[vid] == nil {
+					st.ghostIndices[vid] = make(map[int]bool)
+				}
+				st.ghostIndices[vid][idx] = true
+				continue
+			}
+			if isCSPList(obj) {
+				continue
+			}
+			h.violate("garbage", "%s: unaccounted object %q", cspName, obj)
+		}
+	}
+	for vid, idxs := range st.ghostIndices {
+		if len(idxs) >= h.opts.MetaT {
+			h.violate("garbage", "version %s is recoverable from %d metadata shares but in no client's tree (lost update)",
+				short(vid), len(idxs))
+		}
+	}
+}
+
+// checkPlacementAndPrivacy enforces the dispersal constraints on physical
+// state: no provider holds two shares of a chunk, no platform (cluster)
+// holds two, and no platform accumulates t or more distinct shares — the
+// reconstruction threshold (paper §4.3: at most one share per platform).
+func (h *Harness) checkPlacementAndPrivacy(st *worldState) {
+	for id, perCSP := range st.presence {
+		ref := st.chunkRefs[id]
+		perPlatform := make(map[string]map[int]bool)
+		for cspName, idxs := range perCSP {
+			if len(idxs) > 1 {
+				h.violate("placement", "provider %s holds %d distinct shares of chunk %s", cspName, len(idxs), short(id))
+			}
+			platform := cspName
+			if h.clusters != nil {
+				platform = h.clusters[cspName]
+			}
+			if perPlatform[platform] == nil {
+				perPlatform[platform] = make(map[int]bool)
+			}
+			for idx := range idxs {
+				perPlatform[platform][idx] = true
+			}
+		}
+		for platform, idxs := range perPlatform {
+			if h.clusters != nil && len(idxs) > 1 {
+				h.violate("placement", "platform %s holds %d distinct shares of chunk %s", platform, len(idxs), short(id))
+			}
+			if len(idxs) >= ref.T {
+				h.violate("privacy", "platform %s holds %d shares of chunk %s — enough to reconstruct it (t=%d)",
+					platform, len(idxs), short(id), ref.T)
+			}
+		}
+	}
+}
+
+// checkStructuralDurability verifies at the object level that every
+// referenced chunk still has all n share objects somewhere and at least t
+// of them intact — i.e. the system never silently dropped below its
+// declared fault tolerance, and deletion never garbage-collected shares
+// that other versions still reference.
+func (h *Harness) checkStructuralDurability(st *worldState) {
+	for id, ref := range st.chunkRefs {
+		distinct := make(map[int]bool)
+		for _, idxs := range st.presence[id] {
+			for idx := range idxs {
+				distinct[idx] = true
+			}
+		}
+		if len(distinct) < ref.N {
+			h.violate("durability", "chunk %s: only %d of %d share objects exist", short(id), len(distinct), ref.N)
+		}
+		if _, known := st.chunkShares[id]; known && len(st.intact[id]) < ref.T {
+			h.violate("durability", "chunk %s: only %d intact shares, need %d to decode", short(id), len(st.intact[id]), ref.T)
+		}
+	}
+}
+
+// checkMetaReplication recomputes the expected bytes of every metadata
+// share (the codec is deterministic and the coder's evaluation points are
+// prefix-stable in n) and verifies each version stays recoverable from at
+// least MetaT intact shares spread over the providers.
+func (h *Harness) checkMetaReplication(tree *metadata.Tree, records []*metadata.FileMeta, st *worldState) {
+	n := len(h.names)
+	metaT := h.opts.MetaT
+	if metaT > n {
+		metaT = n
+	}
+	for _, m := range records {
+		vid := m.VersionID()
+		blob, err := metadata.Encode(m)
+		if err != nil {
+			h.violate("meta-replication", "version %s does not re-encode: %v", short(vid), err)
+			continue
+		}
+		expected, err := h.coder.Encode(blob, metaT, n)
+		if err != nil {
+			h.violate("meta-replication", "version %s share recomputation failed: %v", short(vid), err)
+			continue
+		}
+		intact := make(map[int]bool)
+		present := make(map[int]bool)
+		for _, cspName := range h.names {
+			b := h.backends[cspName]
+			for idx := 0; idx < n; idx++ {
+				data, ok := b.PeekObject(h.clients[0].MetaShareObjectName(vid, idx))
+				if !ok {
+					continue
+				}
+				present[idx] = true
+				if bytes.Equal(data, expected[idx].Data) {
+					intact[idx] = true
+				}
+			}
+		}
+		if len(intact) < metaT {
+			h.violate("meta-replication", "version %s: %d intact metadata shares (%d present), need %d",
+				short(vid), len(intact), len(present), metaT)
+		}
+	}
+}
+
+// checkBehavioralDurability is the end-to-end read check: for every
+// provider subset of the configured kill size, fail the subset, build a
+// fresh client from nothing but the key and the accounts (the paper's
+// recover()), and re-read every acknowledged write byte-for-byte.
+func (h *Harness) checkBehavioralDurability(ctx context.Context) {
+	kills := h.opts.N - h.opts.T
+	if h.opts.CheckKills > 0 {
+		kills = h.opts.CheckKills
+	} else if h.opts.CheckKills < 0 {
+		kills = 0
+	}
+	// Deduplicate the oracle: re-putting identical content acks the same
+	// version node again.
+	seen := make(map[string]bool)
+	var writes []AckedWrite
+	for _, aw := range h.acked {
+		if !seen[aw.VersionID] {
+			seen[aw.VersionID] = true
+			writes = append(writes, aw)
+		}
+	}
+	for si, subset := range combinations(h.names, kills) {
+		for _, name := range subset {
+			h.backends[name].SetAvailable(false)
+		}
+		insp, err := h.inspector(fmt.Sprintf("inspector-%d-%d", h.report.Checkpoints, si))
+		if err != nil {
+			h.violate("durability", "building recovery client failed: %v", err)
+		} else {
+			// Sync errors are tolerated here only because residue of failed
+			// metadata uploads is unreadable by design; any acked version
+			// the sync failed to absorb is caught by the reads below.
+			_, _ = insp.Sync(ctx)
+			insp.ChunkTable().Rebuild(insp.Tree().All())
+			for _, aw := range writes {
+				got, _, err := insp.GetVersion(ctx, aw.File, aw.VersionID)
+				if err != nil {
+					h.violate("durability", "with %v failed: %s version %s unreadable: %v",
+						subset, aw.File, short(aw.VersionID), err)
+					continue
+				}
+				if !bytes.Equal(got, aw.Data) {
+					h.violate("durability", "with %v failed: %s version %s read back wrong bytes",
+						subset, aw.File, short(aw.VersionID))
+				}
+			}
+		}
+		for _, name := range subset {
+			h.backends[name].SetAvailable(true)
+		}
+	}
+}
+
+// combinations returns every size-k subset of names, in deterministic
+// order. k == 0 yields the single empty subset (the all-up read check).
+func combinations(names []string, k int) [][]string {
+	if k <= 0 {
+		return [][]string{nil}
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	var out [][]string
+	subset := make([]string, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(subset) == k {
+			out = append(out, append([]string(nil), subset...))
+			return
+		}
+		for i := start; i <= len(names)-(k-len(subset)); i++ {
+			subset = append(subset, names[i])
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a2 := append([]string(nil), a...)
+	b2 := append([]string(nil), b...)
+	sort.Strings(a2)
+	sort.Strings(b2)
+	for i := range a2 {
+		if a2[i] != b2[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,7 @@ func chunkWithShares(id string, size int64, t, n int) (ChunkRef, []ShareLoc) {
 }
 
 func TestChunkTableAddLookup(t *testing.T) {
+	t.Parallel()
 	ct := NewChunkTable()
 	c, shares := chunkWithShares("c1", 100, 2, 3)
 	if ct.Stored("c1") {
@@ -42,6 +43,7 @@ func TestChunkTableAddLookup(t *testing.T) {
 }
 
 func TestChunkTableRefCounting(t *testing.T) {
+	t.Parallel()
 	ct := NewChunkTable()
 	c, shares := chunkWithShares("c1", 100, 2, 3)
 	ct.AddRef(c, shares)
@@ -66,6 +68,7 @@ func TestChunkTableRefCounting(t *testing.T) {
 }
 
 func TestChunkTableMoveShare(t *testing.T) {
+	t.Parallel()
 	ct := NewChunkTable()
 	c, shares := chunkWithShares("c1", 100, 2, 3)
 	ct.AddRef(c, shares)
@@ -85,6 +88,7 @@ func TestChunkTableMoveShare(t *testing.T) {
 }
 
 func TestChunkTableSharesOn(t *testing.T) {
+	t.Parallel()
 	ct := NewChunkTable()
 	c1, s1 := chunkWithShares("c1", 100, 2, 3)
 	c2, s2 := chunkWithShares("c2", 100, 2, 2)
@@ -104,6 +108,7 @@ func TestChunkTableSharesOn(t *testing.T) {
 }
 
 func TestChunkTableTotalStoredBytes(t *testing.T) {
+	t.Parallel()
 	ct := NewChunkTable()
 	c1, s1 := chunkWithShares("c1", 100, 2, 3) // share 50, x3 = 150
 	c2, s2 := chunkWithShares("c2", 99, 2, 2)  // share 50 (ceil), x2 = 100
@@ -115,6 +120,7 @@ func TestChunkTableTotalStoredBytes(t *testing.T) {
 }
 
 func TestChunkTableRebuild(t *testing.T) {
+	t.Parallel()
 	m1 := buildMeta("a", "v1", "", "c", false, t0, 2, 3, 100)
 	m2 := buildMeta("b", "v2", "", "c", false, t0, 2, 3, 100)
 	// m3 reuses m1's chunk (dedup across files).

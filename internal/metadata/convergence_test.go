@@ -13,6 +13,7 @@ import (
 // set of records — in any order — agree on heads, conflicts, histories,
 // and name listings. Insert must therefore be commutative and idempotent.
 func TestTreeConvergenceProperty(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 
 	for trial := 0; trial < 50; trial++ {
@@ -122,6 +123,7 @@ func randomRecordSet(rng *rand.Rand) []*FileMeta {
 // TestDecodeNeverPanics fuzzes the binary codec with random and mutated
 // inputs: Decode must return an error, never panic, on any byte soup.
 func TestDecodeNeverPanics(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	good, err := Encode(buildMeta("f", "v", "", "c", false, t0, 2, 3, 64))
 	if err != nil {

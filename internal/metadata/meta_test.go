@@ -37,6 +37,7 @@ func buildMeta(name, content, prevID, clientID string, deleted bool, mod time.Ti
 var t0 = time.Date(2014, 7, 1, 12, 0, 0, 0, time.UTC)
 
 func TestValidateAcceptsGoodRecord(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("doc.txt", "v1", "", "alice", false, t0, 2, 3, 100, 50)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
@@ -44,6 +45,7 @@ func TestValidateAcceptsGoodRecord(t *testing.T) {
 }
 
 func TestValidateRejections(t *testing.T) {
+	t.Parallel()
 	good := func() *FileMeta { return buildMeta("doc.txt", "v1", "", "alice", false, t0, 2, 3, 100) }
 
 	m := good()
@@ -96,6 +98,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestVersionIDDistinguishes(t *testing.T) {
+	t.Parallel()
 	base := buildMeta("doc.txt", "v1", "", "alice", false, t0, 2, 3, 100)
 	sameContentOtherClient := buildMeta("doc.txt", "v1", "", "bob", false, t0, 2, 3, 100)
 	if base.VersionID() == sameContentOtherClient.VersionID() {
@@ -115,6 +118,7 @@ func TestVersionIDDistinguishes(t *testing.T) {
 }
 
 func TestSharesOfSorted(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("f", "v", "", "c", false, t0, 2, 4, 10)
 	// Shuffle shares.
 	m.Shares[0], m.Shares[3] = m.Shares[3], m.Shares[0]
@@ -133,6 +137,7 @@ func TestSharesOfSorted(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("dir/file.bin", "content-v7", "parentid", "client-9", false,
 		time.Date(2014, 8, 2, 3, 4, 5, 123456789, time.UTC), 3, 5, 4096, 1024, 777)
 	data, err := Encode(m)
@@ -158,6 +163,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestEncodeDeterministic(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("f", "v", "", "c", false, t0, 2, 3, 64)
 	a, _ := Encode(m)
 	b, _ := Encode(m)
@@ -167,6 +173,7 @@ func TestEncodeDeterministic(t *testing.T) {
 }
 
 func TestEncodeRejectsInvalid(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("f", "v", "", "c", false, t0, 2, 3, 64)
 	m.File.Size = 1 // break invariant
 	if _, err := Encode(m); err == nil {
@@ -175,6 +182,7 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
 	m := buildMeta("f", "v", "", "c", false, t0, 2, 3, 64)
 	good, _ := Encode(m)
 
@@ -193,6 +201,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodeDeletedRecordWithNoChunks(t *testing.T) {
+	t.Parallel()
 	// Deletion markers carry no chunk data.
 	m := &FileMeta{File: FileMap{
 		ID: HashData([]byte("v")), ClientID: "c", Name: "f",
@@ -212,6 +221,7 @@ func TestDecodeDeletedRecordWithNoChunks(t *testing.T) {
 }
 
 func TestHashData(t *testing.T) {
+	t.Parallel()
 	// SHA-1("abc") is a fixed vector.
 	if got := HashData([]byte("abc")); got != "a9993e364706816aba3e25717850c26c9cd0d89d" {
 		t.Fatalf("HashData(abc) = %s", got)

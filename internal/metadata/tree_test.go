@@ -15,6 +15,7 @@ func mustInsert(t *testing.T, tr *Tree, m *FileMeta) string {
 }
 
 func TestInsertAndGet(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	m := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
 	id := mustInsert(t, tr, m)
@@ -37,6 +38,7 @@ func TestInsertAndGet(t *testing.T) {
 }
 
 func TestInsertIdempotentAndIsolated(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	m := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
 	mustInsert(t, tr, m)
@@ -53,6 +55,7 @@ func TestInsertIdempotentAndIsolated(t *testing.T) {
 }
 
 func TestInsertValidates(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	bad := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
 	bad.File.Size = 5
@@ -62,6 +65,7 @@ func TestInsertValidates(t *testing.T) {
 }
 
 func TestHeadLinearHistory(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
 	id1 := mustInsert(t, tr, v1)
@@ -94,6 +98,7 @@ func TestHeadLinearHistory(t *testing.T) {
 }
 
 func TestOutOfOrderInsertion(t *testing.T) {
+	t.Parallel()
 	// Children can arrive before parents (async metadata sync).
 	tr := NewTree()
 	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
@@ -112,6 +117,7 @@ func TestOutOfOrderInsertion(t *testing.T) {
 }
 
 func TestConflictType1SameNameCreation(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	a := buildMeta("report.doc", "alice-content", "", "alice", false, t0, 2, 3, 10)
 	b := buildMeta("report.doc", "bob-content", "", "bob", false, t0.Add(time.Minute), 2, 3, 10)
@@ -140,6 +146,7 @@ func TestConflictType1SameNameCreation(t *testing.T) {
 }
 
 func TestConflictType2DivergentEdit(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	base := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
 	id := mustInsert(t, tr, base)
@@ -158,6 +165,7 @@ func TestConflictType2DivergentEdit(t *testing.T) {
 }
 
 func TestConflictResolvedByDeletion(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	base := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
 	id := mustInsert(t, tr, base)
@@ -188,6 +196,7 @@ func TestConflictResolvedByDeletion(t *testing.T) {
 }
 
 func TestDeletedFileHead(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	v1 := buildMeta("doc", "v1", "", "alice", false, t0, 2, 3, 10)
 	id1 := mustInsert(t, tr, v1)
@@ -210,6 +219,7 @@ func TestDeletedFileHead(t *testing.T) {
 }
 
 func TestNamesAndVersionIDs(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	mustInsert(t, tr, buildMeta("b", "1", "", "c", false, t0, 2, 3, 10))
 	mustInsert(t, tr, buildMeta("a", "2", "", "c", false, t0, 2, 3, 10))
@@ -224,6 +234,7 @@ func TestNamesAndVersionIDs(t *testing.T) {
 }
 
 func TestMissing(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	m := buildMeta("a", "1", "", "c", false, t0, 2, 3, 10)
 	id := mustInsert(t, tr, m)
@@ -234,6 +245,7 @@ func TestMissing(t *testing.T) {
 }
 
 func TestHeadTieBreakDeterministic(t *testing.T) {
+	t.Parallel()
 	tr := NewTree()
 	a := buildMeta("doc", "va", "", "alice", false, t0, 2, 3, 10)
 	b := buildMeta("doc", "vb", "", "bob", false, t0, 2, 3, 10) // same Modified
