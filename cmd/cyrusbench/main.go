@@ -13,10 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -110,6 +113,8 @@ func main() {
 	trials := flag.Int("trials", 10_000_000, "Monte Carlo trials for fig13")
 	chunkMB := flag.Int("chunkmb", 100, "chunk size in MB for fig12 (paper: 100)")
 	samples := flag.Int("samples", 48, "hourly samples for fig17/fig18 (paper: 48)")
+	asJSON := flag.Bool("json", false, "additionally write BENCH_<id>.json per experiment")
+	outdir := flag.String("outdir", ".", "directory for -json output files")
 	flag.Parse()
 
 	if *list {
@@ -127,17 +132,84 @@ func main() {
 			continue
 		}
 		matched++
+		start := time.Now()
 		report, err := r.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cyrusbench: %s: %v\n", r.id, err)
 			os.Exit(1)
 		}
 		fmt.Println(report.String())
+		if *asJSON {
+			if err := writeBenchJSON(*outdir, r.id, report, opts, time.Since(start)); err != nil {
+				fmt.Fprintf(os.Stderr, "cyrusbench: %s: %v\n", r.id, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if matched == 0 {
 		fmt.Fprintf(os.Stderr, "cyrusbench: no experiment matches %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// benchResult is the machine-readable form of one experiment run
+// (BENCH_<id>.json). Virtual durations — the simulated completion times the
+// experiment measured — live in the report rows; WallSeconds is the real
+// time the run took on this machine. Bytes is the experiment's nominal
+// dataset size where one is defined (testbed runs scale the paper's 638 MB
+// dataset; fig12/fig16 process a fixed payload), 0 otherwise, and MBps
+// derives from Bytes over wall time.
+type benchResult struct {
+	Op          string             `json:"op"`
+	Description string             `json:"description"`
+	Seed        int64              `json:"seed"`
+	Scale       float64            `json:"scale,omitempty"`
+	Bytes       int64              `json:"bytes,omitempty"`
+	WallSeconds float64            `json:"wall_seconds"`
+	MBps        float64            `json:"mb_per_second,omitempty"`
+	Report      experiments.Report `json:"report"`
+}
+
+// datasetBytes returns the nominal payload an experiment pushes through the
+// system, when one is defined.
+func datasetBytes(id string, opts options) int64 {
+	const paperDataset = 638 << 20 // Table 4's 638 MB testbed dataset
+	switch id {
+	case "table4", "fig14", "fig15":
+		return int64(opts.scale * paperDataset)
+	case "fig12":
+		return int64(opts.chunkMB) << 20
+	case "fig16":
+		return 40 << 20
+	case "fig19":
+		return 20 << 20
+	}
+	return 0
+}
+
+func writeBenchJSON(outdir, id string, report experiments.Report, opts options, wall time.Duration) error {
+	res := benchResult{
+		Op:          id,
+		Seed:        opts.seed,
+		Scale:       opts.scale,
+		Bytes:       datasetBytes(id, opts),
+		WallSeconds: wall.Seconds(),
+		Report:      report,
+	}
+	for _, r := range runners {
+		if r.id == id {
+			res.Description = r.desc
+		}
+	}
+	if res.Bytes > 0 && wall > 0 {
+		res.MBps = float64(res.Bytes) / (1 << 20) / wall.Seconds()
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, "BENCH_"+id+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func selected(id string, want []string) bool {

@@ -1,7 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/experiments"
 )
 
 func TestRunnerRegistryIsComplete(t *testing.T) {
@@ -57,6 +64,64 @@ func TestFastRunnersExecute(t *testing.T) {
 		}
 		if len(report.Rows) == 0 {
 			t.Fatalf("%s produced no rows", r.id)
+		}
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{seed: 42, scale: 0.25, trials: 1000, chunkMB: 4, samples: 3}
+	report := experiments.Report{
+		ID: "table4", Title: "testbed throughput",
+		Columns: []string{"op", "MB/s"},
+		Rows:    [][]string{{"upload", "12.3"}},
+	}
+	if err := writeBenchJSON(dir, "table4", report, opts, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_table4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_table4.json does not parse: %v", err)
+	}
+	if res.Op != "table4" || res.Seed != 42 || res.Scale != 0.25 {
+		t.Errorf("identity fields = %+v", res)
+	}
+	if res.Description == "" {
+		t.Error("description not filled from the runner registry")
+	}
+	wantBytes := int64(0.25 * (638 << 20))
+	if res.Bytes != wantBytes {
+		t.Errorf("bytes = %d, want %d (scale*638MB)", res.Bytes, wantBytes)
+	}
+	if res.WallSeconds != 2 {
+		t.Errorf("wall_seconds = %v, want 2", res.WallSeconds)
+	}
+	wantMBps := float64(wantBytes) / (1 << 20) / 2
+	if math.Abs(res.MBps-wantMBps) > 1e-9 {
+		t.Errorf("mb_per_second = %v, want %v", res.MBps, wantMBps)
+	}
+	if res.Report.ID != "table4" || len(res.Report.Rows) != 1 {
+		t.Errorf("embedded report = %+v", res.Report)
+	}
+}
+
+func TestDatasetBytes(t *testing.T) {
+	opts := options{scale: 1, chunkMB: 8}
+	cases := map[string]int64{
+		"table4": 638 << 20,
+		"fig14":  638 << 20,
+		"fig12":  8 << 20,
+		"fig16":  40 << 20,
+		"fig19":  20 << 20,
+		"table1": 0, // analytic experiment: no payload
+	}
+	for id, want := range cases {
+		if got := datasetBytes(id, opts); got != want {
+			t.Errorf("datasetBytes(%s) = %d, want %d", id, got, want)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/csp"
+	"repro/internal/obs"
 	"repro/internal/resthttp"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	capacity := flag.Int64("capacity", 0, "storage capacity in bytes (0 = unlimited)")
 	identity := flag.String("identity", "name-keyed", "object identity model: name-keyed (overwrite) or id-keyed (duplicate)")
 	admin := flag.Bool("admin", false, "expose fault-injection admin endpoints (testing only)")
+	withObs := flag.Bool("obs", true, "serve /metrics, /healthz, /debug/pprof/, /debug/spans")
 	flag.Parse()
 
 	if *token == "" {
@@ -58,7 +60,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d admin=%v)",
-		*name, *addr, *identity, *capacity, *admin)
+	if *withObs {
+		srv.SetObserver(obs.NewObserver())
+	}
+	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d admin=%v obs=%v)",
+		*name, *addr, *identity, *capacity, *admin, *withObs)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -66,7 +66,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate> ...")
+		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate|stats> ...")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -105,6 +105,8 @@ func run(args []string) error {
 		return cmdGC(ctx, client)
 	case "probe":
 		return cmdProbe(ctx, client)
+	case "stats":
+		return cmdStats(ctx, client, rest)
 	case "reinstate":
 		return cmdReinstate(ctx, client, rest)
 	case "rmcsp":
@@ -188,6 +190,46 @@ func cmdProbe(ctx context.Context, c *cyrus.Client) error {
 	}
 	for _, name := range recovered {
 		fmt.Printf("%s is back up\n", name)
+	}
+	return nil
+}
+
+// cmdStats syncs once (touching every reachable provider) and dumps the
+// observability scoreboard: per-CSP request counts, latency EWMA, link
+// estimates, and marked-down state. -json adds the full metrics snapshot.
+func cmdStats(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit JSON (scoreboard plus metrics snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := c.Observer()
+	if o == nil {
+		return fmt.Errorf("stats: client has no observer attached")
+	}
+	if _, err := c.Sync(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "stats: sync:", err)
+	}
+	rows := o.Health().Snapshot()
+	if *asJSON {
+		out := struct {
+			CSPs    []cyrus.CSPHealth     `json:"csps"`
+			Metrics cyrus.MetricsSnapshot `json:"metrics"`
+		}{CSPs: rows, Metrics: o.Registry().Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("%-12s %6s %6s %10s %12s %12s %-6s %s\n",
+		"CSP", "OK", "FAIL", "LAT(ms)", "DOWN(B/s)", "UP(B/s)", "STATE", "LAST ERROR")
+	for _, r := range rows {
+		state := "up"
+		if r.Down {
+			state = "DOWN"
+		}
+		fmt.Printf("%-12s %6d %6d %10.2f %12.0f %12.0f %-6s %s\n",
+			r.CSP, r.Successes, r.Failures, r.LatencyEWMASeconds*1000,
+			r.DownlinkBps, r.UplinkBps, state, r.LastError)
 	}
 	return nil
 }
@@ -292,6 +334,7 @@ func openClient(cfgPath string) (*cyrus.Client, error) {
 		Key:      cfg.Key,
 		T:        cfg.T,
 		N:        cfg.N,
+		Obs:      cyrus.NewObserver(),
 	}, stores)
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/resthttp"
 	"repro/internal/syncdir"
 	"repro/internal/topology"
@@ -72,6 +73,15 @@ type (
 	// GCStats reports what a garbage collection removed.
 	GCStats = core.GCStats
 
+	// Observer is the observability bundle (metrics registry, span tracer,
+	// CSP health scoreboard). Attach one via Config.Obs; a nil Observer
+	// disables all instrumentation.
+	Observer = obs.Observer
+	// CSPHealth is one provider's scoreboard row.
+	CSPHealth = obs.CSPHealth
+	// MetricsSnapshot is a point-in-time copy of an Observer's registry.
+	MetricsSnapshot = obs.Snapshot
+
 	// Store is the five-call provider interface (authenticate, list,
 	// upload, download, delete) CYRUS requires of a CSP.
 	Store = csp.Store
@@ -94,6 +104,10 @@ var (
 func New(cfg Config, stores []Store) (*Client, error) {
 	return core.New(cfg, stores)
 }
+
+// NewObserver builds an empty observability bundle to pass as Config.Obs
+// (and to share with an HTTP server's /metrics endpoint).
+func NewObserver() *Observer { return obs.NewObserver() }
 
 // NewDirStore returns a provider backed by a local directory — the
 // simplest way to run a real CYRUS cloud without commercial accounts

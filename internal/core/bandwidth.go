@@ -11,7 +11,8 @@ import (
 // averages seeded from configuration (or a conservative default).
 type bandwidthTracker struct {
 	mu    sync.Mutex
-	est   map[string]float64
+	est   map[string]float64 // downlink (what the selector consumes)
+	upEst map[string]float64 // uplink (observability only)
 	seeds map[string]float64
 }
 
@@ -23,7 +24,7 @@ const defaultSeedBps = 1 << 20
 const ewmaWeight = 0.3
 
 func newBandwidthTracker(seeds map[string]float64) *bandwidthTracker {
-	t := &bandwidthTracker{est: make(map[string]float64), seeds: make(map[string]float64)}
+	t := &bandwidthTracker{est: make(map[string]float64), upEst: make(map[string]float64), seeds: make(map[string]float64)}
 	for k, v := range seeds {
 		if v > 0 {
 			t.seeds[k] = v
@@ -59,6 +60,31 @@ func (t *bandwidthTracker) observe(name string, bytes int64, elapsed time.Durati
 	} else {
 		t.est[name] = rate
 	}
+}
+
+// observeUp folds one completed upload into the uplink estimate. Uplink
+// rates are tracked separately from the downlink estimates the selector
+// consumes (links are asymmetric); they surface through the observability
+// scoreboard and bandwidth gauges.
+func (t *bandwidthTracker) observeUp(name string, bytes int64, elapsed time.Duration) {
+	if bytes <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(bytes) / elapsed.Seconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.upEst[name]; ok {
+		t.upEst[name] = (1-ewmaWeight)*cur + ewmaWeight*rate
+	} else {
+		t.upEst[name] = rate
+	}
+}
+
+// estimateUp returns the uplink estimate, or 0 when nothing was observed.
+func (t *bandwidthTracker) estimateUp(name string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.upEst[name]
 }
 
 // snapshot returns estimates for the given CSPs.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/hashring"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/reliability"
 	"repro/internal/selector"
 	"repro/internal/vclock"
@@ -100,6 +101,14 @@ type Config struct {
 	// downloads, migrations, provider state changes). nil disables
 	// logging entirely.
 	Logger *slog.Logger
+
+	// Obs, when set, receives metrics, spans, and per-CSP health from
+	// every operation: op latency histograms, provider request counters,
+	// the event→metric bridge, and the scoreboard. The observer's clock is
+	// re-pointed at this client's Runtime, so virtual-time runs record
+	// virtual durations. One observer may be shared by several clients.
+	// nil disables instrumentation entirely.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -163,7 +172,8 @@ type Client struct {
 	rt      vclock.Runtime
 	sel     selector.Selector
 	keyHash string
-	log     *slog.Logger // nil = disabled
+	log     *slog.Logger  // nil = disabled
+	obs     *obs.Observer // nil = disabled
 
 	mu      sync.Mutex
 	stores  map[string]csp.Store
@@ -198,8 +208,16 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		sel:     full.Selector,
 		keyHash: hex.EncodeToString(sum[:]),
 		log:     full.Logger,
+		obs:     full.Obs,
 		stores:  make(map[string]csp.Store),
 		removed: make(map[string]bool),
+	}
+	if c.obs != nil {
+		// Durations must follow this client's notion of time, and the
+		// bridge turns transfer events into metrics without any subscriber
+		// re-deriving timing.
+		c.obs.SetClock(c.rt.Now)
+		c.events.subscribe(c.observeEvent)
 	}
 	for _, s := range stores {
 		if err := c.AddCSP(s); err != nil {
@@ -383,23 +401,50 @@ func (c *Client) Estimator() *reliability.Estimator { return c.est }
 // Bandwidth exposes the link estimate used for a CSP (for tests).
 func (c *Client) Bandwidth(name string) float64 { return c.bw.estimate(name) }
 
+// Observer exposes the configured observability hook (nil when disabled);
+// tools like `cyrusctl stats` read the scoreboard and registry through it.
+func (c *Client) Observer() *obs.Observer { return c.obs }
+
 // Subscribe registers an event handler (asynchronous transfer events,
 // paper §5.3). Handlers must be fast and must not call back into the
 // client.
 func (c *Client) Subscribe(fn func(Event)) { c.events.subscribe(fn) }
 
-// recordResult feeds the failure estimator from an operation outcome.
-func (c *Client) recordResult(name string, err error) {
+// recordResult is the single sink for provider-contact outcomes: every
+// upload, download, list, and delete lands here with its payload size and
+// elapsed time (on the runtime clock). Successes feed the failure
+// estimator, the bandwidth estimator (downloads the downlink estimate the
+// selector consumes, uploads the uplink estimate), and the observability
+// scoreboard; failures feed the estimator's outage tracking and the same
+// scoreboard — so selector inputs and the health view agree on one data
+// path. op is one of the op* constants in observe.go.
+func (c *Client) recordResult(name, op string, err error, bytes int64, elapsed time.Duration) {
 	now := c.rt.Now()
 	if err == nil {
+		wasDown := c.est.Down(name)
 		c.est.RecordSuccess(name, now)
+		if wasDown {
+			c.obs.CSPDownState(name, false)
+		}
+		switch op {
+		case opDownload:
+			c.bw.observe(name, bytes, elapsed)
+		case opUpload:
+			c.bw.observeUp(name, bytes, elapsed)
+		}
+		c.obs.CSPRequest(name, nil, elapsed)
+		if c.obs != nil {
+			c.obs.CSPBandwidth(name, c.bw.estimate(name), c.bw.estimateUp(name))
+		}
 		return
 	}
+	c.obs.CSPRequest(name, err, elapsed)
 	if errors.Is(err, csp.ErrUnavailable) {
 		wasDown := c.est.Down(name)
 		c.est.RecordFailure(name, now)
 		if !wasDown && c.est.Down(name) {
 			c.logf("provider marked failed", "csp", name)
+			c.obs.CSPDownState(name, true)
 		}
 	}
 }

@@ -102,8 +102,9 @@ func (c *Client) publishCSPList(ctx context.Context) error {
 			if !ok {
 				return
 			}
+			start := c.rt.Now()
 			err := store.Upload(ctx, cspListName(seq), data)
-			c.recordResult(target, err)
+			c.recordResult(target, opMetaPut, err, int64(len(data)), c.rt.Now().Sub(start))
 			if err == nil {
 				mu.inc()
 				if seq > 1 {
@@ -168,8 +169,9 @@ func (c *Client) syncCSPList(ctx context.Context, listings map[string][]string) 
 		if !ok {
 			continue
 		}
+		start := c.rt.Now()
 		data, err := store.Download(ctx, cspListName(bestSeq))
-		c.recordResult(holder, err)
+		c.recordResult(holder, opMetaGet, err, int64(len(data)), c.rt.Now().Sub(start))
 		if err != nil {
 			continue
 		}
@@ -225,8 +227,9 @@ func (c *Client) ProbeFailed(ctx context.Context) []string {
 			if !ok {
 				return
 			}
+			start := c.rt.Now()
 			_, err := store.List(ctx, metadata.MetaPrefix)
-			c.recordResult(name, err)
+			c.recordResult(name, opList, err, 0, c.rt.Now().Sub(start))
 			if err == nil {
 				mu.add(name)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/erasure"
 	"repro/internal/metadata"
@@ -15,7 +16,9 @@ import (
 // The returned FileInfo reports whether the file is in a conflicted state
 // (competing concurrent versions exist); the returned bytes are the
 // deterministic winning head.
-func (c *Client) Get(ctx context.Context, name string) ([]byte, FileInfo, error) {
+func (c *Client) Get(ctx context.Context, name string) (_ []byte, _ FileInfo, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "get")
+	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx) // Algorithm 3 line 2
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
@@ -33,7 +36,9 @@ func (c *Client) Get(ctx context.Context, name string) ([]byte, FileInfo, error)
 }
 
 // GetVersion downloads a specific version of a file — get(s, f, v).
-func (c *Client) GetVersion(ctx context.Context, name, versionID string) ([]byte, FileInfo, error) {
+func (c *Client) GetVersion(ctx context.Context, name, versionID string) (_ []byte, _ FileInfo, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "get")
+	defer func() { sp.End(err) }()
 	m, err := c.tree.Get(versionID)
 	if err != nil {
 		return nil, FileInfo{}, err
@@ -59,6 +64,7 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 	if len(m.Chunks) == 0 {
 		return []byte{}, nil
 	}
+	fetchStart := c.rt.Now()
 
 	// Build the selection instance over unique chunks. Share locations
 	// come from the freshest source available: the global chunk table
@@ -127,6 +133,9 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 		}
 		for id, sources := range a.Pick {
 			pick[id] = sources
+			for _, src := range sources {
+				c.obs.SelectorPick(src)
+			}
 		}
 	}
 
@@ -178,7 +187,7 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 	}
 	c.migrateStaleShares(ctx, m.File.Name, refs, locs, chunkData)
 
-	c.events.emit(Event{Type: EvFileComplete, File: m.File.Name, Bytes: m.File.Size})
+	c.events.emit(Event{Type: EvFileComplete, File: m.File.Name, Bytes: m.File.Size, Duration: c.rt.Now().Sub(fetchStart)})
 	return out, nil
 }
 
@@ -186,6 +195,9 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 // pick, falling back to any other stored location on error), decodes, and
 // verifies content. Algorithm 3's Gather.
 func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) ([]byte, error) {
+	chunkStart := c.rt.Now()
+	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.gather")
+	defer func() { chunkSpan.End(nil) }()
 	// Index each CSP's share index.
 	idxOf := make(map[string]int, len(locations))
 	for idx, cspName := range locations {
@@ -221,17 +233,18 @@ func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.Chun
 				store, ok := c.store(cur)
 				var data []byte
 				var err error
+				var elapsed time.Duration
 				if !ok {
 					err = fmt.Errorf("cyrus: provider %q vanished", cur)
 				} else {
+					_, tsp := c.obs.Trace(ctx, "csp.download")
 					start := c.rt.Now()
 					data, err = store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
-					c.recordResult(cur, err)
-					if err == nil {
-						c.bw.observe(cur, int64(len(data)), c.rt.Now().Sub(start))
-					}
+					elapsed = c.rt.Now().Sub(start)
+					tsp.End(err)
+					c.recordResult(cur, opDownload, err, int64(len(data)), elapsed)
 				}
-				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cur, Bytes: int64(len(data)), Err: err})
+				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cur, Bytes: int64(len(data)), Duration: elapsed, Err: err})
 				if err == nil {
 					mu.Lock()
 					shares = append(shares, erasure.Share{Index: idx, Data: data})
@@ -274,7 +287,7 @@ func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.Chun
 			return nil, err
 		}
 	}
-	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID})
+	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID, Duration: c.rt.Now().Sub(chunkStart)})
 	return data, nil
 }
 
@@ -296,9 +309,11 @@ func (c *Client) gatherCorrecting(ctx context.Context, file string, ref metadata
 		if !ok {
 			continue
 		}
+		start := c.rt.Now()
 		d, err := store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
-		c.recordResult(cspName, err)
-		c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: int64(len(d)), Err: err})
+		elapsed := c.rt.Now().Sub(start)
+		c.recordResult(cspName, opDownload, err, int64(len(d)), elapsed)
+		c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: int64(len(d)), Duration: elapsed, Err: err})
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // EventType enumerates the asynchronous transfer events of paper §5.3.
 type EventType int
@@ -50,7 +53,13 @@ type Event struct {
 	Index   int    // share index (share events)
 	CSP     string // provider involved (share/meta events)
 	Bytes   int64  // payload size
-	Err     error  // nil on success
+	// Duration is how long the operation took, measured on the client's
+	// runtime clock (virtual time under netsim). Share/meta events carry
+	// the single transfer's duration; ChunkComplete and FileComplete carry
+	// the whole chunk/file operation's duration. Subscribers should use it
+	// instead of re-deriving timing.
+	Duration time.Duration
+	Err      error // nil on success
 }
 
 // eventBus is a minimal synchronous fan-out. CYRUS's prototype registers an

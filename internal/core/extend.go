@@ -23,7 +23,9 @@ import (
 // GetRange downloads only the chunks covering [offset, offset+length) of
 // the file's current version and returns exactly those bytes. Chunks
 // outside the range are neither selected nor transferred.
-func (c *Client) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, FileInfo, error) {
+func (c *Client) GetRange(ctx context.Context, name string, offset, length int64) (_ []byte, _ FileInfo, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "get_range")
+	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx)
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
@@ -106,6 +108,9 @@ func (c *Client) GetRange(ctx context.Context, name string, offset, length int64
 		}
 		for id, srcs := range a.Pick {
 			pick[id] = srcs
+			for _, src := range srcs {
+				c.obs.SelectorPick(src)
+			}
 		}
 	}
 
@@ -150,13 +155,16 @@ func (c *Client) GetRange(ctx context.Context, name string, offset, length int64
 // Import pulls an object the user already stores at one provider (outside
 // CYRUS) and re-stores it through CYRUS under destName; the original is
 // left untouched.
-func (c *Client) Import(ctx context.Context, providerName, objectName, destName string) error {
+func (c *Client) Import(ctx context.Context, providerName, objectName, destName string) (err error) {
+	ctx, sp := c.obs.StartOp(ctx, "import")
+	defer func() { sp.End(err) }()
 	store, ok := c.store(providerName)
 	if !ok {
 		return fmt.Errorf("cyrus: CSP %q not present", providerName)
 	}
+	start := c.rt.Now()
 	data, err := store.Download(ctx, objectName)
-	c.recordResult(providerName, err)
+	c.recordResult(providerName, opDownload, err, int64(len(data)), c.rt.Now().Sub(start))
 	if err != nil {
 		return fmt.Errorf("cyrus: import %s from %s: %w", objectName, providerName, err)
 	}
@@ -178,7 +186,9 @@ type GCStats struct {
 // references — orphans left by interrupted uploads or pruned histories.
 // Chunks referenced by any version, including deleted files' old versions
 // (which remain restorable), are never touched.
-func (c *Client) GC(ctx context.Context) (GCStats, error) {
+func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "gc")
+	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx)
 
 	referenced := map[string]bool{}
@@ -209,7 +219,10 @@ func (c *Client) GC(ctx context.Context) (GCStats, error) {
 				stats.Skipped++
 				continue
 			}
-			if err := store.Delete(ctx, c.shareName(info.ID, idx, info.T)); err != nil {
+			start := c.rt.Now()
+			err := store.Delete(ctx, c.shareName(info.ID, idx, info.T))
+			c.recordResult(cspName, opDelete, err, 0, c.rt.Now().Sub(start))
+			if err != nil {
 				if !errIsNotFound(err) {
 					stats.Skipped++
 					continue

@@ -40,7 +40,9 @@ func newDeletionMarker(prev *metadata.FileMeta, clientID string, now time.Time) 
 // Delete marks a file deleted — delete(s, f). Chunk shares are left alone:
 // other files may reference the same chunks, and previous versions stay
 // recoverable.
-func (c *Client) Delete(ctx context.Context, name string) error {
+func (c *Client) Delete(ctx context.Context, name string) (err error) {
+	ctx, sp := c.obs.StartOp(ctx, "delete")
+	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx)
 	head, _, err := c.tree.Head(name)
 	if err != nil {

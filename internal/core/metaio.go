@@ -94,9 +94,11 @@ func (c *Client) uploadMeta(ctx context.Context, m *metadata.FileMeta) error {
 			if !ok {
 				return
 			}
+			start := c.rt.Now()
 			err := store.Upload(ctx, metaShareName(vid, i), shares[i].Data)
-			c.recordResult(target, err)
-			c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: shares[i].Size(), Err: err})
+			elapsed := c.rt.Now().Sub(start)
+			c.recordResult(target, opMetaPut, err, shares[i].Size(), elapsed)
+			c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: shares[i].Size(), Duration: elapsed, Err: err})
 			mu.Lock()
 			if err == nil {
 				succeeded++
@@ -146,8 +148,9 @@ func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]strin
 			if !ok {
 				return
 			}
+			start := c.rt.Now()
 			infos, err := store.List(ctx, metadata.MetaPrefix)
-			c.recordResult(name, err)
+			c.recordResult(name, opList, err, 0, c.rt.Now().Sub(start))
 			results[i] = listResult{csp: name, infos: infos, err: err}
 		})
 	}
@@ -222,9 +225,11 @@ func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]strin
 			if !ok || c.est.Down(provider) {
 				continue
 			}
+			start := c.rt.Now()
 			d, err := store.Download(ctx, metaShareName(vid, idx))
-			c.recordResult(provider, err)
-			c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: int64(len(d)), Err: err})
+			elapsed := c.rt.Now().Sub(start)
+			c.recordResult(provider, opMetaGet, err, int64(len(d)), elapsed)
+			c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: int64(len(d)), Duration: elapsed, Err: err})
 			if err != nil {
 				lastErr = err
 				continue

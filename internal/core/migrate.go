@@ -83,6 +83,8 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 	if len(jobs) == 0 {
 		return
 	}
+	ctx, sp := c.obs.StartOp(ctx, "migrate")
+	defer func() { sp.End(nil) }()
 
 	var mu sync.Mutex
 	g := c.rt.NewGroup()
@@ -100,9 +102,11 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 				return
 			}
 			name := c.shareName(j.ref.ID, j.index, j.ref.T)
+			start := c.rt.Now()
 			err = store.Upload(ctx, name, shares[j.index].Data)
-			c.recordResult(j.target, err)
-			c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: j.ref.ID, Index: j.index, CSP: j.target, Bytes: shares[j.index].Size(), Err: err})
+			elapsed := c.rt.Now().Sub(start)
+			c.recordResult(j.target, opUpload, err, shares[j.index].Size(), elapsed)
+			c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: j.ref.ID, Index: j.index, CSP: j.target, Bytes: shares[j.index].Size(), Duration: elapsed, Err: err})
 			if err != nil {
 				return
 			}

@@ -17,7 +17,9 @@ import (
 // Sync returns the number of newly absorbed records. Individual record
 // failures do not abort the sync; the first such error is returned
 // alongside the count.
-func (c *Client) Sync(ctx context.Context) (int, error) {
+func (c *Client) Sync(ctx context.Context) (n int, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "sync")
+	defer func() { sp.End(err) }()
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}

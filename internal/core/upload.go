@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metadata"
 )
@@ -17,10 +18,13 @@ import (
 // the platform-cluster constraint. Only after every share upload returns is
 // the metadata record itself uploaded, so no other client can observe a
 // version whose shares are not fully stored.
-func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) {
 	if name == "" {
 		return fmt.Errorf("cyrus: empty file name")
 	}
+	opStart := c.rt.Now()
+	ctx, sp := c.obs.StartOp(ctx, "put")
+	defer func() { sp.End(err) }()
 	// Step 1-2: refresh the tree, find the parent version. Sync failures
 	// are tolerated — conflicts, if any, are detected after the fact.
 	c.syncBestEffort(ctx)
@@ -122,7 +126,7 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 	}
 	c.logf("stored version", "file", name, "version", meta.VersionID()[:8],
 		"bytes", len(data), "chunks", len(meta.Chunks), "newChunks", len(jobs))
-	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: int64(len(data))})
+	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: int64(len(data)), Duration: c.rt.Now().Sub(opStart)})
 	return nil
 }
 
@@ -131,6 +135,9 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 // the chunk ID. CSPs that fail are replaced by the next candidates on the
 // ring; the upload fails only when fewer than n providers accept shares.
 func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.ChunkRef, data []byte) ([]metadata.ShareLoc, error) {
+	chunkStart := c.rt.Now()
+	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.scatter")
+	defer func() { chunkSpan.End(nil) }()
 	// Full preference order: every eligible CSP, cluster-constrained,
 	// starting at the chunk's ring position.
 	prefs, err := c.placementOrder(ref.ID)
@@ -162,13 +169,18 @@ func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.Chu
 			for {
 				store, ok := c.store(cur)
 				var err error
+				var elapsed time.Duration
 				if !ok {
 					err = fmt.Errorf("cyrus: provider %q vanished", cur)
 				} else {
+					_, tsp := c.obs.Trace(ctx, "csp.upload")
+					start := c.rt.Now()
 					err = store.Upload(ctx, shareObj, shares[i].Data)
-					c.recordResult(cur, err)
+					elapsed = c.rt.Now().Sub(start)
+					tsp.End(err)
+					c.recordResult(cur, opUpload, err, shares[i].Size(), elapsed)
 				}
-				c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: ref.ID, Index: i, CSP: cur, Bytes: shares[i].Size(), Err: err})
+				c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: ref.ID, Index: i, CSP: cur, Bytes: shares[i].Size(), Duration: elapsed, Err: err})
 				if err == nil {
 					mu.Lock()
 					locs = append(locs, metadata.ShareLoc{ChunkID: ref.ID, Index: i, CSP: cur})
@@ -206,7 +218,7 @@ func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.Chu
 	if len(locs) != ref.N {
 		return nil, fmt.Errorf("cyrus: chunk %s: stored %d of %d shares", ref.ID[:8], len(locs), ref.N)
 	}
-	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID})
+	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID, Duration: c.rt.Now().Sub(chunkStart)})
 	return locs, nil
 }
 

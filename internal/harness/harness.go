@@ -45,6 +45,7 @@ import (
 	"repro/internal/csp"
 	"repro/internal/erasure"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Options configures one simulation run. Zero values take the documented
@@ -159,6 +160,12 @@ type Report struct {
 	Checkpoints int
 	AckedVIDs   []string // acknowledged version IDs in ack order
 	Violations  []Violation
+
+	// Metrics is the aggregate observability snapshot of all workload
+	// clients, captured when the workload ends and before the checkpoint's
+	// inspector traffic (inspectors carry no observer). Two runs of the same
+	// scenario produce comparable snapshots.
+	Metrics *obs.Snapshot
 }
 
 // String renders a one-line summary plus any violations.
@@ -182,6 +189,7 @@ type Harness struct {
 	clients  []*core.Client
 	chunk    *chunker.Chunker
 	coder    *erasure.Coder
+	obs      *obs.Observer // shared by all workload clients
 
 	acked      []AckedWrite
 	ackedByVID map[string][]byte
@@ -210,6 +218,7 @@ func New(opts Options) (*Harness, error) {
 		lastAcked:  make(map[string][]byte),
 		corrupted:  make(map[string]bool),
 		coder:      erasure.NewCoder(sharedKey),
+		obs:        obs.NewObserver(),
 	}
 	ch, err := chunker.New(chunkingConfig)
 	if err != nil {
@@ -251,7 +260,7 @@ func New(opts Options) (*Harness, error) {
 					h.net.SetLink(node, cspName, defaultLink)
 				}
 			}
-			c, err := h.buildClient(id, node)
+			c, err := h.buildClient(id, node, h.obs)
 			if err != nil {
 				buildErr = err
 				return
@@ -280,8 +289,10 @@ func New(opts Options) (*Harness, error) {
 
 // buildClient assembles one authenticated client. With node == "" the
 // client's stores bypass the network (instant transfers, real clock);
-// otherwise operations are charged to that netsim node's links.
-func (h *Harness) buildClient(id, node string) (*core.Client, error) {
+// otherwise operations are charged to that netsim node's links. o is the
+// observer to instrument with (nil disables instrumentation — inspector
+// clients stay out of the workload's metrics).
+func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, error) {
 	cfg := core.Config{
 		ClientID:  id,
 		Key:       sharedKey,
@@ -290,6 +301,7 @@ func (h *Harness) buildClient(id, node string) (*core.Client, error) {
 		MetaT:     h.opts.MetaT,
 		Chunking:  chunkingConfig,
 		ClusterOf: h.clusters,
+		Obs:       o,
 	}
 	if node != "" {
 		cfg.Runtime = h.net
@@ -315,7 +327,7 @@ func (h *Harness) buildClient(id, node string) (*core.Client, error) {
 // checks — the paper's recover() device: only the key and the provider
 // accounts, no local state.
 func (h *Harness) inspector(id string) (*core.Client, error) {
-	return h.buildClient(id, "")
+	return h.buildClient(id, "", nil)
 }
 
 // now returns the run's notion of wall-clock time.
@@ -337,6 +349,8 @@ func (h *Harness) Run(ctx context.Context) *Report {
 			h.report.Ops++
 		}
 		h.applySchedule(ctx, h.opts.Ops, next)
+		snap := h.obs.Registry().Snapshot()
+		h.report.Metrics = &snap
 		h.checkpoint(ctx)
 	}
 	if h.net != nil {

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsSnapshot runs one scenario and checks the report carries a
+// non-empty aggregate metrics snapshot with the core metric families. When
+// CYRUS_METRICS_OUT is set the snapshot is written there as JSON — CI
+// uploads it as a per-run artifact so scenario metrics are comparable
+// across commits.
+func TestMetricsSnapshot(t *testing.T) {
+	rep := runScenario(t, Options{
+		Seed: baseSeed(t),
+		Schedule: Schedule{
+			{At: 30, Act: Crash, CSP: "cspb"},
+			{At: 90, Act: Restart, CSP: "cspb"},
+		},
+	})
+	if rep.Metrics == nil || len(rep.Metrics.Metrics) == 0 {
+		t.Fatal("report carries no metrics snapshot")
+	}
+	s := *rep.Metrics
+
+	if p, ok := s.Find(obs.MetricOpsTotal, map[string]string{"op": "put", "result": "ok"}); !ok || int(p.Value) != rep.Acked {
+		t.Errorf("ops_total{op=put,result=ok} = %+v (found=%v), want %d (acked puts)", p, ok, rep.Acked)
+	}
+	for _, name := range []string{
+		obs.MetricOpDuration,
+		obs.MetricCSPRequests,
+		obs.MetricEventsTotal,
+		obs.MetricTransferBytes,
+		obs.MetricSpanDuration,
+	} {
+		if _, ok := s.Find(name, nil); !ok {
+			t.Errorf("snapshot missing family %s", name)
+		}
+	}
+	// The crash left failed contacts behind.
+	if p, ok := s.Find(obs.MetricCSPRequests, map[string]string{"csp": "cspb", "result": "error"}); !ok || p.Value == 0 {
+		t.Errorf("csp_requests_total{csp=cspb,result=error} = %+v (found=%v), want > 0 after crash window", p, ok)
+	}
+
+	if out := os.Getenv("CYRUS_METRICS_OUT"); out != "" {
+		data, err := json.MarshalIndent(struct {
+			Seed    int64        `json:"seed"`
+			Acked   int          `json:"acked"`
+			Ops     int          `json:"ops"`
+			Metrics obs.Snapshot `json:"metrics"`
+		}{Seed: baseSeed(t), Acked: rep.Acked, Ops: rep.Ops, Metrics: s}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("metrics snapshot written to %s (%d bytes)", out, len(data))
+	}
+}
+
+// TestMetricsSnapshotDeterministic: two runs of the same scenario produce
+// identical counter totals. Which provider serves a given download can vary
+// with goroutine scheduling (selector tie-breaks on estimated bandwidth), so
+// counters are aggregated across the csp label before comparing; per-op and
+// per-event-type totals must match exactly.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	opts := Options{Seed: baseSeed(t), Ops: 60}
+	a := runScenario(t, opts)
+	b := runScenario(t, opts)
+	counters := func(s *obs.Snapshot) map[string]float64 {
+		out := map[string]float64{}
+		for _, p := range s.Metrics {
+			if p.Type != "counter" {
+				continue
+			}
+			key := p.Name
+			for _, k := range []string{"op", "result", "type", "dir"} {
+				if v, ok := p.Labels[k]; ok {
+					key += "|" + k + "=" + v
+				}
+			}
+			out[key] += p.Value
+		}
+		return out
+	}
+	ca, cb := counters(a.Metrics), counters(b.Metrics)
+	if len(ca) != len(cb) {
+		t.Fatalf("counter sets differ: %d vs %d", len(ca), len(cb))
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Errorf("counter %s: %v vs %v across identical runs", k, v, cb[k])
+		}
+	}
+}

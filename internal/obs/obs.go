@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer bundles the three observability pieces — metrics registry, span
+// tracer state, and CSP health scoreboard — behind nil-safe methods, so
+// core.Client instruments unconditionally and a nil Observer costs one
+// pointer comparison per call site.
+//
+// One Observer may be shared by several clients (the chaos harness runs
+// all its clients against one, producing a single aggregate snapshot per
+// scenario). The clock is settable because durations must follow the
+// client's vclock.Runtime: core.New points it at the runtime's Now, so
+// netsim virtual-time runs record virtual durations.
+type Observer struct {
+	reg    *Registry
+	health *Scoreboard
+
+	clockMu sync.RWMutex
+	clock   func() time.Time
+
+	nextSpanID atomic.Uint64
+	ring       spanRing
+	started    time.Time
+
+	// Pre-registered instrument families (see the Metric* constants).
+	opDur     *HistogramVec
+	opsTotal  *CounterVec
+	spanDur   *HistogramVec
+	cspReq    *CounterVec
+	cspReqDur *HistogramVec
+	cspDown   *GaugeVec
+	cspBw     *GaugeVec
+	evTotal   *CounterVec
+	xferBytes *CounterVec
+	selPicks  *CounterVec
+}
+
+// NewObserver builds an Observer with a fresh registry, scoreboard, and
+// the real clock (core.New re-points the clock at the client's runtime).
+func NewObserver() *Observer {
+	reg := NewRegistry()
+	o := &Observer{
+		reg:     reg,
+		health:  NewScoreboard(),
+		clock:   time.Now,
+		started: time.Now(),
+
+		opDur:     reg.Histogram(MetricOpDuration, "Client operation latency by op.", nil, "op"),
+		opsTotal:  reg.Counter(MetricOpsTotal, "Client operations by op and result.", "op", "result"),
+		spanDur:   reg.Histogram(MetricSpanDuration, "Span durations by span name.", nil, "span"),
+		cspReq:    reg.Counter(MetricCSPRequests, "Provider requests by csp and result.", "csp", "result"),
+		cspReqDur: reg.Histogram(MetricCSPRequestDuration, "Successful provider request latency by csp.", nil, "csp"),
+		cspDown:   reg.Gauge(MetricCSPDown, "1 while the failure estimator counts the csp as failed.", "csp"),
+		cspBw:     reg.Gauge(MetricCSPBandwidth, "Estimated link bandwidth by csp and direction.", "csp", "dir"),
+		evTotal:   reg.Counter(MetricEventsTotal, "Transfer-layer events by type.", "type"),
+		xferBytes: reg.Counter(MetricTransferBytes, "Payload bytes moved by csp and direction.", "csp", "dir"),
+		selPicks:  reg.Counter(MetricSelectorPicks, "Download-source selector decisions by csp.", "csp"),
+	}
+	return o
+}
+
+// Registry returns the underlying metrics registry (nil for a nil
+// Observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Health returns the CSP scoreboard (nil for a nil Observer).
+func (o *Observer) Health() *Scoreboard {
+	if o == nil {
+		return nil
+	}
+	return o.health
+}
+
+// SetClock re-points duration measurement at the given clock (the client's
+// vclock.Runtime Now). Nil-safe; a nil fn is ignored.
+func (o *Observer) SetClock(fn func() time.Time) {
+	if o == nil || fn == nil {
+		return
+	}
+	o.clockMu.Lock()
+	o.clock = fn
+	o.started = fn()
+	o.clockMu.Unlock()
+}
+
+// now reads the configured clock.
+func (o *Observer) now() time.Time {
+	o.clockMu.RLock()
+	fn := o.clock
+	o.clockMu.RUnlock()
+	return fn()
+}
+
+// Now exposes the observer's clock (for callers stamping snapshots).
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.now()
+}
+
+// pushSpan appends a finished span to the ring.
+func (o *Observer) pushSpan(rec SpanRecord) { o.ring.push(rec) }
+
+// RecentSpans returns the buffered finished spans, oldest first. Nil-safe.
+func (o *Observer) RecentSpans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	return o.ring.recent()
+}
+
+// CSPRequest records one provider contact: the request counter, the
+// success-latency histogram, and the scoreboard. This is the single data
+// path both the selector's inputs and the health view hang off
+// (core.recordResult). Nil-safe.
+func (o *Observer) CSPRequest(cspName string, err error, elapsed time.Duration) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.cspReq.With(cspName, resultLabel(err)).Inc()
+	at := o.now()
+	if err == nil {
+		o.cspReqDur.With(cspName).Observe(elapsed.Seconds())
+		o.health.RecordSuccess(cspName, at, elapsed)
+		return
+	}
+	o.health.RecordFailure(cspName, at, err)
+}
+
+// CSPDownState records a marked-down transition of the failure estimator.
+// Nil-safe.
+func (o *Observer) CSPDownState(cspName string, down bool) {
+	if o == nil || cspName == "" {
+		return
+	}
+	v := 0.0
+	if down {
+		v = 1
+	}
+	o.cspDown.With(cspName).Set(v)
+	o.health.SetDown(cspName, down)
+}
+
+// CSPBandwidth records the client's current link estimates (bytes/second;
+// zero values mean unknown). Nil-safe.
+func (o *Observer) CSPBandwidth(cspName string, downBps, upBps float64) {
+	if o == nil || cspName == "" {
+		return
+	}
+	if downBps > 0 {
+		o.cspBw.With(cspName, "down").Set(downBps)
+	}
+	if upBps > 0 {
+		o.cspBw.With(cspName, "up").Set(upBps)
+	}
+	o.health.SetBandwidth(cspName, downBps, upBps)
+}
+
+// TransferEvent is the event→metric bridge: core subscribes it to the
+// client's event bus, so every transfer-layer event increments the event
+// counter and successful payloads add to the per-direction byte counters.
+// dir is "up", "down", or "" for non-transfer events. Nil-safe.
+func (o *Observer) TransferEvent(eventType, cspName, dir string, bytes int64, err error) {
+	if o == nil {
+		return
+	}
+	o.evTotal.With(eventType).Inc()
+	if err == nil && cspName != "" && dir != "" && bytes > 0 {
+		o.xferBytes.With(cspName, dir).Add(bytes)
+	}
+}
+
+// SelectorPick counts one chunk-download source decision per chosen csp,
+// making selector skew visible without instrumenting the solver itself.
+// Nil-safe.
+func (o *Observer) SelectorPick(cspName string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.selPicks.With(cspName).Inc()
+}
+
+// MetricsHandler serves the Prometheus exposition of the registry.
+// Nil-safe: a nil Observer serves 404.
+func (o *Observer) MetricsHandler() http.Handler {
+	if o == nil {
+		return http.NotFoundHandler()
+	}
+	return o.reg.Handler()
+}
+
+// healthzBody is the /healthz JSON shape.
+type healthzBody struct {
+	Status        string      `json:"status"` // "ok" or "degraded"
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	CSPs          []CSPHealth `json:"csps"`
+}
+
+// HealthzHandler serves the scoreboard as JSON: 200 with status "ok" when
+// no provider is marked down, "degraded" otherwise (still 200 — the
+// process itself is healthy; per-CSP state is payload, not liveness).
+func (o *Observer) HealthzHandler() http.Handler {
+	if o == nil {
+		return http.NotFoundHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		o.clockMu.RLock()
+		started := o.started
+		o.clockMu.RUnlock()
+		body := healthzBody{Status: "ok", UptimeSeconds: o.now().Sub(started).Seconds(), CSPs: o.health.Snapshot()}
+		if o.health.AnyDown() {
+			body.Status = "degraded"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body)
+	})
+}
+
+// SpansHandler serves the recent-span ring as JSON (/debug/spans).
+func (o *Observer) SpansHandler() http.Handler {
+	if o == nil {
+		return http.NotFoundHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(o.RecentSpans())
+	})
+}

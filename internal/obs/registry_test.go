@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// families sorted by name, children by label values, cumulative histogram
+// buckets with +Inf, sum, and count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.", "csp", "result")
+	c.With("alpha", "ok").Add(3)
+	c.With("beta", "error").Inc()
+	r.Gauge("test_temp", "Temperature.").With().Set(1.5)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.5, 1}, "op")
+	h.With("get").Observe(0.25)
+	h.With("get").Observe(0.5)
+	h.With("get").Observe(2)
+
+	want := `# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{op="get",le="0.5"} 2
+test_latency_seconds_bucket{op="get",le="1"} 2
+test_latency_seconds_bucket{op="get",le="+Inf"} 3
+test_latency_seconds_sum{op="get"} 2.75
+test_latency_seconds_count{op="get"} 3
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{csp="alpha",result="ok"} 3
+test_requests_total{csp="beta",result="error"} 1
+# HELP test_temp Temperature.
+# TYPE test_temp gauge
+test_temp 1.5
+`
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines while
+// exporting; run under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c", "who")
+	g := r.Gauge("conc_gauge", "g", "who")
+	h := r.Histogram("conc_seconds", "h", nil, "who")
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			who := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.With(who).Inc()
+				g.With(who).Set(float64(i))
+				h.With(who).Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	var total int64
+	for _, who := range []string{"a", "b", "c", "d"} {
+		total += c.With(who).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+}
+
+func TestSnapshotFind(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", "csp").With("alpha").Add(7)
+	r.Histogram("y_seconds", "y", nil, "op").With("put").Observe(0.2)
+
+	s := r.Snapshot()
+	p, ok := s.Find("x_total", map[string]string{"csp": "alpha"})
+	if !ok || p.Value != 7 {
+		t.Errorf("Find(x_total{csp=alpha}) = %+v, %v; want value 7", p, ok)
+	}
+	p, ok = s.Find("y_seconds", map[string]string{"op": "put"})
+	if !ok || p.Count != 1 || p.Sum != 0.2 {
+		t.Errorf("Find(y_seconds{op=put}) = %+v, %v; want count 1 sum 0.2", p, ok)
+	}
+	if _, ok := s.Find("x_total", map[string]string{"csp": "missing"}); ok {
+		t.Error("Find matched a label value that was never set")
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "m", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m_total", "m", "a")
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishExpvar("obs_test_registry")
+	// A second publish (same or different registry) must not panic.
+	r.PublishExpvar("obs_test_registry")
+	NewRegistry().PublishExpvar("obs_test_registry")
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "e", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped: %s", b.String())
+	}
+}

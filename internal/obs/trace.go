@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span tracing. Spans are deliberately minimal — a name, a start instant,
+// a duration, a parent — because their consumers are histograms (every
+// span observes cyrus_span_duration_seconds) and a bounded in-memory ring
+// for debugging (/debug/spans), not a distributed trace backend. Durations
+// come from the Observer's clock, which core wires to the client's
+// vclock.Runtime: under netsim the recorded durations are virtual-time
+// durations, exactly what the latency experiments need.
+
+// SpanRecord is one finished span in the ring buffer.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// spanRingSize bounds the recent-span buffer.
+const spanRingSize = 512
+
+// Span is one in-flight operation. A nil *Span is valid and inert, so
+// instrumented code never branches on whether observability is enabled.
+type Span struct {
+	o      *Observer
+	name   string
+	op     string // non-empty for top-level client ops: also feeds op metrics
+	start  time.Time
+	id     uint64
+	parent uint64
+}
+
+type ctxKey int
+
+const (
+	ctxKeyObserver ctxKey = iota
+	ctxKeySpan
+)
+
+// WithObserver attaches an Observer to the context so the package-level
+// Trace can find it.
+func WithObserver(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyObserver, o)
+}
+
+// FromContext returns the Observer attached to the context, or nil.
+func FromContext(ctx context.Context) *Observer {
+	o, _ := ctx.Value(ctxKeyObserver).(*Observer)
+	return o
+}
+
+// Trace starts a child span of whatever span (and Observer) the context
+// carries: obs.Trace(ctx, "core.Get"). Without an Observer in the context
+// it returns the context unchanged and a nil (inert) span.
+func Trace(ctx context.Context, name string) (context.Context, *Span) {
+	return FromContext(ctx).Trace(ctx, name)
+}
+
+// Trace starts a child span on this Observer. Nil-safe.
+func (o *Observer) Trace(ctx context.Context, name string) (context.Context, *Span) {
+	return o.startSpan(ctx, name, "")
+}
+
+// StartOp starts a top-level operation span: in addition to the span
+// histogram, ending it observes cyrus_op_duration_seconds{op} and
+// increments cyrus_ops_total{op,result}. Nil-safe.
+func (o *Observer) StartOp(ctx context.Context, op string) (context.Context, *Span) {
+	return o.startSpan(ctx, "core."+op, op)
+}
+
+func (o *Observer) startSpan(ctx context.Context, name, op string) (context.Context, *Span) {
+	if o == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if p, _ := ctx.Value(ctxKeySpan).(*Span); p != nil {
+		parent = p.id
+	}
+	sp := &Span{o: o, name: name, op: op, start: o.now(), id: o.nextSpanID.Add(1), parent: parent}
+	ctx = context.WithValue(ctx, ctxKeySpan, sp)
+	if FromContext(ctx) == nil {
+		ctx = WithObserver(ctx, o)
+	}
+	return ctx, sp
+}
+
+// End finishes the span: its duration is observed into the span histogram
+// (and the op histogram/counters for StartOp spans) and the record is
+// pushed into the ring. Nil-safe; err may be nil.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	o := s.o
+	d := o.now().Sub(s.start)
+	sec := d.Seconds()
+	o.spanDur.With(s.name).Observe(sec)
+	if s.op != "" {
+		o.opDur.With(s.op).Observe(sec)
+		o.opsTotal.With(s.op, resultLabel(err)).Inc()
+	}
+	rec := SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Duration: d}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	o.pushSpan(rec)
+}
+
+func resultLabel(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+// spanRing is the bounded buffer of recently finished spans.
+type spanRing struct {
+	mu   sync.Mutex
+	recs []SpanRecord
+	pos  int
+	full bool
+}
+
+func (r *spanRing) push(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recs == nil {
+		r.recs = make([]SpanRecord, spanRingSize)
+	}
+	r.recs[r.pos] = rec
+	r.pos = (r.pos + 1) % len(r.recs)
+	if r.pos == 0 {
+		r.full = true
+	}
+}
+
+// recent returns the buffered spans oldest-first.
+func (r *spanRing) recent() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recs == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]SpanRecord(nil), r.recs[:r.pos]...)
+	}
+	out := make([]SpanRecord, 0, len(r.recs))
+	out = append(out, r.recs[r.pos:]...)
+	out = append(out, r.recs[:r.pos]...)
+	return out
+}

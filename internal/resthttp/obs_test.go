@@ -1,0 +1,144 @@
+package resthttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chunker"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/obs"
+)
+
+// TestObservabilityEndpoints is the acceptance path for the observability
+// layer: a core client (sharing one Observer with a provider's HTTP server)
+// does a Put/Get; curling the server's /metrics then returns Prometheus
+// text including per-op duration histograms and per-CSP request counters.
+func TestObservabilityEndpoints(t *testing.T) {
+	o := obs.NewObserver()
+
+	var stores []csp.Store
+	var metricsURL, healthzURL, pprofURL string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("obscsp%d", i+1)
+		b := cloudsim.NewBackend(name, csp.NameKeyed, 0)
+		srv, err := NewServer(b, "secret", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetObserver(o)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		if i == 0 {
+			metricsURL = ts.URL + "/metrics"
+			healthzURL = ts.URL + "/healthz"
+			pprofURL = ts.URL + "/debug/pprof/"
+		}
+		s := NewStore(name, ts.URL, nil)
+		if err := s.Authenticate(bg, csp.Credentials{Token: "secret"}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+
+	client, err := core.New(core.Config{
+		ClientID: "obs-client", Key: "wire-key", T: 2, N: 3,
+		Chunking: chunker.Config{AverageSize: 4096, MinSize: 1024, MaxSize: 16384},
+		Obs:      o,
+	}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("observed payload "), 1000)
+	if err := client.Put(bg, "watched.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := client.Get(bg, "watched.txt"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	// /metrics — no bearer token, Prometheus text format.
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`cyrus_op_duration_seconds_bucket{op="put",le=`,
+		`cyrus_op_duration_seconds_bucket{op="get",le=`,
+		`cyrus_csp_requests_total{csp="obscsp1",result="ok"}`,
+		`cyrus_ops_total{op="put",result="ok"} 1`,
+		`cyrus_events_total`,
+		`cyrus_transfer_bytes_total`,
+		`cyrus_http_requests_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /healthz — 200 JSON with all providers healthy.
+	resp, err = http.Get(healthzURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string          `json:"status"`
+		CSPs   []obs.CSPHealth `json:"csps"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status=%d err=%v", resp.StatusCode, err)
+	}
+	if hz.Status != "ok" || len(hz.CSPs) != 3 {
+		t.Errorf("/healthz = %+v, want ok with 3 csps", hz)
+	}
+
+	// /debug/pprof/ index responds.
+	resp, err = http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+// TestNoObserverNoEndpoints: without SetObserver the observability routes
+// stay unmounted.
+func TestNoObserverNoEndpoints(t *testing.T) {
+	b := cloudsim.NewBackend("plain", csp.NameKeyed, 0)
+	srv, err := NewServer(b, "secret", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without observer = %d, want 404", resp.StatusCode)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/csp"
+	"repro/internal/obs"
 )
 
 // maxObjectBytes bounds a single uploaded object (shares are chunk-sized;
@@ -50,6 +52,7 @@ type Server struct {
 	store   *cloudsim.SimStore // authenticated pass-through to the backend
 	token   string
 	admin   bool
+	obs     *obs.Observer // nil = observability endpoints disabled
 }
 
 // NewServer wraps a backend. token is the bearer token clients must
@@ -65,6 +68,13 @@ func NewServer(backend *cloudsim.Backend, token string, admin bool) (*Server, er
 	return &Server{backend: backend, store: s, token: token, admin: admin}, nil
 }
 
+// SetObserver attaches an observability layer: /metrics (Prometheus text),
+// /healthz (scoreboard JSON), /debug/spans, and net/http/pprof under
+// /debug/pprof/, plus per-request HTTP metrics. These endpoints are served
+// without bearer auth — they expose operational state, never object data,
+// and scrapers don't carry tokens. Call before Handler.
+func (s *Server) SetObserver(o *obs.Observer) { s.obs = o }
+
 // Handler returns the http.Handler serving the protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -75,7 +85,61 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/admin/available", s.handleAvailable)
 		mux.HandleFunc("/admin/fail", s.handleFail)
 	}
-	return mux
+	if s.obs == nil {
+		return mux
+	}
+	mux.Handle("/metrics", s.obs.MetricsHandler())
+	mux.Handle("/healthz", s.obs.HealthzHandler())
+	mux.Handle("/debug/spans", s.obs.SpansHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with HTTP request metrics: a counter by method,
+// route, and status class, and a latency histogram by route. Routes are the
+// mux patterns (object names collapse into one label value), so label
+// cardinality stays bounded.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	reg := s.obs.Registry()
+	reqs := reg.Counter(obs.MetricHTTPRequests, "HTTP requests by method, route, and status code.", "method", "route", "code")
+	durs := reg.Histogram(obs.MetricHTTPDuration, "HTTP request latency by route.", nil, "route")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		route := routeLabel(r.URL.Path)
+		reqs.With(r.Method, route, strconv.Itoa(sw.code)).Inc()
+		durs.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// routeLabel collapses request paths onto their mux pattern.
+func routeLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/objects/"):
+		return "/v1/objects/{name}"
+	case strings.HasPrefix(path, "/debug/pprof/"):
+		return "/debug/pprof/"
+	case strings.HasPrefix(path, "/admin/"):
+		return path
+	default:
+		return path
+	}
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // authorized validates the bearer token.
