@@ -3,9 +3,14 @@
 // these (different ports, different machines) and point cyrusctl or the
 // cyrus library at them to get a CYRUS cloud over real sockets.
 //
-//	cyruscsp -addr :8081 -name alpha -token s3cret
-//	cyruscsp -addr :8082 -name beta  -token s3cret -identity id-keyed
-//	cyruscsp -addr :8083 -name gamma -token s3cret -capacity 1073741824
+//	CYRUSCSP_TOKEN=s3cret cyruscsp -addr :8081 -name alpha
+//	CYRUSCSP_TOKEN=s3cret cyruscsp -addr :8082 -name beta  -identity id-keyed
+//	cyruscsp -addr :8083 -name gamma -token-file tok.txt -capacity 1073741824
+//
+// The token may also be passed with -token, but prefer the CYRUSCSP_TOKEN
+// environment variable or -token-file: argv is world-readable on most
+// systems (ps, /proc/<pid>/cmdline), so a flag-passed token leaks to any
+// local user.
 //
 // Then:
 //
@@ -18,11 +23,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/cloudsim"
 	"repro/internal/csp"
@@ -33,15 +40,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	name := flag.String("name", "cyruscsp", "provider name")
-	token := flag.String("token", "", "bearer token clients must present (required)")
+	token := flag.String("token", "", "bearer token clients must present (prefer CYRUSCSP_TOKEN or -token-file; argv is visible to other local users)")
+	tokenFile := flag.String("token-file", "", "file holding the bearer token (surrounding whitespace is trimmed)")
 	capacity := flag.Int64("capacity", 0, "storage capacity in bytes (0 = unlimited)")
 	identity := flag.String("identity", "name-keyed", "object identity model: name-keyed (overwrite) or id-keyed (duplicate)")
 	admin := flag.Bool("admin", false, "expose fault-injection admin endpoints (testing only)")
 	withObs := flag.Bool("obs", true, "serve /metrics, /healthz, /debug/pprof/, /debug/spans")
 	flag.Parse()
 
-	if *token == "" {
-		fmt.Fprintln(os.Stderr, "cyruscsp: -token is required")
+	tok, err := resolveToken(*token, *tokenFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyruscsp: %v\n", err)
 		os.Exit(2)
 	}
 	var id csp.ObjectIdentity
@@ -56,7 +65,7 @@ func main() {
 	}
 
 	backend := cloudsim.NewBackend(*name, id, *capacity)
-	srv, err := resthttp.NewServer(backend, *token, *admin)
+	srv, err := resthttp.NewServer(backend, tok, *admin)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,4 +75,28 @@ func main() {
 	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d admin=%v obs=%v)",
 		*name, *addr, *identity, *capacity, *admin, *withObs)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// resolveToken picks the bearer token from, in order of precedence, the
+// -token flag, the -token-file contents, and the CYRUSCSP_TOKEN environment
+// variable.
+func resolveToken(flagToken, tokenFile string) (string, error) {
+	if flagToken != "" {
+		return flagToken, nil
+	}
+	if tokenFile != "" {
+		b, err := os.ReadFile(tokenFile)
+		if err != nil {
+			return "", fmt.Errorf("-token-file: %v", err)
+		}
+		tok := strings.TrimSpace(string(b))
+		if tok == "" {
+			return "", fmt.Errorf("-token-file %s is empty", tokenFile)
+		}
+		return tok, nil
+	}
+	if tok := os.Getenv("CYRUSCSP_TOKEN"); tok != "" {
+		return tok, nil
+	}
+	return "", errors.New("a bearer token is required: set CYRUSCSP_TOKEN, -token-file, or -token")
 }

@@ -421,9 +421,11 @@ func (c *Client) Subscribe(fn func(Event)) { c.events.subscribe(fn) }
 func (c *Client) recordResult(name, op string, err error, bytes int64, elapsed time.Duration) {
 	now := c.rt.Now()
 	if err == nil {
-		wasDown := c.est.Down(name)
-		c.est.RecordSuccess(name, now)
-		if wasDown {
+		// The estimator reports down-state transitions atomically from
+		// under its own lock; deriving them from a separate Down() read
+		// would race with concurrent share transfers and could leave the
+		// gauge stuck out of sync with the estimator.
+		if _, recovered := c.est.RecordSuccess(name, now); recovered {
 			c.obs.CSPDownState(name, false)
 		}
 		switch op {
@@ -440,9 +442,7 @@ func (c *Client) recordResult(name, op string, err error, bytes int64, elapsed t
 	}
 	c.obs.CSPRequest(name, err, elapsed)
 	if errors.Is(err, csp.ErrUnavailable) {
-		wasDown := c.est.Down(name)
-		c.est.RecordFailure(name, now)
-		if !wasDown && c.est.Down(name) {
+		if down, changed := c.est.RecordFailure(name, now); down && changed {
 			c.logf("provider marked failed", "csp", name)
 			c.obs.CSPDownState(name, true)
 		}

@@ -194,10 +194,10 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 // gatherChunk downloads t shares of one chunk (preferring the optimizer's
 // pick, falling back to any other stored location on error), decodes, and
 // verifies content. Algorithm 3's Gather.
-func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) ([]byte, error) {
+func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) (_ []byte, err error) {
 	chunkStart := c.rt.Now()
 	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.gather")
-	defer func() { chunkSpan.End(nil) }()
+	defer func() { chunkSpan.End(err) }()
 	// Index each CSP's share index.
 	idxOf := make(map[string]int, len(locations))
 	for idx, cspName := range locations {

@@ -134,10 +134,10 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 // CSPs (at most one per platform cluster) chosen by consistent hashing on
 // the chunk ID. CSPs that fail are replaced by the next candidates on the
 // ring; the upload fails only when fewer than n providers accept shares.
-func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.ChunkRef, data []byte) ([]metadata.ShareLoc, error) {
+func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.ChunkRef, data []byte) (_ []metadata.ShareLoc, err error) {
 	chunkStart := c.rt.Now()
 	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.scatter")
-	defer func() { chunkSpan.End(nil) }()
+	defer func() { chunkSpan.End(err) }()
 	// Full preference order: every eligible CSP, cluster-constrained,
 	// starting at the chunk's ring position.
 	prefs, err := c.placementOrder(ref.ID)

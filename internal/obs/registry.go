@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -95,14 +96,19 @@ type family struct {
 }
 
 // familyFor returns (creating if needed) the named family, enforcing that
-// repeated registrations agree on type and label arity — a mismatch is a
-// programming error and panics loudly.
+// repeated registrations agree on type, label arity, and (for histograms)
+// bucket bounds — a mismatch is a programming error and panics loudly;
+// silently returning the first family would have callers observe into
+// bounds they didn't ask for.
 func (r *Registry) familyFor(name, help string, typ metricType, buckets []float64, labels []string) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
 		if f.typ != typ || len(f.labels) != len(labels) {
 			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, typ, labels, f.typ, f.labels))
+		}
+		if !slices.Equal(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with buckets %v, was %v", name, buckets, f.buckets))
 		}
 		return f
 	}

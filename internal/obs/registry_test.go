@@ -116,6 +116,21 @@ func TestRegistrationMismatchPanics(t *testing.T) {
 	r.Gauge("m_total", "m", "a")
 }
 
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", "h", []float64{0.1, 1}, "op")
+	// Same bounds: fine (and nil resolves to DefBuckets consistently).
+	r.Histogram("h_seconds", "h", []float64{0.1, 1}, "op")
+	r.Histogram("hd_seconds", "hd", nil, "op")
+	r.Histogram("hd_seconds", "hd", nil, "op")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h_seconds", "h", []float64{0.5, 5}, "op")
+}
+
 func TestPublishExpvarIdempotent(t *testing.T) {
 	r := NewRegistry()
 	r.PublishExpvar("obs_test_registry")

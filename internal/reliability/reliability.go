@@ -184,21 +184,28 @@ func (e *Estimator) state(csp string) *cspState {
 	return s
 }
 
-// RecordSuccess notes a successful contact with the CSP at time now.
-func (e *Estimator) RecordSuccess(csp string, now time.Time) {
+// RecordSuccess notes a successful contact with the CSP at time now. It
+// returns the CSP's down state after the call (always false) and whether
+// this call changed it — i.e. a down→up recovery. Returning the transition
+// from under the estimator's own lock lets callers drive per-transition
+// hooks (gauges, scoreboards) without a racy read-then-record sequence.
+func (e *Estimator) RecordSuccess(csp string, now time.Time) (down, changed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.state(csp)
 	s.attempts++
 	s.failing = false
 	s.firstFailure = time.Time{}
+	changed = s.down
 	s.down = false
+	return false, changed
 }
 
 // RecordFailure notes a failed contact at time now. Once failures have been
 // consistent for the threshold duration, the CSP is marked down and one
-// failure episode is counted.
-func (e *Estimator) RecordFailure(csp string, now time.Time) {
+// failure episode is counted. Like RecordSuccess, it returns the down state
+// after the call and whether this call transitioned it (up→down).
+func (e *Estimator) RecordFailure(csp string, now time.Time) (down, changed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.state(csp)
@@ -207,12 +214,14 @@ func (e *Estimator) RecordFailure(csp string, now time.Time) {
 	if !s.failing {
 		s.failing = true
 		s.firstFailure = now
-		return
+		return s.down, false
 	}
 	if !s.down && now.Sub(s.firstFailure) >= e.threshold {
 		s.down = true
 		s.failures++
+		return true, true
 	}
+	return s.down, false
 }
 
 // Down reports whether the CSP is currently considered failed.

@@ -253,6 +253,33 @@ func TestEstimatorOutageDetection(t *testing.T) {
 	}
 }
 
+// TestEstimatorTransitionReturns: RecordSuccess/RecordFailure report the
+// down state and whether the call transitioned it, atomically under the
+// estimator's lock, so callers never pair a racy Down() read with the
+// mutation.
+func TestEstimatorTransitionReturns(t *testing.T) {
+	e := NewEstimator(24 * time.Hour)
+	t0 := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	if down, changed := e.RecordFailure("box", t0); down || changed {
+		t.Fatalf("first failure = (%v, %v), want (false, false)", down, changed)
+	}
+	if down, changed := e.RecordFailure("box", t0.Add(25*time.Hour)); !down || !changed {
+		t.Fatalf("threshold failure = (%v, %v), want (true, true)", down, changed)
+	}
+	// Already down: further failures are not transitions.
+	if down, changed := e.RecordFailure("box", t0.Add(30*time.Hour)); !down || changed {
+		t.Fatalf("repeat failure while down = (%v, %v), want (true, false)", down, changed)
+	}
+	if down, changed := e.RecordSuccess("box", t0.Add(31*time.Hour)); down || !changed {
+		t.Fatalf("recovery = (%v, %v), want (false, true)", down, changed)
+	}
+	// Already up: further successes are not transitions.
+	if down, changed := e.RecordSuccess("box", t0.Add(32*time.Hour)); down || changed {
+		t.Fatalf("repeat success while up = (%v, %v), want (false, false)", down, changed)
+	}
+}
+
 func TestEstimatorInterruptedOutageDoesNotCount(t *testing.T) {
 	e := NewEstimator(24 * time.Hour)
 	t0 := time.Now()

@@ -122,6 +122,58 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 }
 
+// TestPprofCmdlineNotServed: the unauthenticated pprof routes must never
+// include cmdline — the process argv can carry the bearer token (cyruscsp
+// -token), and serving it would hand the token to any client.
+func TestPprofCmdlineNotServed(t *testing.T) {
+	b := cloudsim.NewBackend("sealed", csp.NameKeyed, 0)
+	srv, err := NewServer(b, "secret", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetObserver(obs.NewObserver())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline served 200 with body %q; must not expose argv", body)
+	}
+	if strings.Contains(string(body), "secret") {
+		t.Fatalf("/debug/pprof/cmdline body leaks the token: %q", body)
+	}
+}
+
+// TestRouteLabelBounded: unmatched paths — which unauthenticated clients
+// can invent without limit — must collapse to one label value so metric
+// cardinality stays bounded, and known patterns stay distinct.
+func TestRouteLabelBounded(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/auth":               "/v1/auth",
+		"/v1/objects":            "/v1/objects",
+		"/v1/objects/a%2Fb":      "/v1/objects/{name}",
+		"/metrics":               "/metrics",
+		"/healthz":               "/healthz",
+		"/debug/spans":           "/debug/spans",
+		"/debug/pprof/heap":      "/debug/pprof/",
+		"/admin/available":       "/admin/available",
+		"/admin/fail":            "/admin/fail",
+		"/":                      "other",
+		"/nope":                  "other",
+		"/admin/whatever":        "other",
+		"/v1/other":              "other",
+		"/scan-" + "\x1f" + "42": "other", // labelSep must never reach a key
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
 // TestNoObserverNoEndpoints: without SetObserver the observability routes
 // stay unmounted.
 func TestNoObserverNoEndpoints(t *testing.T) {

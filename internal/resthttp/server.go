@@ -72,7 +72,9 @@ func NewServer(backend *cloudsim.Backend, token string, admin bool) (*Server, er
 // /healthz (scoreboard JSON), /debug/spans, and net/http/pprof under
 // /debug/pprof/, plus per-request HTTP metrics. These endpoints are served
 // without bearer auth — they expose operational state, never object data,
-// and scrapers don't carry tokens. Call before Handler.
+// and scrapers don't carry tokens. The pprof cmdline endpoint is
+// deliberately NOT registered: it would return the process argv, which can
+// carry the bearer token (cyruscsp -token). Call before Handler.
 func (s *Server) SetObserver(o *obs.Observer) { s.obs = o }
 
 // Handler returns the http.Handler serving the protocol.
@@ -92,7 +94,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/healthz", s.obs.HealthzHandler())
 	mux.Handle("/debug/spans", s.obs.SpansHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	// No pprof.Cmdline: argv may contain the bearer token, and these
+	// endpoints are unauthenticated. Index serves it a 404.
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
@@ -117,17 +120,23 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-// routeLabel collapses request paths onto their mux pattern.
+// routeLabel collapses request paths onto their mux pattern. Only the
+// known patterns appear as label values; everything else — including every
+// unmatched 404 path an unauthenticated client can invent — maps to the
+// single value "other", so label cardinality stays bounded.
 func routeLabel(path string) string {
+	switch path {
+	case "/v1/auth", "/v1/objects", "/metrics", "/healthz", "/debug/spans",
+		"/admin/available", "/admin/fail":
+		return path
+	}
 	switch {
 	case strings.HasPrefix(path, "/v1/objects/"):
 		return "/v1/objects/{name}"
 	case strings.HasPrefix(path, "/debug/pprof/"):
 		return "/debug/pprof/"
-	case strings.HasPrefix(path, "/admin/"):
-		return path
 	default:
-		return path
+		return "other"
 	}
 }
 
