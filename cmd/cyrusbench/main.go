@@ -85,6 +85,10 @@ var runners = []runner{
 		res, err := experiments.Figure19(experiments.TrialConfig{Seed: o.seed})
 		return res.Report, err
 	}},
+	{"3", "transfer engine: Put/Get throughput + straggler hedging on 4-fast/3-slow", func(o options) (experiments.Report, error) {
+		res, err := experiments.TransferEngine(experiments.TransferEngineConfig{Scale: o.scale, Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},
@@ -175,7 +179,7 @@ type benchResult struct {
 func datasetBytes(id string, opts options) int64 {
 	const paperDataset = 638 << 20 // Table 4's 638 MB testbed dataset
 	switch id {
-	case "table4", "fig14", "fig15":
+	case "table4", "fig14", "fig15", "3":
 		return int64(opts.scale * paperDataset)
 	case "fig12":
 		return int64(opts.chunkMB) << 20

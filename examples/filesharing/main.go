@@ -66,13 +66,13 @@ func main() {
 		log.Fatal(err)
 	}
 	// Carol's phone is on a flaky connection: her save happens while the
-	// metadata listing is unreachable (one injected failure per provider),
-	// so she writes against a stale — here empty — replica, exactly the
-	// nonzero-delay race of §5.4. The share and metadata uploads that
-	// follow succeed.
+	// metadata listing is unreachable (two injected failures per provider,
+	// enough to exhaust the transfer engine's retry), so she writes against
+	// a stale — here empty — replica, exactly the nonzero-delay race of
+	// §5.4. The share and metadata uploads that follow succeed.
 	carol := newDevice("carol-phone")
 	for _, b := range backends {
-		b.FailNext(1)
+		b.FailNext(2)
 	}
 	if err := carol.Put(ctx, "notes.md", []byte("Meeting notes (carol's fresh copy)\n")); err != nil {
 		log.Fatal(err)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reliability"
 	"repro/internal/selector"
+	"repro/internal/transfer"
 	"repro/internal/vclock"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	// logging entirely.
 	Logger *slog.Logger
 
+	// Transfer bounds the transfer engine: global and per-CSP in-flight
+	// caps, the retry/backoff policy, and download hedging. Zero values
+	// take the engine's documented defaults.
+	Transfer transfer.Tunables
+
 	// Obs, when set, receives metrics, spans, and per-CSP health from
 	// every operation: op latency histograms, provider request counters,
 	// the event→metric bridge, and the scoreboard. The observer's clock is
@@ -169,6 +175,7 @@ type Client struct {
 	est     *reliability.Estimator
 	bw      *bandwidthTracker
 	events  *eventBus
+	engine  *transfer.Engine
 	rt      vclock.Runtime
 	sel     selector.Selector
 	keyHash string
@@ -212,6 +219,15 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		stores:  make(map[string]csp.Store),
 		removed: make(map[string]bool),
 	}
+	// All provider I/O dispatches through one engine: bounded in-flight
+	// slots, taxonomy-driven retries on the client's clock, per-operation
+	// failed sets, and hedged gathers (internal/transfer).
+	c.engine = transfer.New(transfer.Config{
+		Runtime:  c.rt,
+		Obs:      c.obs,
+		Report:   c.recordResult,
+		Tunables: full.Transfer,
+	})
 	if c.obs != nil {
 		// Durations must follow this client's notion of time, and the
 		// bridge turns transfer events into metrics without any subscriber
@@ -405,6 +421,29 @@ func (c *Client) Bandwidth(name string) float64 { return c.bw.estimate(name) }
 // tools like `cyrusctl stats` read the scoreboard and registry through it.
 func (c *Client) Observer() *obs.Observer { return c.obs }
 
+// Engine exposes the transfer engine (for tests asserting on its caps).
+func (c *Client) Engine() *transfer.Engine { return c.engine }
+
+// hedgeAfter predicts how long a share download from the given provider
+// should take — the scoreboard's request-latency EWMA plus the payload
+// over the estimated downlink — and converts it into the hedge trigger
+// delay. Without an Observer there is no latency EWMA, so hedging is off
+// (0) and gathers fall back to plain sequential failover; the obs-less
+// latency experiments are bit-identical to the pre-engine code path.
+func (c *Client) hedgeAfter(cspName string, bytes int64) time.Duration {
+	if c.obs == nil {
+		return 0
+	}
+	expected := c.obs.Health().Latency(cspName)
+	if expected <= 0 {
+		return 0
+	}
+	if bw := c.bw.estimate(cspName); bw > 0 && bytes > 0 {
+		expected += time.Duration(float64(bytes) / bw * float64(time.Second))
+	}
+	return c.engine.HedgeAfter(expected)
+}
+
 // Subscribe registers an event handler (asynchronous transfer events,
 // paper §5.3). Handlers must be fast and must not call back into the
 // client.
@@ -464,4 +503,11 @@ func ctxErr(ctx context.Context) error {
 	default:
 		return nil
 	}
+}
+
+// errProviderVanished marks an attempt against a store that was removed
+// mid-operation. The engine counts it a provider fault, so the operation's
+// failed set stops any other share from re-probing the ghost.
+func errProviderVanished(name string) error {
+	return fmt.Errorf("cyrus: provider %q vanished", name)
 }

@@ -480,9 +480,12 @@ func TestConflictDetectionAndResolution(t *testing.T) {
 	_ = parent
 
 	conflictMeta := buildVersion(t, bob, "doc", bobEdit, baseVID)
-	if err := bob.uploadMeta(bg, conflictMeta); err != nil {
+	mop := bob.engine.Begin(bg)
+	if err := bob.uploadMeta(mop, conflictMeta); err != nil {
+		mop.Finish()
 		t.Fatal(err)
 	}
+	mop.Finish()
 	if err := bob.absorb(conflictMeta); err != nil {
 		t.Fatal(err)
 	}
@@ -576,7 +579,9 @@ func buildVersion(t *testing.T, c *Client, name string, data []byte, parentVID s
 		}
 		meta.Chunks = append(meta.Chunks, ref)
 		if !seen[id] {
-			locs, err := c.scatterChunk(bg, name, ref, ch.Data)
+			sop := c.engine.Begin(bg)
+			locs, err := c.scatterChunk(sop, name, ref, ch.Data)
+			sop.Finish()
 			if err != nil {
 				t.Fatal(err)
 			}

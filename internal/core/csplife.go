@@ -6,9 +6,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/metadata"
-	"sync"
+	"repro/internal/transfer"
 )
 
 // CSP lifecycle propagation (paper §5.5): "A user may add a CSP to CYRUS
@@ -90,31 +91,47 @@ func (c *Client) publishCSPList(ctx context.Context) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("%w: no providers to publish the CSP list", ErrNotEnoughCSP)
 	}
+	// Best-effort fan-out through the engine: one reachable provider is
+	// enough (the listing propagates the rest), so failures never cancel
+	// siblings. The previous sequence object is garbage-collected only on
+	// providers that accepted the new one.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	var mu sync.Mutex
 	succeeded := 0
-	g := c.rt.NewGroup()
-	var mu chanlessCounter
-	for _, target := range targets {
-		target := target
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			store, ok := c.store(target)
-			if !ok {
-				return
-			}
-			start := c.rt.Now()
-			err := store.Upload(ctx, cspListName(seq), data)
-			c.recordResult(target, opMetaPut, err, int64(len(data)), c.rt.Now().Sub(start))
-			if err == nil {
-				mu.inc()
-				if seq > 1 {
-					_ = store.Delete(ctx, cspListName(seq-1))
+	op.Each(len(targets), func(i int) {
+		target := targets[i]
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  target,
+			Kind: opMetaPut,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(target)
+				if !ok {
+					return 0, errProviderVanished(target)
 				}
-			}
+				return int64(len(data)), store.Upload(actx, cspListName(seq), data)
+			},
 		})
-	}
-	g.Wait()
-	succeeded = mu.value()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		succeeded++
+		mu.Unlock()
+		if seq > 1 {
+			_ = op.Do(ctx, transfer.Attempt{
+				CSP:  target,
+				Kind: opDelete,
+				Run: func(actx context.Context) (int64, error) {
+					store, ok := c.store(target)
+					if !ok {
+						return 0, errProviderVanished(target)
+					}
+					return 0, store.Delete(actx, cspListName(seq-1))
+				},
+			})
+		}
+	})
 	if succeeded == 0 {
 		return fmt.Errorf("cyrus: CSP list (seq %d) reached no provider", seq)
 	}
@@ -148,8 +165,9 @@ func (c *Client) applyCSPList(seq int64, removed map[string]bool) {
 
 // syncCSPList is called by Sync with the names seen in the metadata
 // listing: if a newer list exists, fetch it from one of the providers that
-// listed it and apply.
-func (c *Client) syncCSPList(ctx context.Context, listings map[string][]string) {
+// listed it and apply. It shares the caller's operation, so holders that
+// already failed during the listing are skipped, not re-probed.
+func (c *Client) syncCSPList(op *transfer.Op, ctx context.Context, listings map[string][]string) {
 	var bestSeq int64 = -1
 	var holders []string
 	for obj, csps := range listings {
@@ -165,13 +183,26 @@ func (c *Client) syncCSPList(ctx context.Context, listings map[string][]string) 
 		return
 	}
 	for _, holder := range holders {
-		store, ok := c.store(holder)
-		if !ok {
+		holder := holder
+		if _, ok := c.store(holder); !ok {
 			continue
 		}
-		start := c.rt.Now()
-		data, err := store.Download(ctx, cspListName(bestSeq))
-		c.recordResult(holder, opMetaGet, err, int64(len(data)), c.rt.Now().Sub(start))
+		var data []byte
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  holder,
+			Kind: opMetaGet,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(holder)
+				if !ok {
+					return 0, errProviderVanished(holder)
+				}
+				out, err := store.Download(actx, cspListName(bestSeq))
+				if err == nil {
+					data = out
+				}
+				return int64(len(out)), err
+			},
+		})
 		if err != nil {
 			continue
 		}
@@ -215,65 +246,33 @@ func (c *Client) ProbeFailed(ctx context.Context) []string {
 	c.mu.Unlock()
 	sort.Strings(down)
 
+	// Probes run through the engine like any other traffic: bounded slots,
+	// the standard retry policy, and results recorded on the health
+	// scoreboard — a provider that answers any attempt counts as back.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	var mu sync.Mutex
 	var recovered []string
-	var mu chanlessAppender
-	g := c.rt.NewGroup()
-	for _, name := range down {
-		name := name
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			store, ok := c.store(name)
-			if !ok {
-				return
-			}
-			start := c.rt.Now()
-			_, err := store.List(ctx, metadata.MetaPrefix)
-			c.recordResult(name, opList, err, 0, c.rt.Now().Sub(start))
-			if err == nil {
-				mu.add(name)
-			}
+	op.Each(len(down), func(i int) {
+		name := down[i]
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  name,
+			Kind: opList,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(name)
+				if !ok {
+					return 0, errProviderVanished(name)
+				}
+				_, err := store.List(actx, metadata.MetaPrefix)
+				return 0, err
+			},
 		})
-	}
-	g.Wait()
-	recovered = mu.values()
+		if err == nil {
+			mu.Lock()
+			recovered = append(recovered, name)
+			mu.Unlock()
+		}
+	})
 	sort.Strings(recovered)
 	return recovered
-}
-
-// chanlessCounter and chanlessAppender are tiny mutex-protected
-// accumulators used inside Runtime fan-outs (channels must not block under
-// virtual time).
-type chanlessCounter struct {
-	mu sync.Mutex
-	n  int
-}
-
-func (c *chanlessCounter) inc() {
-	c.mu.Lock()
-	c.n++
-	c.mu.Unlock()
-}
-
-func (c *chanlessCounter) value() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
-
-type chanlessAppender struct {
-	mu sync.Mutex
-	v  []string
-}
-
-func (a *chanlessAppender) add(s string) {
-	a.mu.Lock()
-	a.v = append(a.v, s)
-	a.mu.Unlock()
-}
-
-func (a *chanlessAppender) values() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return append([]string(nil), a.v...)
 }

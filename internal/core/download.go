@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/selector"
+	"repro/internal/transfer"
 )
 
 // Get downloads the current version of a file — get(s, f), Algorithm 3.
@@ -139,31 +141,26 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 		}
 	}
 
-	// Gather all unique chunks in parallel (Algorithm 3 lines 3-5).
+	// Gather all unique chunks in parallel (Algorithm 3 lines 3-5)
+	// through one engine operation: shared failed set, bounded in-flight
+	// slots, and first-fatal-error cancellation of sibling gathers.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
 	chunkData := make(map[string][]byte, len(unique))
 	var mu sync.Mutex
-	var firstErr error
-	g := c.rt.NewGroup()
-	for _, id := range order {
-		st := unique[id]
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			data, err := c.gatherChunk(ctx, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			chunkData[st.ref.ID] = data
-		})
-	}
-	g.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	op.Each(len(order), func(k int) {
+		st := unique[order[k]]
+		data, err := c.gatherChunk(op, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
+		if err != nil {
+			op.Fail(err)
+			return
+		}
+		mu.Lock()
+		chunkData[st.ref.ID] = data
+		mu.Unlock()
+	})
+	if err := op.Err(); err != nil {
+		return nil, err
 	}
 
 	// Reassemble and verify.
@@ -193,10 +190,13 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 
 // gatherChunk downloads t shares of one chunk (preferring the optimizer's
 // pick, falling back to any other stored location on error), decodes, and
-// verifies content. Algorithm 3's Gather.
-func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) (_ []byte, err error) {
+// verifies content. Algorithm 3's Gather. Each picked source runs as a
+// hedged download: when a source exceeds its EWMA-predicted latency, the
+// engine launches one backup read from the fallback pool and the first
+// success wins.
+func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) (_ []byte, err error) {
 	chunkStart := c.rt.Now()
-	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.gather")
+	ctx, chunkSpan := c.obs.Trace(op.Context(), "chunk.gather")
 	defer func() { chunkSpan.End(err) }()
 	// Index each CSP's share index.
 	idxOf := make(map[string]int, len(locations))
@@ -217,59 +217,80 @@ func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.Chun
 	}
 	sort.Strings(fallback)
 
+	shareBytes := erasure.ShareSize(ref.Size, ref.T)
+
+	// got is written by attempt Run closures, which a hedge loser may
+	// still execute after this function returned — every access stays
+	// under mu and the decode below works on a snapshot.
 	var mu sync.Mutex
-	shares := make([]erasure.Share, 0, ref.T)
+	var got []erasure.Share
 	var firstErr error
 
-	g := c.rt.NewGroup()
-	for _, src := range primary {
-		src := src
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			cur := src
-			for {
-				idx := idxOf[cur]
-				store, ok := c.store(cur)
-				var data []byte
-				var err error
-				var elapsed time.Duration
+	attemptFor := func(cspName string) transfer.Attempt {
+		idx := idxOf[cspName]
+		return transfer.Attempt{
+			CSP:  cspName,
+			Kind: opDownload,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(cspName)
 				if !ok {
-					err = fmt.Errorf("cyrus: provider %q vanished", cur)
-				} else {
-					_, tsp := c.obs.Trace(ctx, "csp.download")
-					start := c.rt.Now()
-					data, err = store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
-					elapsed = c.rt.Now().Sub(start)
-					tsp.End(err)
-					c.recordResult(cur, opDownload, err, int64(len(data)), elapsed)
+					return 0, errProviderVanished(cspName)
 				}
-				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cur, Bytes: int64(len(data)), Duration: elapsed, Err: err})
+				data, err := store.Download(actx, c.shareName(ref.ID, idx, ref.T))
 				if err == nil {
 					mu.Lock()
-					shares = append(shares, erasure.Share{Index: idx, Data: data})
+					got = append(got, erasure.Share{Index: idx, Data: data})
 					mu.Unlock()
-					return
 				}
-				mu.Lock()
-				if len(fallback) > 0 {
-					cur = fallback[0]
-					fallback = fallback[1:]
-					mu.Unlock()
-					continue
-				}
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				return int64(len(data)), err
+			},
+			Done: func(aerr error, bytes int64, elapsed time.Duration) {
+				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: bytes, Duration: elapsed, Err: aerr})
+			},
+		}
+	}
+
+	// pullFallback feeds both the per-source failover walk and the hedge
+	// lane; the shared cursor means no fallback location is fetched twice.
+	pullFallback := func() (transfer.Attempt, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for len(fallback) > 0 {
+			cand := fallback[0]
+			fallback = fallback[1:]
+			if op.Failed(cand) || !c.readable(cand) {
+				continue
+			}
+			return attemptFor(cand), true
+		}
+		return transfer.Attempt{}, false
+	}
+
+	op.Each(len(primary), func(k int) {
+		src := primary[k]
+		att := attemptFor(src)
+		if op.Failed(src) {
+			var ok bool
+			if att, ok = pullFallback(); !ok {
 				return
 			}
-		})
-	}
-	g.Wait()
+		}
+		if err := op.Hedged(ctx, att, c.hedgeAfter(src, shareBytes), pullFallback); err != nil {
+			mu.Lock()
+			if firstErr == nil && !errors.Is(err, transfer.ErrSkipped) {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+
+	mu.Lock()
+	shares := append([]erasure.Share(nil), got...)
+	lastErr := firstErr
+	mu.Unlock()
 	if len(shares) < ref.T {
 		return nil, fmt.Errorf("%w: chunk %s: %d of %d shares (last error: %v)",
-			ErrDamaged, ref.ID[:8], len(shares), ref.T, firstErr)
+			ErrDamaged, ref.ID[:8], len(shares), ref.T, lastErr)
 	}
 	data, err := c.coder.Decode(shares, erasure.MaxN)
 	if err == nil {
@@ -282,7 +303,7 @@ func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.Chun
 		// Fetch every remaining reachable share and run the correcting
 		// decoder (paper §7.1: the R-S code recovers through errored
 		// shares given surplus).
-		data, err = c.gatherCorrecting(ctx, file, ref, locations, shares)
+		data, err = c.gatherCorrecting(op, ctx, file, ref, locations, shares)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +316,7 @@ func (c *Client) gatherChunk(ctx context.Context, file string, ref metadata.Chun
 // attempts an error-correcting decode, verifying against the chunk's
 // content hash. Identified-corrupt shares are re-written with correct
 // bytes (self-healing) on a best-effort basis.
-func (c *Client) gatherCorrecting(ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, have []erasure.Share) ([]byte, error) {
+func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, have []erasure.Share) ([]byte, error) {
 	seen := make(map[int]bool, len(have))
 	for _, s := range have {
 		seen[s.Index] = true
@@ -305,19 +326,30 @@ func (c *Client) gatherCorrecting(ctx context.Context, file string, ref metadata
 		if seen[idx] || !c.readable(cspName) {
 			continue
 		}
-		store, ok := c.store(cspName)
-		if !ok {
-			continue
-		}
-		start := c.rt.Now()
-		d, err := store.Download(ctx, c.shareName(ref.ID, idx, ref.T))
-		elapsed := c.rt.Now().Sub(start)
-		c.recordResult(cspName, opDownload, err, int64(len(d)), elapsed)
-		c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: int64(len(d)), Duration: elapsed, Err: err})
+		idx, cspName := idx, cspName
+		var data []byte
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  cspName,
+			Kind: opDownload,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(cspName)
+				if !ok {
+					return 0, errProviderVanished(cspName)
+				}
+				d, err := store.Download(actx, c.shareName(ref.ID, idx, ref.T))
+				if err == nil {
+					data = d
+				}
+				return int64(len(d)), err
+			},
+			Done: func(aerr error, bytes int64, elapsed time.Duration) {
+				c.events.emit(Event{Type: EvShareGet, File: file, ChunkID: ref.ID, Index: idx, CSP: cspName, Bytes: bytes, Duration: elapsed, Err: aerr})
+			},
+		})
 		if err != nil {
 			continue
 		}
-		all = append(all, erasure.Share{Index: idx, Data: d})
+		all = append(all, erasure.Share{Index: idx, Data: data})
 	}
 	data, corrupt, err := c.coder.DecodeCorrecting(all, erasure.MaxN)
 	if err != nil {
@@ -335,9 +367,18 @@ func (c *Client) gatherCorrecting(ctx context.Context, file string, ref metadata
 				if !ok {
 					continue
 				}
-				if store, ok := c.store(cspName); ok {
-					_ = store.Upload(ctx, c.shareName(ref.ID, idx, ref.T), good[idx].Data)
-				}
+				idx, cspName := idx, cspName
+				_ = op.Do(ctx, transfer.Attempt{
+					CSP:  cspName,
+					Kind: opUpload,
+					Run: func(actx context.Context) (int64, error) {
+						store, ok := c.store(cspName)
+						if !ok {
+							return 0, errProviderVanished(cspName)
+						}
+						return good[idx].Size(), store.Upload(actx, c.shareName(ref.ID, idx, ref.T), good[idx].Data)
+					},
+				})
 			}
 		}
 	}

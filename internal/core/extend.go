@@ -9,6 +9,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/selector"
+	"repro/internal/transfer"
 )
 
 // Extensions beyond the paper's Table-3 API, motivated by its user study
@@ -114,31 +115,31 @@ func (c *Client) GetRange(ctx context.Context, name string, offset, length int64
 		}
 	}
 
-	// Gather in parallel.
+	// Gather in parallel through one engine operation: shared failed set,
+	// bounded slots, first fatal error cancels the sibling gathers.
+	ids := make([]string, 0, len(uniqueRefs))
+	for id := range uniqueRefs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
 	chunkData := make(map[string][]byte, len(uniqueRefs))
 	var mu sync.Mutex
-	var firstErr error
-	g := c.rt.NewGroup()
-	for id, ref := range uniqueRefs {
-		id, ref := id, ref
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			data, err := c.gatherChunk(ctx, name, ref, locsOf(ref), pick[id])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			chunkData[id] = data
-		})
-	}
-	g.Wait()
-	if firstErr != nil {
-		return nil, info, firstErr
+	op.Each(len(ids), func(k int) {
+		id := ids[k]
+		ref := uniqueRefs[id]
+		data, err := c.gatherChunk(op, name, ref, locsOf(ref), pick[id])
+		if err != nil {
+			op.Fail(err)
+			return
+		}
+		mu.Lock()
+		chunkData[id] = data
+		mu.Unlock()
+	})
+	if err := op.Err(); err != nil {
+		return nil, info, err
 	}
 
 	out := make([]byte, length)
@@ -158,13 +159,27 @@ func (c *Client) GetRange(ctx context.Context, name string, offset, length int64
 func (c *Client) Import(ctx context.Context, providerName, objectName, destName string) (err error) {
 	ctx, sp := c.obs.StartOp(ctx, "import")
 	defer func() { sp.End(err) }()
-	store, ok := c.store(providerName)
-	if !ok {
+	if _, ok := c.store(providerName); !ok {
 		return fmt.Errorf("cyrus: CSP %q not present", providerName)
 	}
-	start := c.rt.Now()
-	data, err := store.Download(ctx, objectName)
-	c.recordResult(providerName, opDownload, err, int64(len(data)), c.rt.Now().Sub(start))
+	op := c.engine.Begin(ctx)
+	var data []byte
+	err = op.Do(ctx, transfer.Attempt{
+		CSP:  providerName,
+		Kind: opDownload,
+		Run: func(actx context.Context) (int64, error) {
+			store, ok := c.store(providerName)
+			if !ok {
+				return 0, errProviderVanished(providerName)
+			}
+			out, err := store.Download(actx, objectName)
+			if err == nil {
+				data = out
+			}
+			return int64(len(out)), err
+		},
+	})
+	op.Finish()
 	if err != nil {
 		return fmt.Errorf("cyrus: import %s from %s: %w", objectName, providerName, err)
 	}
@@ -210,23 +225,34 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 			}
 		}
 	}
+	// Deletes route through one engine operation: retried per the taxonomy,
+	// and a provider that exhausts its retries is skipped for the rest of
+	// the collection (its shares count as Skipped, not retried N more times).
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
 	for _, info := range orphans {
 		stats.Chunks++
 		shareSize := erasure.ShareSize(info.Size, info.T)
 		for idx, cspName := range info.Shares {
-			store, ok := c.store(cspName)
-			if !ok {
+			idx, cspName := idx, cspName
+			if _, ok := c.store(cspName); !ok {
 				stats.Skipped++
 				continue
 			}
-			start := c.rt.Now()
-			err := store.Delete(ctx, c.shareName(info.ID, idx, info.T))
-			c.recordResult(cspName, opDelete, err, 0, c.rt.Now().Sub(start))
-			if err != nil {
-				if !errIsNotFound(err) {
-					stats.Skipped++
-					continue
-				}
+			err := op.Do(ctx, transfer.Attempt{
+				CSP:  cspName,
+				Kind: opDelete,
+				Run: func(actx context.Context) (int64, error) {
+					store, ok := c.store(cspName)
+					if !ok {
+						return 0, errProviderVanished(cspName)
+					}
+					return 0, store.Delete(actx, c.shareName(info.ID, idx, info.T))
+				},
+			})
+			if err != nil && !errIsNotFound(err) {
+				stats.Skipped++
+				continue
 			}
 			stats.Shares++
 			stats.Bytes += shareSize

@@ -136,7 +136,9 @@ func TestGCCollectsOrphans(t *testing.T) {
 	// Fabricate an orphan: scatter a chunk whose metadata never lands.
 	orphan := randData(44, 3_000)
 	ref := metadata.ChunkRef{ID: metadata.HashData(orphan), Size: int64(len(orphan)), T: 2, N: 3}
-	locs, err := c.scatterChunk(bg, "orphan", ref, orphan)
+	sop := c.engine.Begin(bg)
+	locs, err := c.scatterChunk(sop, "orphan", ref, orphan)
+	sop.Finish()
 	if err != nil {
 		t.Fatal(err)
 	}

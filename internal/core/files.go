@@ -139,7 +139,9 @@ func (c *Client) Restore(ctx context.Context, name, versionID string) error {
 		Chunks: append([]metadata.ChunkRef(nil), old.Chunks...),
 		Shares: append([]metadata.ShareLoc(nil), old.Shares...),
 	}
-	if err := c.uploadMeta(ctx, restored); err != nil {
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	if err := c.uploadMeta(op, restored); err != nil {
 		return err
 	}
 	return c.absorb(restored)

@@ -8,10 +8,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/csp"
 	"repro/internal/erasure"
 	"repro/internal/metadata"
+	"repro/internal/transfer"
 )
 
 // Metadata records are secret-shared with (MetaT, m) across all active
@@ -59,10 +61,15 @@ func (c *Client) metaTargets() []string {
 	return c.CSPs()
 }
 
-// uploadMeta scatters one metadata record. It succeeds when at least
-// MetaT shares are stored (the record is then recoverable); per-CSP
-// failures are fed to the estimator.
-func (c *Client) uploadMeta(ctx context.Context, m *metadata.FileMeta) error {
+// uploadMeta scatters one metadata record through the operation's
+// transfer engine. It succeeds when at least MetaT shares are stored (the
+// record is then recoverable); individual share failures never cancel the
+// operation — quorum, not all-or-nothing, is the success rule. Providers
+// already in the operation's failed set (e.g. they just rejected chunk
+// shares of the same Put) are skipped, not re-probed; a skip counts as a
+// failed share toward the quorum, exactly as the doomed attempt would
+// have.
+func (c *Client) uploadMeta(op *transfer.Op, m *metadata.FileMeta) error {
 	data, err := metadata.Encode(m)
 	if err != nil {
 		return err
@@ -84,31 +91,30 @@ func (c *Client) uploadMeta(ctx context.Context, m *metadata.FileMeta) error {
 	var mu sync.Mutex
 	succeeded := 0
 	var firstErr error
-	g := c.rt.NewGroup()
-	for i, target := range targets {
-		i, target := i, target
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			store, ok := c.store(target)
-			if !ok {
-				return
-			}
-			start := c.rt.Now()
-			err := store.Upload(ctx, metaShareName(vid, i), shares[i].Data)
-			elapsed := c.rt.Now().Sub(start)
-			c.recordResult(target, opMetaPut, err, shares[i].Size(), elapsed)
-			c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: shares[i].Size(), Duration: elapsed, Err: err})
-			mu.Lock()
-			if err == nil {
-				succeeded++
-			} else if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+	op.Each(len(targets), func(i int) {
+		target := targets[i]
+		err := op.Do(op.Context(), transfer.Attempt{
+			CSP:  target,
+			Kind: opMetaPut,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(target)
+				if !ok {
+					return 0, errProviderVanished(target)
+				}
+				return shares[i].Size(), store.Upload(actx, metaShareName(vid, i), shares[i].Data)
+			},
+			Done: func(aerr error, bytes int64, elapsed time.Duration) {
+				c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: bytes, Duration: elapsed, Err: aerr})
+			},
 		})
-	}
-	g.Wait()
+		mu.Lock()
+		if err == nil {
+			succeeded++
+		} else if firstErr == nil || errors.Is(firstErr, transfer.ErrSkipped) {
+			firstErr = err
+		}
+		mu.Unlock()
+	})
 	if succeeded < t {
 		return fmt.Errorf("cyrus: metadata for %q stored on %d of %d providers (need %d): %w",
 			m.File.Name, succeeded, len(targets), t, firstErr)
@@ -120,7 +126,7 @@ func (c *Client) uploadMeta(ctx context.Context, m *metadata.FileMeta) error {
 // returns versionID -> share index -> providers holding that share, plus
 // the non-share objects under the prefix (the CSP status list) as
 // object name -> providers listing it.
-func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]string, map[string][]string, error) {
+func (c *Client) listMetaShares(op *transfer.Op, ctx context.Context) (map[string]map[int][]string, map[string][]string, error) {
 	c.mu.Lock()
 	var names []string
 	for name := range c.stores {
@@ -135,26 +141,32 @@ func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]strin
 		err   error
 	}
 	results := make([]listResult, len(names))
-	g := c.rt.NewGroup()
-	for i, name := range names {
-		i, name := i, name
+	op.Each(len(names), func(i int) {
+		name := names[i]
 		if c.est.Down(name) {
-			continue
+			return
 		}
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			store, ok := c.store(name)
-			if !ok {
-				return
-			}
-			start := c.rt.Now()
-			infos, err := store.List(ctx, metadata.MetaPrefix)
-			c.recordResult(name, opList, err, 0, c.rt.Now().Sub(start))
-			results[i] = listResult{csp: name, infos: infos, err: err}
+		if _, ok := c.store(name); !ok {
+			return
+		}
+		var infos []csp.ObjectInfo
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  name,
+			Kind: opList,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(name)
+				if !ok {
+					return 0, errProviderVanished(name)
+				}
+				out, err := store.List(actx, metadata.MetaPrefix)
+				if err == nil {
+					infos = out
+				}
+				return 0, err
+			},
 		})
-	}
-	g.Wait()
+		results[i] = listResult{csp: name, infos: infos, err: err}
+	})
 
 	out := make(map[string]map[int][]string)
 	extras := make(map[string][]string)
@@ -190,7 +202,7 @@ func (c *Client) listMetaShares(ctx context.Context) (map[string]map[int][]strin
 // a single rotten metadata share must not make a record unreadable while
 // intact replicas exist (each index lives on exactly one provider, so
 // there are no per-index alternates to fall back to).
-func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]string) (*metadata.FileMeta, error) {
+func (c *Client) fetchMeta(op *transfer.Op, ctx context.Context, vid string, locs map[int][]string) (*metadata.FileMeta, error) {
 	// Flatten candidate (index, csp) pairs, one per distinct index first.
 	idxs := make([]int, 0, len(locs))
 	for idx := range locs {
@@ -221,17 +233,33 @@ func (c *Client) fetchMeta(ctx context.Context, vid string, locs map[int][]strin
 	for _, idx := range idxs {
 		var data []byte
 		for _, provider := range locs[idx] {
-			store, ok := c.store(provider)
-			if !ok || c.est.Down(provider) {
+			if _, ok := c.store(provider); !ok || c.est.Down(provider) {
 				continue
 			}
-			start := c.rt.Now()
-			d, err := store.Download(ctx, metaShareName(vid, idx))
-			elapsed := c.rt.Now().Sub(start)
-			c.recordResult(provider, opMetaGet, err, int64(len(d)), elapsed)
-			c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: int64(len(d)), Duration: elapsed, Err: err})
+			provider := provider
+			var d []byte
+			err := op.Do(ctx, transfer.Attempt{
+				CSP:  provider,
+				Kind: opMetaGet,
+				Run: func(actx context.Context) (int64, error) {
+					store, ok := c.store(provider)
+					if !ok {
+						return 0, errProviderVanished(provider)
+					}
+					out, err := store.Download(actx, metaShareName(vid, idx))
+					if err == nil {
+						d = out
+					}
+					return int64(len(out)), err
+				},
+				Done: func(aerr error, bytes int64, elapsed time.Duration) {
+					c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: bytes, Duration: elapsed, Err: aerr})
+				},
+			})
 			if err != nil {
-				lastErr = err
+				if !errors.Is(err, transfer.ErrSkipped) {
+					lastErr = err
+				}
 				continue
 			}
 			data = d

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/transfer"
 )
 
 // migrateStaleShares implements lazy share migration (paper §5.5,
@@ -86,44 +88,49 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 	ctx, sp := c.obs.StartOp(ctx, "migrate")
 	defer func() { sp.End(nil) }()
 
+	// Every move routes through one engine operation: bounded slots, the
+	// taxonomy-driven retry policy, and a shared failed set (a target that
+	// exhausts its retries for one move is not re-probed by another).
+	// Failures never cancel siblings — each move is independent best-effort.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
 	var mu sync.Mutex
-	g := c.rt.NewGroup()
-	for _, j := range jobs {
-		j := j
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			shares, err := c.coder.Encode(chunkData[j.ref.ID], j.ref.T, j.ref.N)
-			if err != nil {
-				return
-			}
-			store, ok := c.store(j.target)
-			if !ok {
-				return
-			}
-			name := c.shareName(j.ref.ID, j.index, j.ref.T)
-			start := c.rt.Now()
-			err = store.Upload(ctx, name, shares[j.index].Data)
-			elapsed := c.rt.Now().Sub(start)
-			c.recordResult(j.target, opUpload, err, shares[j.index].Size(), elapsed)
-			c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: j.ref.ID, Index: j.index, CSP: j.target, Bytes: shares[j.index].Size(), Duration: elapsed, Err: err})
-			if err != nil {
-				return
-			}
-			mu.Lock()
-			c.table.MoveShare(j.ref.ID, j.index, j.target)
-			mu.Unlock()
-			c.logf("migrated share", "chunk", j.ref.ID[:8], "index", j.index, "to", j.target)
-			// The source copy is deliberately NOT deleted. Old metadata
-			// records still list it, and a fresh client recovering from
-			// nothing but the cloud locates shares through those records —
-			// draining the source would strand such clients one share short
-			// whenever another provider is unreachable. The stray copy costs
-			// space, never privacy: target selection skips every physical
-			// holder, so no platform ever accumulates a second share.
+	op.Each(len(jobs), func(k int) {
+		j := jobs[k]
+		shares, err := c.coder.Encode(chunkData[j.ref.ID], j.ref.T, j.ref.N)
+		if err != nil {
+			return
+		}
+		name := c.shareName(j.ref.ID, j.index, j.ref.T)
+		err = op.Do(ctx, transfer.Attempt{
+			CSP:  j.target,
+			Kind: opUpload,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(j.target)
+				if !ok {
+					return shares[j.index].Size(), errProviderVanished(j.target)
+				}
+				return shares[j.index].Size(), store.Upload(actx, name, shares[j.index].Data)
+			},
+			Done: func(aerr error, bytes int64, elapsed time.Duration) {
+				c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: j.ref.ID, Index: j.index, CSP: j.target, Bytes: bytes, Duration: elapsed, Err: aerr})
+			},
 		})
-	}
-	g.Wait()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		c.table.MoveShare(j.ref.ID, j.index, j.target)
+		mu.Unlock()
+		c.logf("migrated share", "chunk", j.ref.ID[:8], "index", j.index, "to", j.target)
+		// The source copy is deliberately NOT deleted. Old metadata
+		// records still list it, and a fresh client recovering from
+		// nothing but the cloud locates shares through those records —
+		// draining the source would strand such clients one share short
+		// whenever another provider is unreachable. The stray copy costs
+		// space, never privacy: target selection skips every physical
+		// holder, so no platform ever accumulates a second share.
+	})
 }
 
 // holdsAnyShare probes whether a provider physically stores any share of

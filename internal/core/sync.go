@@ -23,12 +23,18 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
-	locs, extras, err := c.listMetaShares(ctx)
+	// One engine operation spans the listing and every record fetch, so
+	// a provider that times out once is skipped by all later contacts of
+	// the same sync. Individual record failures are tolerated (no Fail):
+	// the sync absorbs what it can and reports the first error alongside.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	locs, extras, err := c.listMetaShares(op, ctx)
 	if err != nil {
 		return 0, err
 	}
 	// Apply any newer CSP status list before deciding placements.
-	c.syncCSPList(ctx, extras)
+	c.syncCSPList(op, ctx, extras)
 	vids := make([]string, 0, len(locs))
 	for vid := range locs {
 		vids = append(vids, vid)
@@ -41,28 +47,22 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 	var mu sync.Mutex
 	absorbed := 0
 	var firstErr error
-	g := c.rt.NewGroup()
-	for _, vid := range missing {
-		vid := vid
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			m, err := c.fetchMeta(ctx, vid, locs[vid])
-			if err == nil {
-				err = c.absorb(m)
+	op.Each(len(missing), func(i int) {
+		vid := missing[i]
+		m, err := c.fetchMeta(op, ctx, vid, locs[vid])
+		if err == nil {
+			err = c.absorb(m)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			absorbed++
-		})
-	}
-	g.Wait()
+			return
+		}
+		absorbed++
+	})
 	return absorbed, firstErr
 }
 
@@ -156,7 +156,9 @@ func (c *Client) Resolve(ctx context.Context, name, winnerVersionID string) erro
 // supersede appends a deletion marker on top of the given version.
 func (c *Client) supersede(ctx context.Context, m *metadata.FileMeta) error {
 	del := newDeletionMarker(m, c.cfg.ClientID, c.rt.Now())
-	if err := c.uploadMeta(ctx, del); err != nil {
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	if err := c.uploadMeta(op, del); err != nil {
 		return err
 	}
 	return c.absorb(del)

@@ -142,10 +142,11 @@ func TestGetSurfacesSyncErrorEvent(t *testing.T) {
 		}
 	})
 
-	// One injected fault per provider: every List of the pre-read sync
-	// fails, the share downloads that follow succeed.
+	// Two injected faults per provider: the transfer engine retries each
+	// List once, so both attempts must fail for the sync to fail. The
+	// share downloads that follow succeed.
 	for _, name := range env.names {
-		env.backends[name].FailNext(1)
+		env.backends[name].FailNext(2)
 	}
 	got, _, err := r.Get(bg, "doc")
 	if err != nil {

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chunker"
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/netsim"
+	"repro/internal/transfer"
+)
+
+// clientReplacing builds a client like testEnv.client but substituting the
+// given stores for their same-named providers (wrappers for fault
+// injection).
+func (e *testEnv) clientReplacing(id string, tweak func(*Config), replace map[string]csp.Store) *Client {
+	e.t.Helper()
+	cfg := Config{
+		ClientID: id,
+		Key:      "shared-user-key",
+		T:        2,
+		N:        3,
+		Chunking: chunker.Config{AverageSize: 1024, MinSize: 256, MaxSize: 4096, Window: 48},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	var stores []csp.Store
+	for _, name := range e.names {
+		var s csp.Store
+		if r, ok := replace[name]; ok {
+			s = r
+		} else {
+			s = cloudsim.NewSimStore(e.backends[name])
+		}
+		if err := s.Authenticate(context.Background(), csp.Credentials{Token: "t"}); err != nil {
+			e.t.Fatal(err)
+		}
+		stores = append(stores, s)
+	}
+	c, err := New(cfg, stores)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return c
+}
+
+// wedgedStore wraps a Store so Upload blocks until the request context is
+// cancelled — a provider that accepts the connection and then hangs, the
+// worst case for the old fan-out (which had no way to abandon it).
+type wedgedStore struct {
+	csp.Store
+	entered atomic.Int32
+}
+
+func (w *wedgedStore) Upload(ctx context.Context, name string, data []byte) error {
+	w.entered.Add(1)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestPutCancelsWedgedSiblingUploads is the regression test for the
+// wasted-work bug: when one chunk fails fatally (a provider rejects every
+// candidate), Put must cancel the operation context so sibling share
+// uploads stuck on a wedged provider return instead of hanging. Before the
+// engine refactor this test hung until the test binary timeout.
+func TestPutCancelsWedgedSiblingUploads(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 3) // N = 3 over 3 providers: no fallback slack
+	// cspa kills every chunk that targets it; cspb wedges every upload.
+	env.backends["cspa"].SetAvailable(false)
+	wedged := &wedgedStore{Store: cloudsim.NewSimStore(env.backends["cspb"])}
+	c := env.clientReplacing("alice", nil, map[string]csp.Store{"cspb": wedged})
+
+	done := make(chan error, 1)
+	go func() { done <- c.Put(bg, "doomed.bin", randData(91, 10_000)) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Put succeeded although a provider was down and N == provider count")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Put did not return: sibling uploads were not cancelled after the first fatal error")
+	}
+	if w := wedged.entered.Load(); w == 0 {
+		t.Log("note: no upload reached the wedged provider before cancellation")
+	}
+}
+
+// countingStore counts Upload calls to one provider.
+type countingStore struct {
+	csp.Store
+	uploads atomic.Int32
+}
+
+func (s *countingStore) Upload(ctx context.Context, name string, data []byte) error {
+	s.uploads.Add(1)
+	return s.Store.Upload(ctx, name, data)
+}
+
+// TestFailedProviderProbedOncePerOperation is the regression test for the
+// redundant-probing bug: within one Put, a provider that exhausted its
+// retries must be skipped by every subsequent share's fallback walk (and by
+// the metadata scatter), not re-probed from scratch per share.
+func TestFailedProviderProbedOncePerOperation(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	env.backends["cspa"].SetAvailable(false)
+	counting := &countingStore{Store: cloudsim.NewSimStore(env.backends["cspa"])}
+	// MaxInFlight 1 + Attempts 1 serializes every attempt with no retry:
+	// the first share to touch the down provider marks it failed, and any
+	// further probe in the same Put is provably redundant.
+	c := env.clientReplacing("alice", func(cfg *Config) {
+		cfg.Transfer = transfer.Tunables{MaxInFlight: 1, Attempts: 1}
+	}, map[string]csp.Store{"cspa": counting})
+
+	// ~20 chunks x 3 shares over 5 providers: many shares would walk to
+	// cspa without the shared failed set.
+	if err := c.Put(bg, "big.bin", randData(92, 20_000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(counting.uploads.Load()); got != 1 {
+		t.Fatalf("down provider probed %d times in one Put, want exactly 1 (then skipped via the failed set)", got)
+	}
+}
+
+// TestPerCSPInFlightCapUnderNetsim drives the full client stack under
+// deterministic virtual time with a configured per-CSP cap and verifies the
+// engine's high-water mark never exceeded it on any provider — the
+// straggler-isolation property the paper's §4.3 scheduling depends on.
+func TestPerCSPInFlightCapUnderNetsim(t *testing.T) {
+	t.Parallel()
+	const MB = 1 << 20
+	const perCSP = 2
+	net := netsim.New(time.Time{})
+	net.AddNode("client", netsim.NodeConfig{})
+	names := []string{"w", "x", "y", "z"}
+	var stores []csp.Store
+	for _, name := range names {
+		net.SetLink("client", name, netsim.LinkConfig{RTT: 20 * time.Millisecond, UpBps: 4 * MB, DownBps: 8 * MB})
+		b := cloudsim.NewBackend(name, csp.NameKeyed, 0)
+		stores = append(stores, cloudsim.NewSimStore(b,
+			cloudsim.WithTransport(cloudsim.NodeTransport{Net: net, Node: "client"}),
+			cloudsim.WithClock(net.Now)))
+	}
+	cfg := Config{
+		ClientID: "alice", Key: "k", T: 2, N: 3,
+		Chunking: chunker.Config{AverageSize: 256 << 10, MinSize: 64 << 10, MaxSize: 512 << 10},
+		Runtime:  net,
+		Transfer: transfer.Tunables{MaxInFlight: 16, PerCSP: perCSP},
+	}
+	c, err := New(cfg, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := randData(93, 4*MB) // many chunks -> far more shares than slots
+	net.Run(func() {
+		for _, s := range stores {
+			if err := s.Authenticate(bg, csp.Credentials{Token: "t"}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Put(bg, "big.bin", data); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := c.Get(bg, "big.bin"); err != nil {
+			t.Error(err)
+		}
+	})
+
+	sawLoad := false
+	for _, name := range names {
+		p := c.Engine().PeakInFlight(name)
+		if p > perCSP {
+			t.Errorf("provider %s peak in-flight %d exceeds configured cap %d", name, p, perCSP)
+		}
+		if p == perCSP {
+			sawLoad = true
+		}
+	}
+	if !sawLoad {
+		t.Error("no provider ever reached the cap — scenario exercised nothing")
+	}
+}

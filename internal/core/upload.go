@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metadata"
+	"repro/internal/transfer"
 )
 
 // Put uploads a file — put(s, f), Algorithm 2.
@@ -87,38 +88,40 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 		jobs = append(jobs, job{ref: ref, data: ch.Data})
 	}
 
+	// One transfer-engine operation spans the whole Put: the chunk
+	// fan-out shares a failed-provider set, and the first fatal chunk
+	// error cancels the operation context so sibling scatters stop
+	// instead of finishing doomed uploads.
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+
 	var mu sync.Mutex
-	var firstErr error
 	locsByChunk := make(map[string][]metadata.ShareLoc, len(jobs))
-	g := c.rt.NewGroup()
-	for _, j := range jobs {
-		j := j
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			locs, err := c.scatterChunk(ctx, name, j.ref, j.data)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			locsByChunk[j.ref.ID] = locs
-		})
-	}
-	g.Wait()
-	if firstErr != nil {
-		return firstErr
+	op.Each(len(jobs), func(k int) {
+		j := jobs[k]
+		locs, err := c.scatterChunk(op, name, j.ref, j.data)
+		if err != nil {
+			op.Fail(err)
+			return
+		}
+		mu.Lock()
+		locsByChunk[j.ref.ID] = locs
+		mu.Unlock()
+	})
+	if err := op.Err(); err != nil {
+		return err
 	}
 	for _, j := range jobs {
 		meta.Shares = append(meta.Shares, locsByChunk[j.ref.ID]...)
 	}
 
 	// Step 6 (Algorithm 2 line 10): metadata goes up only after all chunk
-	// uploads completed.
-	if err := c.uploadMeta(ctx, meta); err != nil {
+	// uploads completed. The metadata scatter reuses the operation's
+	// failed set — a provider that just rejected chunk shares is not
+	// re-probed for its metadata share — but runs under its own quorum
+	// rule, so it must not inherit a cancelled context (none is: a failed
+	// chunk already returned above).
+	if err := c.uploadMeta(op, meta); err != nil {
 		return err
 	}
 	if err := c.absorb(meta); err != nil {
@@ -134,9 +137,13 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 // CSPs (at most one per platform cluster) chosen by consistent hashing on
 // the chunk ID. CSPs that fail are replaced by the next candidates on the
 // ring; the upload fails only when fewer than n providers accept shares.
-func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.ChunkRef, data []byte) (_ []metadata.ShareLoc, err error) {
+// All uploads dispatch through the operation's transfer engine: bounded
+// in-flight slots, taxonomy-driven retries, and the shared failed set
+// (a provider that exhausted its retries for one share is skipped by
+// every other share's fallback walk).
+func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRef, data []byte) (_ []metadata.ShareLoc, err error) {
 	chunkStart := c.rt.Now()
-	ctx, chunkSpan := c.obs.Trace(ctx, "chunk.scatter")
+	ctx, chunkSpan := c.obs.Trace(op.Context(), "chunk.scatter")
 	defer func() { chunkSpan.End(err) }()
 	// Full preference order: every eligible CSP, cluster-constrained,
 	// starting at the chunk's ring position.
@@ -157,61 +164,68 @@ func (c *Client) scatterChunk(ctx context.Context, file string, ref metadata.Chu
 	locs := make([]metadata.ShareLoc, 0, ref.N)
 	var firstErr error
 
-	g := c.rt.NewGroup()
-	for i := 0; i < ref.N; i++ {
-		i := i
-		target := prefs[i]
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			shareObj := c.shareName(ref.ID, i, ref.T)
-			cur := target
-			for {
-				store, ok := c.store(cur)
-				var err error
-				var elapsed time.Duration
-				if !ok {
-					err = fmt.Errorf("cyrus: provider %q vanished", cur)
-				} else {
-					_, tsp := c.obs.Trace(ctx, "csp.upload")
-					start := c.rt.Now()
-					err = store.Upload(ctx, shareObj, shares[i].Data)
-					elapsed = c.rt.Now().Sub(start)
-					tsp.End(err)
-					c.recordResult(cur, opUpload, err, shares[i].Size(), elapsed)
-				}
-				c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: ref.ID, Index: i, CSP: cur, Bytes: shares[i].Size(), Duration: elapsed, Err: err})
-				if err == nil {
-					mu.Lock()
-					locs = append(locs, metadata.ShareLoc{ChunkID: ref.ID, Index: i, CSP: cur})
-					mu.Unlock()
-					return
-				}
-				if ctxErr(ctx) != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = ctx.Err()
-					}
-					mu.Unlock()
-					return
-				}
-				// Fall back to the next candidate on the ring.
+	takeNext := func() (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next < len(prefs) {
+			cur := prefs[next]
+			next++
+			return cur, true
+		}
+		return "", false
+	}
+
+	op.Each(ref.N, func(i int) {
+		shareObj := c.shareName(ref.ID, i, ref.T)
+		cur := prefs[i]
+		for {
+			if cerr := ctxErr(ctx); cerr != nil {
 				mu.Lock()
-				if next < len(prefs) {
-					cur = prefs[next]
-					next++
-					mu.Unlock()
-					continue
-				}
 				if firstErr == nil {
-					firstErr = fmt.Errorf("cyrus: share %d of chunk %s: no provider accepted it: %w", i, ref.ID[:8], err)
+					firstErr = cerr
 				}
 				mu.Unlock()
 				return
 			}
-		})
-	}
-	g.Wait()
+			target := cur
+			err := op.Do(ctx, transfer.Attempt{
+				CSP:  target,
+				Kind: opUpload,
+				Run: func(actx context.Context) (int64, error) {
+					store, ok := c.store(target)
+					if !ok {
+						return shares[i].Size(), errProviderVanished(target)
+					}
+					return shares[i].Size(), store.Upload(actx, shareObj, shares[i].Data)
+				},
+				Done: func(aerr error, bytes int64, elapsed time.Duration) {
+					c.events.emit(Event{Type: EvSharePut, File: file, ChunkID: ref.ID, Index: i, CSP: target, Bytes: bytes, Duration: elapsed, Err: aerr})
+				},
+			})
+			if err == nil {
+				mu.Lock()
+				locs = append(locs, metadata.ShareLoc{ChunkID: ref.ID, Index: i, CSP: target})
+				mu.Unlock()
+				return
+			}
+			// Fall back to the next candidate on the ring.
+			if n, ok := takeNext(); ok {
+				cur = n
+				continue
+			}
+			fatal := fmt.Errorf("cyrus: share %d of chunk %s: no provider accepted it: %w", i, ref.ID[:8], err)
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fatal
+			}
+			mu.Unlock()
+			// The whole Put is doomed without this share: cancel the
+			// operation now so sibling share uploads (this chunk's and
+			// other chunks') stop instead of finishing wasted work.
+			op.Fail(fatal)
+			return
+		}
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}

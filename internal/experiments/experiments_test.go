@@ -419,3 +419,25 @@ func TestAblationConcurrencyShape(t *testing.T) {
 		t.Fatalf("speedup does not grow with contention: 1w %.1f vs 8w %.1f", oneWriter, eightWriters)
 	}
 }
+
+func TestTransferEngineHedgingBeatsStraggler(t *testing.T) {
+	res, err := TransferEngine(TransferEngineConfig{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Report.Rows))
+	}
+	if res.PutSeconds <= 0 || res.GetSeconds <= 0 {
+		t.Fatalf("non-positive phase times: put %.2f get %.2f", res.PutSeconds, res.GetSeconds)
+	}
+	// The straggler serves shares without erroring, so retries and failover
+	// never fire — the hedged gather must be measurably faster than the
+	// unhedged one (acceptance bar: at least 1.5x).
+	if res.HedgedStrag*1.5 > res.PlainStrag {
+		t.Fatalf("hedging did not help: unhedged %.1fs vs hedged %.1fs", res.PlainStrag, res.HedgedStrag)
+	}
+	if res.HedgeWins == 0 {
+		t.Fatal("no hedge backup lane ever won despite a straggling provider")
+	}
+}

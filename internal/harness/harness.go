@@ -46,6 +46,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/transfer"
 )
 
 // Options configures one simulation run. Zero values take the documented
@@ -76,6 +77,10 @@ type Options struct {
 
 	// Schedule is the scripted fault sequence, applied by op index.
 	Schedule Schedule
+
+	// Transfer bounds every client's transfer engine (per-CSP and global
+	// in-flight caps, retry policy). Zero values take core's defaults.
+	Transfer transfer.Tunables
 
 	// CheckKills controls the failure sweep of the durability check:
 	// 0 (the default) fails every provider subset of size N−T, the
@@ -302,6 +307,7 @@ func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, e
 		Chunking:  chunkingConfig,
 		ClusterOf: h.clusters,
 		Obs:       o,
+		Transfer:  h.opts.Transfer,
 	}
 	if node != "" {
 		cfg.Runtime = h.net

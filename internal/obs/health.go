@@ -80,6 +80,19 @@ func (s *Scoreboard) RecordFailure(cspName string, at time.Time, err error) {
 	}
 }
 
+// Latency returns a provider's current request-latency EWMA, or 0 when
+// no latency has been observed. The transfer engine's hedged downloads
+// use it to predict when a source has taken abnormally long.
+func (s *Scoreboard) Latency(cspName string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.csps[cspName]
+	if !ok {
+		return 0
+	}
+	return time.Duration(h.LatencyEWMASeconds * float64(time.Second))
+}
+
 // SetDown records the failure estimator's marked-down transition.
 func (s *Scoreboard) SetDown(cspName string, down bool) {
 	s.mu.Lock()

@@ -40,6 +40,13 @@ type Observer struct {
 	evTotal   *CounterVec
 	xferBytes *CounterVec
 	selPicks  *CounterVec
+
+	// Transfer-engine instrument families (internal/transfer).
+	xferInFlight *GaugeVec
+	xferPeak     *GaugeVec
+	xferQueue    *GaugeVec
+	xferRetries  *CounterVec
+	xferHedges   *CounterVec
 }
 
 // NewObserver builds an Observer with a fresh registry, scoreboard, and
@@ -62,6 +69,12 @@ func NewObserver() *Observer {
 		evTotal:   reg.Counter(MetricEventsTotal, "Transfer-layer events by type.", "type"),
 		xferBytes: reg.Counter(MetricTransferBytes, "Payload bytes moved by csp and direction.", "csp", "dir"),
 		selPicks:  reg.Counter(MetricSelectorPicks, "Download-source selector decisions by csp.", "csp"),
+
+		xferInFlight: reg.Gauge(MetricTransferInFlight, "Transfer-engine attempts currently in flight by csp.", "csp"),
+		xferPeak:     reg.Gauge(MetricTransferInFlightPeak, "High-water in-flight attempt count by csp.", "csp"),
+		xferQueue:    reg.Gauge(MetricTransferQueueDepth, "Attempts waiting for an in-flight slot."),
+		xferRetries:  reg.Counter(MetricTransferRetries, "Transfer-engine retries by csp and kind.", "csp", "kind"),
+		xferHedges:   reg.Counter(MetricTransferHedges, "Hedged downloads by result (launched, win).", "result"),
 	}
 	return o
 }
@@ -181,6 +194,52 @@ func (o *Observer) TransferEvent(eventType, cspName, dir string, bytes int64, er
 	if err == nil && cspName != "" && dir != "" && bytes > 0 {
 		o.xferBytes.With(cspName, dir).Add(bytes)
 	}
+}
+
+// TransferInFlight records a provider's current in-flight attempt count
+// (the transfer engine's per-CSP gauge). Nil-safe.
+func (o *Observer) TransferInFlight(cspName string, n int) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.xferInFlight.With(cspName).Set(float64(n))
+}
+
+// TransferInFlightPeak records a provider's high-water in-flight count.
+// The gauge only ever rises, so end-of-run snapshots expose the maximum
+// concurrency the engine allowed (what the cap tests assert). Nil-safe.
+func (o *Observer) TransferInFlightPeak(cspName string, n int) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.xferPeak.With(cspName).Set(float64(n))
+}
+
+// TransferQueueDepth records how many attempts are parked waiting for an
+// in-flight slot. Nil-safe.
+func (o *Observer) TransferQueueDepth(n int) {
+	if o == nil {
+		return
+	}
+	o.xferQueue.With().Set(float64(n))
+}
+
+// TransferRetry counts one transfer-engine retry. Nil-safe.
+func (o *Observer) TransferRetry(cspName, kind string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.xferRetries.With(cspName, kind).Inc()
+}
+
+// TransferHedge counts hedged-download lifecycle points: result is
+// "launched" when a backup lane starts, "win" when a backup's attempt
+// beats the primary. Nil-safe.
+func (o *Observer) TransferHedge(result string) {
+	if o == nil || result == "" {
+		return
+	}
+	o.xferHedges.With(result).Inc()
 }
 
 // SelectorPick counts one chunk-download source decision per chosen csp,

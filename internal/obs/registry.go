@@ -40,6 +40,13 @@ const (
 	MetricSelectorPicks      = "cyrus_selector_picks_total"
 	MetricHTTPRequests       = "cyrus_http_requests_total"
 	MetricHTTPDuration       = "cyrus_http_request_duration_seconds"
+
+	// Transfer-engine instrumentation (internal/transfer).
+	MetricTransferInFlight     = "cyrus_transfer_inflight"
+	MetricTransferInFlightPeak = "cyrus_transfer_inflight_peak"
+	MetricTransferQueueDepth   = "cyrus_transfer_queue_depth"
+	MetricTransferRetries      = "cyrus_transfer_retries_total"
+	MetricTransferHedges       = "cyrus_transfer_hedges_total"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.

@@ -231,7 +231,9 @@ func TestConflictMaterialization(t *testing.T) {
 	}
 	writeFile(t, dirB, "plan.md", "bob's competing plan!")
 	for _, b := range w.backends {
-		b.FailNext(1) // bob's upload-time metadata listing fails once per provider
+		// Bob's upload-time metadata listing must fail outright; the
+		// transfer engine retries once per provider, so inject two faults.
+		b.FailNext(2)
 	}
 	// Bob's sync pushes his conflicting creation (step 1, against a stale
 	// replica), then discovers the divergence in its own pull phase and
