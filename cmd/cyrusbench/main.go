@@ -89,6 +89,10 @@ var runners = []runner{
 		res, err := experiments.TransferEngine(experiments.TransferEngineConfig{Scale: o.scale, Seed: o.seed})
 		return res.Report, err
 	}},
+	{"4", "client compute fast path: old-vs-new codec and chunking throughput", func(o options) (experiments.Report, error) {
+		res, err := experiments.FastPath(experiments.FastPathConfig{Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},

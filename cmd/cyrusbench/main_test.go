@@ -12,11 +12,11 @@ import (
 )
 
 func TestRunnerRegistryIsComplete(t *testing.T) {
-	// Every table/figure in the paper's evaluation plus the ablations and
-	// the transfer-engine benchmark.
+	// Every table/figure in the paper's evaluation plus the ablations, the
+	// transfer-engine benchmark, and the compute fast-path benchmark.
 	want := []string{
 		"table1", "table2", "table4", "fig3", "fig12", "fig13",
-		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3", "4",
 		"ablation-selector", "ablation-chunking", "ablation-ring",
 		"ablation-migration", "ablation-concurrency", "ablation-metadata",
 	}

@@ -87,9 +87,28 @@ func tablesFor(window int) *rabinTables {
 	return t
 }
 
+// Algorithm selects the boundary-detection algorithm.
+type Algorithm string
+
+const (
+	// Rabin is the compatibility default: the rolling polynomial hash of
+	// paper §5.1. Existing chunk IDs and dedup state were produced by it,
+	// so a zero Config keeps yielding identical boundaries.
+	Rabin Algorithm = "rabin"
+	// FastCDC selects the gear-hash chunker (fastcdc.go): ~an order of
+	// magnitude fewer operations per byte, at the cost of different (still
+	// deterministic) boundaries. Switching algorithms re-chunks new
+	// versions; old chunks remain readable since chunk refs carry their
+	// own sizes.
+	FastCDC Algorithm = "fastcdc"
+)
+
 // Config controls chunk boundary placement.
 type Config struct {
+	// Algorithm picks the chunker. Empty means Rabin.
+	Algorithm Algorithm
 	// Window is the sliding-window size in bytes. Default 48.
+	// Rabin only; FastCDC's gear hash has no explicit window.
 	Window int
 	// AverageSize is the target mean chunk size; boundaries fire when
 	// hash mod AverageSize == K, so AverageSize plays the role of the
@@ -114,6 +133,12 @@ const (
 )
 
 func (c Config) withDefaults() (Config, error) {
+	if c.Algorithm == "" {
+		c.Algorithm = Rabin
+	}
+	if c.Algorithm != Rabin && c.Algorithm != FastCDC {
+		return c, fmt.Errorf("chunker: unknown algorithm %q", c.Algorithm)
+	}
 	if c.Window == 0 {
 		c.Window = DefaultWindow
 	}
@@ -131,6 +156,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.K == 0 {
 		c.K = uint64(c.AverageSize - 1)
+	}
+	if c.Algorithm == FastCDC {
+		// Window and K are Rabin knobs; FastCDC ignores both. The gear
+		// hash needs a few dozen bytes past MinSize for its tested bits to
+		// mix, and the normalized masks need log2(avg) +/- 2 bits.
+		switch {
+		case c.AverageSize < 64:
+			return c, fmt.Errorf("chunker: AverageSize %d too small for fastcdc (need >= 64)", c.AverageSize)
+		case c.MinSize < 1:
+			return c, fmt.Errorf("chunker: MinSize %d too small", c.MinSize)
+		case c.MaxSize < c.MinSize:
+			return c, fmt.Errorf("chunker: MaxSize %d < MinSize %d", c.MaxSize, c.MinSize)
+		}
+		return c, nil
 	}
 	switch {
 	case c.Window < 2:
@@ -155,8 +194,15 @@ type Chunk struct {
 // immutable after construction and safe for concurrent use.
 type Chunker struct {
 	cfg    Config
-	tables *rabinTables
-	mask   uint64
+	tables *rabinTables // Rabin transition tables; nil for FastCDC
+	mask   uint64       // Rabin boundary mask
+
+	// FastCDC normalized-chunking masks: the "small" (harder) mask applies
+	// before the average point, the "large" (easier) one after it; the Sh
+	// variants are the same masks shifted left for the odd-position test of
+	// the two-bytes-per-iteration loop.
+	maskSmall, maskSmallSh uint64
+	maskLarge, maskLargeSh uint64
 }
 
 // New returns a Chunker for the given configuration. Zero fields take the
@@ -166,11 +212,18 @@ func New(cfg Config) (*Chunker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Chunker{
-		cfg:    full,
-		tables: tablesFor(full.Window),
-		mask:   uint64(full.AverageSize - 1),
-	}, nil
+	ck := &Chunker{cfg: full}
+	if full.Algorithm == FastCDC {
+		bits := log2int(full.AverageSize)
+		ck.maskSmall = spreadMask(bits + 2)
+		ck.maskLarge = spreadMask(bits - 2)
+		ck.maskSmallSh = ck.maskSmall << 1
+		ck.maskLargeSh = ck.maskLarge << 1
+		return ck, nil
+	}
+	ck.tables = tablesFor(full.Window)
+	ck.mask = uint64(full.AverageSize - 1)
+	return ck, nil
 }
 
 // Config reports the effective configuration after defaulting.
@@ -178,16 +231,29 @@ func (c *Chunker) Config() Config { return c.cfg }
 
 // Split divides data into content-defined chunks. The returned chunks alias
 // the input slice. Every byte of the input is covered exactly once, in
-// order. An empty input yields no chunks.
+// order. An empty input yields no chunks. The chunk slice is preallocated
+// from the expected count; use SplitTo to reuse a caller-owned slice.
 func (c *Chunker) Split(data []byte) []Chunk {
-	var chunks []Chunk
+	return c.SplitTo(make([]Chunk, 0, len(data)/c.cfg.AverageSize+1), data)
+}
+
+// SplitTo appends the chunks of data to dst and returns the extended slice,
+// allocating only when dst lacks capacity — the zero-steady-state-alloc
+// variant of Split for callers that recycle the chunk slice.
+func (c *Chunker) SplitTo(dst []Chunk, data []byte) []Chunk {
+	fast := c.cfg.Algorithm == FastCDC
 	var start int64
 	for int(start) < len(data) {
-		end := c.nextBoundary(data[start:])
-		chunks = append(chunks, Chunk{Offset: start, Data: data[start : start+int64(end)]})
+		var end int
+		if fast {
+			end = c.gearCut(data[start:])
+		} else {
+			end = c.nextBoundary(data[start:])
+		}
+		dst = append(dst, Chunk{Offset: start, Data: data[start : start+int64(end)]})
 		start += int64(end)
 	}
-	return chunks
+	return dst
 }
 
 // nextBoundary returns the length of the next chunk starting at data[0].

@@ -115,6 +115,12 @@ type Config struct {
 	// virtual durations. One observer may be shared by several clients.
 	// nil disables instrumentation entirely.
 	Obs *obs.Observer
+
+	// CodecWorkers bounds concurrent CPU-heavy codec jobs (chunk hashing,
+	// erasure encode/decode). Default: GOMAXPROCS. CPU work runs through
+	// this pool, decoupled from the transfer engine's in-flight slots, so
+	// coding one chunk overlaps with transferring another.
+	CodecWorkers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -178,6 +184,7 @@ type Client struct {
 	engine  *transfer.Engine
 	rt      vclock.Runtime
 	sel     selector.Selector
+	codec   *codecPool
 	keyHash string
 	log     *slog.Logger  // nil = disabled
 	obs     *obs.Observer // nil = disabled
@@ -219,6 +226,7 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		stores:  make(map[string]csp.Store),
 		removed: make(map[string]bool),
 	}
+	c.codec = newCodecPool(full.CodecWorkers, c.obs)
 	// All provider I/O dispatches through one engine: bounded in-flight
 	// slots, taxonomy-driven retries on the client's clock, per-operation
 	// failed sets, and hedged gathers (internal/transfer).

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// codecPool bounds the client's CPU-heavy codec work — chunk hashing,
+// erasure encode, erasure decode — to a fixed number of concurrent jobs,
+// decoupled from the transfer engine's in-flight slots. Before this pool,
+// encode ran inside the per-chunk scatter (serializing behind transfer
+// dispatch) and hashing ran serially on the Put goroutine; now CPU work for
+// one chunk overlaps with the network transfers of another, and a Put of
+// many chunks keeps all cores fed without oversubscribing them.
+//
+// Jobs run on the caller's goroutine: the pool is a semaphore, not a worker
+// queue, so job results need no channel plumbing and the transfer engine's
+// cancellation semantics are untouched.
+//
+// Virtual-time safety: under netsim, a goroutine blocked on a raw channel
+// (the slot acquire below) still counts as "running", so the virtual clock
+// cannot advance past pending CPU work — and slots free in real time as
+// jobs finish, so the acquire never deadlocks a virtual-time run. Real and
+// simulated runtimes both behave correctly with no vclock hooks.
+type codecPool struct {
+	slots chan struct{}
+	busy  atomic.Int64
+	obs   *obs.Observer
+}
+
+// newCodecPool builds a pool of the given width; parallel <= 0 means
+// GOMAXPROCS — one CPU job per core.
+func newCodecPool(parallel int, o *obs.Observer) *codecPool {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &codecPool{slots: make(chan struct{}, parallel), obs: o}
+}
+
+// run executes fn once a slot is free, blocking the caller until then.
+// kind ("encode", "decode", "chunk") and bytes feed the cyrus_codec_*
+// counters when the job completes.
+func (p *codecPool) run(kind string, bytes int64, fn func()) {
+	p.slots <- struct{}{}
+	p.obs.CodecBusy(int(p.busy.Add(1)))
+	defer func() {
+		p.obs.CodecBusy(int(p.busy.Add(-1)))
+		<-p.slots
+		p.obs.CodecWork(kind, bytes)
+	}()
+	fn()
+}

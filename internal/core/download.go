@@ -292,12 +292,17 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 		return nil, fmt.Errorf("%w: chunk %s: %d of %d shares (last error: %v)",
 			ErrDamaged, ref.ID[:8], len(shares), ref.T, lastErr)
 	}
-	data, err := c.coder.Decode(shares, erasure.MaxN)
-	if err == nil {
-		if got := metadata.HashData(data); got != ref.ID {
-			err = fmt.Errorf("%w: chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
+	// Decode and verify on the codec pool: bounded CPU slots, overlapping
+	// the share downloads of sibling chunks still in flight.
+	var data []byte
+	c.codec.run("decode", ref.Size, func() {
+		data, err = c.coder.Decode(shares, erasure.MaxN)
+		if err == nil {
+			if got := metadata.HashData(data); got != ref.ID {
+				err = fmt.Errorf("%w: chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
+			}
 		}
-	}
+	})
 	if err != nil {
 		// A fetched share may be corrupt (bit rot, a tampering provider).
 		// Fetch every remaining reachable share and run the correcting
@@ -362,6 +367,7 @@ func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file str
 	if len(corrupt) > 0 {
 		c.logf("corrected corrupt shares", "chunk", ref.ID[:8], "indices", fmt.Sprint(corrupt))
 		if good, err := c.coder.Encode(data, ref.T, ref.N); err == nil {
+			defer erasure.ReleaseShares(good)
 			for _, idx := range corrupt {
 				cspName, ok := locations[idx]
 				if !ok {

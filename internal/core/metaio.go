@@ -82,10 +82,17 @@ func (c *Client) uploadMeta(op *transfer.Op, m *metadata.FileMeta) error {
 	if t > len(targets) {
 		t = len(targets)
 	}
-	shares, err := c.coder.Encode(data, t, len(targets))
+	// Metadata records are small; encoding still runs through the codec
+	// pool so the busy gauge and byte counters see every encode, and the
+	// pooled share buffers recycle once the scatter below joins.
+	var shares []erasure.Share
+	c.codec.run("encode", int64(len(data)), func() {
+		shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, len(targets)), data, t, len(targets))
+	})
 	if err != nil {
 		return err
 	}
+	defer erasure.ReleaseShares(shares)
 	vid := m.VersionID()
 
 	var mu sync.Mutex

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/transfer"
 )
@@ -97,10 +98,15 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 	var mu sync.Mutex
 	op.Each(len(jobs), func(k int) {
 		j := jobs[k]
-		shares, err := c.coder.Encode(chunkData[j.ref.ID], j.ref.T, j.ref.N)
+		var shares []erasure.Share
+		var err error
+		c.codec.run("encode", int64(len(chunkData[j.ref.ID])), func() {
+			shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, j.ref.N), chunkData[j.ref.ID], j.ref.T, j.ref.N)
+		})
 		if err != nil {
 			return
 		}
+		defer erasure.ReleaseShares(shares)
 		name := c.shareName(j.ref.ID, j.index, j.ref.T)
 		err = op.Do(ctx, transfer.Attempt{
 			CSP:  j.target,

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/transfer"
 )
@@ -30,16 +31,32 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 	// are tolerated — conflicts, if any, are detected after the fact.
 	c.syncBestEffort(ctx)
 
+	fileID := metadata.HashData(data)
 	prevID := ""
 	if head, _, err := c.tree.Head(name); err == nil {
-		if !head.File.Deleted && head.File.ID == metadata.HashData(data) {
+		if !head.File.Deleted && head.File.ID == fileID {
 			return nil // unchanged content: no new version
 		}
 		prevID = head.VersionID()
 	}
 
-	// Step 3: content-defined chunking.
+	// Step 3: content-defined chunking, then chunk hashing on the codec
+	// pool — one job per chunk, so hashing a large file saturates the
+	// cores instead of a single Put goroutine.
 	chunks := c.chunk.Split(data)
+	ids := make([]string, len(chunks))
+	g := c.rt.NewGroup()
+	for k := range chunks {
+		k := k
+		g.Add(1)
+		c.rt.Go(func() {
+			defer g.Done()
+			c.codec.run("chunk", int64(len(chunks[k].Data)), func() {
+				ids[k] = metadata.HashData(chunks[k].Data)
+			})
+		})
+	}
+	g.Wait()
 
 	t, n, err := c.shareParams()
 	if err != nil {
@@ -48,7 +65,7 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 
 	meta := &metadata.FileMeta{
 		File: metadata.FileMap{
-			ID:       metadata.HashData(data),
+			ID:       fileID,
 			PrevID:   prevID,
 			ClientID: c.cfg.ClientID,
 			Name:     name,
@@ -65,8 +82,8 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) 
 	}
 	var jobs []job
 	seenInFile := make(map[string]bool)
-	for _, ch := range chunks {
-		id := metadata.HashData(ch.Data)
+	for ci, ch := range chunks {
+		id := ids[ci]
 		if info, ok := c.table.Lookup(id); ok {
 			// Stored in the cloud: reuse its parameters and locations.
 			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N}
@@ -154,10 +171,18 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 	if len(prefs) < ref.N {
 		return nil, fmt.Errorf("%w: %d providers for %d shares of chunk %s", ErrNotEnoughCSP, len(prefs), ref.N, ref.ID[:8])
 	}
-	shares, err := c.coder.Encode(data, ref.T, ref.N)
+	// Erasure-encode on the codec pool: the CPU work of this chunk runs in
+	// a bounded slot, overlapping the network transfers of sibling chunks.
+	// Shares use pooled buffers, returned once every upload has finished
+	// (op.Each joins before this function returns on every path).
+	var shares []erasure.Share
+	c.codec.run("encode", int64(len(data)), func() {
+		shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, ref.N), data, ref.T, ref.N)
+	})
 	if err != nil {
 		return nil, err
 	}
+	defer erasure.ReleaseShares(shares)
 
 	var mu sync.Mutex
 	next := ref.N // cursor into prefs for fallback targets

@@ -1,0 +1,5 @@
+//go:build !race
+
+package erasure
+
+const raceEnabled = false

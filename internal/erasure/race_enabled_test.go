@@ -1,0 +1,8 @@
+//go:build race
+
+package erasure
+
+// raceEnabled reports that this binary was built with -race, under which
+// sync.Pool operations are instrumented and allocate: the zero-alloc
+// regression tests are meaningless there and skip themselves.
+const raceEnabled = true

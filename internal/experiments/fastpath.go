@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/chunker"
+	"repro/internal/erasure"
+	"repro/internal/gf256"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// FastPathConfig parameterizes the client-compute benchmark (BENCH id "4"):
+// old-vs-new codec throughput, Rabin-vs-FastCDC chunking throughput, and an
+// end-to-end Put/Get sanity pass on the simulated testbed.
+type FastPathConfig struct {
+	// ChunkBytes is the payload size per codec measurement. Default 4 MB
+	// (the paper's average chunk size).
+	ChunkBytes int
+	// Scale shrinks the Table-4 dataset for the e2e phase. Default 0.05.
+	Scale float64
+	Seed  int64
+}
+
+func (c *FastPathConfig) defaults() {
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 4 * MB
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.05
+	}
+}
+
+// FastPathPoint is one (t, n) row of the codec comparison, single-core MB/s.
+type FastPathPoint struct {
+	T, N                   int
+	OldEncode, NewEncode   float64
+	OldDecode, NewDecode   float64
+	EncSpeedup, DecSpeedup float64
+}
+
+// FastPathResult carries the headline numbers tracked across PRs
+// (BENCH_4.json).
+type FastPathResult struct {
+	Report Report
+
+	Codec        []FastPathPoint
+	RabinMBps    float64
+	FastCDCMBps  float64
+	ChunkSpeedup float64
+	PutSeconds   float64 // e2e cold upload, virtual time
+	GetSeconds   float64 // e2e warm gather, virtual time
+}
+
+// FastPath measures the client-side compute fast path against a faithful
+// replica of the pre-fast-path implementation, compiled from the same tree:
+//
+//   - Codec: encode/decode one chunk at (2,4), (3,6), (4,8). The old path
+//     re-derives the dispersal matrix per call, copies stripes, allocates
+//     every share buffer fresh, and runs the byte-at-a-time generic kernels —
+//     exactly the shape of the code before this change. The new path is
+//     Coder.EncodeTo/DecodeInto: cached matrices, pooled buffers, fused
+//     word-wide kernels.
+//   - Chunking: Rabin vs FastCDC over the same input and size targets.
+//   - End to end: Put and Get of the scaled Table-4 dataset on the 4-fast/
+//     3-slow simulated testbed, timing in virtual seconds (compute runs at
+//     real speed inside the simulation; this phase guards correctness and
+//     regression of the wiring, not kernel speed).
+//
+// Codec and chunking phases are measured in real single-core seconds,
+// best-of-3 with a GC between trials.
+func FastPath(cfg FastPathConfig) (FastPathResult, error) {
+	cfg.defaults()
+	res := FastPathResult{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := make([]byte, cfg.ChunkBytes)
+	rng.Read(data)
+
+	coder := erasure.NewCoder("experiment-key")
+
+	// bestOf returns the highest throughput of three timed runs of fn.
+	bestOf := func(nbytes int, fn func() error) (float64, error) {
+		best := 0.0
+		for trial := 0; trial < 3; trial++ {
+			runtime.GC()
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if s := time.Since(start).Seconds(); s > 0 {
+				if m := float64(nbytes) / MB / s; m > best {
+					best = m
+				}
+			}
+		}
+		return best, nil
+	}
+
+	const reps = 8 // amortize timer granularity over several codec calls
+
+	for _, tn := range [][2]int{{2, 4}, {3, 6}, {4, 8}} {
+		t, n := tn[0], tn[1]
+		pt := FastPathPoint{T: t, N: n}
+		var err error
+
+		pt.OldEncode, err = bestOf(reps*len(data), func() error {
+			for r := 0; r < reps; r++ {
+				if _, err := oldEncode(coder, data, t, n); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("old encode (t=%d,n=%d): %w", t, n, err)
+		}
+		dst := make([]erasure.Share, 0, n)
+		pt.NewEncode, err = bestOf(reps*len(data), func() error {
+			for r := 0; r < reps; r++ {
+				var err error
+				if dst, err = coder.EncodeTo(dst[:0], data, t, n); err != nil {
+					return err
+				}
+				erasure.ReleaseShares(dst)
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("new encode (t=%d,n=%d): %w", t, n, err)
+		}
+
+		// Decode inputs: exactly t shares, as the common gather path fetches.
+		shares, err := coder.Encode(data, t, n)
+		if err != nil {
+			return res, err
+		}
+		in := make([]erasure.Share, t)
+		for i := 0; i < t; i++ {
+			in[i] = erasure.Share{Index: shares[i].Index, Data: append([]byte(nil), shares[i].Data...)}
+		}
+		erasure.ReleaseShares(shares)
+
+		pt.OldDecode, err = bestOf(reps*len(data), func() error {
+			for r := 0; r < reps; r++ {
+				out, err := oldDecode(coder, in, n)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(out, data) {
+					return fmt.Errorf("old decode mismatch")
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("old decode (t=%d,n=%d): %w", t, n, err)
+		}
+		out := make([]byte, 0, len(data))
+		pt.NewDecode, err = bestOf(reps*len(data), func() error {
+			for r := 0; r < reps; r++ {
+				var err error
+				if out, err = coder.DecodeInto(out[:0], in, n); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("new decode (t=%d,n=%d): %w", t, n, err)
+		}
+		if !bytes.Equal(out, data) {
+			return res, fmt.Errorf("new decode mismatch (t=%d,n=%d)", t, n)
+		}
+
+		pt.EncSpeedup = pt.NewEncode / pt.OldEncode
+		pt.DecSpeedup = pt.NewDecode / pt.OldDecode
+		res.Codec = append(res.Codec, pt)
+	}
+
+	// Chunking: identical size targets, same input, Rabin vs FastCDC.
+	chunkInput := make([]byte, 32*MB)
+	rng.Read(chunkInput)
+	for _, algo := range []chunker.Algorithm{chunker.Rabin, chunker.FastCDC} {
+		cc := chunker.Config{Algorithm: algo, AverageSize: MB, MinSize: MB / 4, MaxSize: 4 * MB}
+		ch, err := chunker.New(cc)
+		if err != nil {
+			return res, err
+		}
+		var chunks []chunker.Chunk
+		mbs, err := bestOf(len(chunkInput), func() error {
+			chunks = ch.SplitTo(chunks[:0], chunkInput)
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		if algo == chunker.Rabin {
+			res.RabinMBps = mbs
+		} else {
+			res.FastCDCMBps = mbs
+		}
+	}
+	res.ChunkSpeedup = res.FastCDCMBps / res.RabinMBps
+
+	// End to end: the full client on the simulated testbed, FastCDC
+	// chunking, codec pool engaged. Virtual-time Put/Get of the dataset.
+	files, err := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return res, err
+	}
+	env := newSimEnv(netsim.NodeConfig{}, testbedClouds())
+	var runErr error
+	env.net.Run(func() {
+		cc := testbedChunking(cfg.Scale)
+		cc.Algorithm = chunker.FastCDC
+		up, err := env.newClient("uploader", 2, 3, cc, nil)
+		if err != nil {
+			runErr = err
+			return
+		}
+		start := env.net.VirtualNow()
+		for _, f := range files {
+			if err := up.Put(bg, f.Name, f.Data); err != nil {
+				runErr = fmt.Errorf("put %s: %w", f.Name, err)
+				return
+			}
+		}
+		res.PutSeconds = env.net.VirtualNow() - start
+
+		dl, err := env.newClient("downloader", 2, 3, cc, nil)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := dl.Recover(bg); err != nil {
+			runErr = err
+			return
+		}
+		start = env.net.VirtualNow()
+		for _, f := range files {
+			got, _, err := dl.Get(bg, f.Name)
+			if err != nil {
+				runErr = fmt.Errorf("get %s: %w", f.Name, err)
+				return
+			}
+			if !bytes.Equal(got, f.Data) {
+				runErr = fmt.Errorf("get %s: content mismatch", f.Name)
+				return
+			}
+		}
+		res.GetSeconds = env.net.VirtualNow() - start
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+
+	var e2eBytes int64
+	for _, f := range files {
+		e2eBytes += int64(len(f.Data))
+	}
+	e2eMB := float64(e2eBytes) / MB
+
+	rows := [][]string{}
+	for _, pt := range res.Codec {
+		rows = append(rows,
+			[]string{fmt.Sprintf("encode (t=%d,n=%d)", pt.T, pt.N),
+				fmt.Sprintf("%.0f", pt.OldEncode), fmt.Sprintf("%.0f", pt.NewEncode), fmt.Sprintf("%.2fx", pt.EncSpeedup)},
+			[]string{fmt.Sprintf("decode (t=%d,n=%d)", pt.T, pt.N),
+				fmt.Sprintf("%.0f", pt.OldDecode), fmt.Sprintf("%.0f", pt.NewDecode), fmt.Sprintf("%.2fx", pt.DecSpeedup)},
+		)
+	}
+	rows = append(rows,
+		[]string{"chunking (rabin → fastcdc)",
+			fmt.Sprintf("%.0f", res.RabinMBps), fmt.Sprintf("%.0f", res.FastCDCMBps), fmt.Sprintf("%.2fx", res.ChunkSpeedup)},
+		[]string{"e2e put (virtual, t=2 n=3)", "-", fmt.Sprintf("%.2f", e2eMB/res.PutSeconds), "-"},
+		[]string{"e2e get (virtual, t=2 n=3)", "-", fmt.Sprintf("%.2f", e2eMB/res.GetSeconds), "-"},
+	)
+	res.Report = Report{
+		ID:      "4",
+		Title:   "client compute fast path: codec and chunking throughput, old vs new",
+		Columns: []string{"operation", "old MB/s", "new MB/s", "speedup"},
+		Rows:    rows,
+		Notes: []string{
+			fmt.Sprintf("codec payload %d MB, single core, best of 3; old = pre-fast-path replica (fresh allocations, per-call matrices, byte-wise generic kernels)", cfg.ChunkBytes/MB),
+			fmt.Sprintf("chunking over 32 MB random input, average/min/max = 1/0.25/4 MB; e2e dataset %.1f MB (scale %.2g, seed %d) on the 4-fast/3-slow testbed", e2eMB, cfg.Scale, cfg.Seed),
+		},
+	}
+	return res, nil
+}
+
+// oldEncode replicates the pre-fast-path encoder: dispersal matrix derived
+// per call, stripes copied out of the input, one fresh buffer per share, and
+// the byte-at-a-time generic kernel per (row, stripe) pair.
+func oldEncode(c *erasure.Coder, data []byte, t, n int) ([]erasure.Share, error) {
+	disp, err := c.Dispersal(t, n)
+	if err != nil {
+		return nil, err
+	}
+	words := (len(data) + t - 1) / t
+	stripes := make([][]byte, t)
+	for i := 0; i < t; i++ {
+		lo, hi := i*words, i*words+words
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		s := make([]byte, words)
+		copy(s, data[lo:hi])
+		stripes[i] = s
+	}
+	shares := make([]erasure.Share, n)
+	for r := 0; r < n; r++ {
+		buf := make([]byte, 11+words)
+		buf[0] = 1
+		buf[1] = byte(t)
+		buf[2] = byte(r)
+		binary.BigEndian.PutUint64(buf[3:11], uint64(len(data)))
+		row := disp.Row(r)
+		payload := buf[11:]
+		for i := 0; i < t; i++ {
+			gf256.MulAddSliceGeneric(row[i], payload, stripes[i])
+		}
+		shares[r] = erasure.Share{Index: r, Data: buf}
+	}
+	return shares, nil
+}
+
+// oldDecode replicates the pre-fast-path decoder: map-based share dedup,
+// per-call submatrix inversion, per-stripe output buffers assembled into a
+// fresh result slice, generic kernels throughout.
+func oldDecode(c *erasure.Coder, shares []erasure.Share, n int) ([]byte, error) {
+	byIndex := make(map[int]erasure.Share, len(shares))
+	t := -1
+	var dataLen int64
+	for _, s := range shares {
+		if len(s.Data) < 11 {
+			return nil, fmt.Errorf("short share")
+		}
+		st := int(s.Data[1])
+		sl := int64(binary.BigEndian.Uint64(s.Data[3:11]))
+		if t == -1 {
+			t, dataLen = st, sl
+		} else if st != t || sl != dataLen {
+			return nil, fmt.Errorf("mixed parameters")
+		}
+		byIndex[s.Index] = s
+	}
+	if len(byIndex) < t {
+		return nil, fmt.Errorf("not enough shares")
+	}
+	disp, err := c.Dispersal(t, n)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, 0, len(byIndex))
+	for i := range byIndex {
+		idxs = append(idxs, i)
+	}
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	use := idxs[:t]
+	inv, err := disp.SubMatrix(use).Invert()
+	if err != nil {
+		return nil, err
+	}
+	words := int((dataLen + int64(t) - 1) / int64(t))
+	stripes := make([][]byte, t)
+	for i := range stripes {
+		stripes[i] = make([]byte, words)
+	}
+	for i := 0; i < t; i++ {
+		row := inv.Row(i)
+		for j := 0; j < t; j++ {
+			payload := byIndex[use[j]].Data[11:]
+			gf256.MulAddSliceGeneric(row[j], stripes[i], payload)
+		}
+	}
+	out := make([]byte, 0, int(dataLen))
+	for i := 0; i < t; i++ {
+		out = append(out, stripes[i]...)
+	}
+	return out[:dataLen], nil
+}

@@ -47,6 +47,12 @@ type Observer struct {
 	xferQueue    *GaugeVec
 	xferRetries  *CounterVec
 	xferHedges   *CounterVec
+
+	// Codec fast-path instrument families (core's CPU worker pool).
+	codecEncode *CounterVec
+	codecDecode *CounterVec
+	codecChunk  *CounterVec
+	codecBusy   *GaugeVec
 }
 
 // NewObserver builds an Observer with a fresh registry, scoreboard, and
@@ -75,6 +81,11 @@ func NewObserver() *Observer {
 		xferQueue:    reg.Gauge(MetricTransferQueueDepth, "Attempts waiting for an in-flight slot."),
 		xferRetries:  reg.Counter(MetricTransferRetries, "Transfer-engine retries by csp and kind.", "csp", "kind"),
 		xferHedges:   reg.Counter(MetricTransferHedges, "Hedged downloads by result (launched, win).", "result"),
+
+		codecEncode: reg.Counter(MetricCodecEncodeBytes, "Chunk bytes erasure-encoded by the codec pool."),
+		codecDecode: reg.Counter(MetricCodecDecodeBytes, "Chunk bytes erasure-decoded by the codec pool."),
+		codecChunk:  reg.Counter(MetricCodecChunkBytes, "File bytes chunk-hashed by the codec pool."),
+		codecBusy:   reg.Gauge(MetricCodecBusy, "Codec-pool workers currently running a CPU job."),
 	}
 	return o
 }
@@ -240,6 +251,31 @@ func (o *Observer) TransferHedge(result string) {
 		return
 	}
 	o.xferHedges.With(result).Inc()
+}
+
+// CodecWork counts bytes processed by one finished codec-pool job. kind is
+// "encode", "decode", or "chunk". Nil-safe.
+func (o *Observer) CodecWork(kind string, bytes int64) {
+	if o == nil || bytes <= 0 {
+		return
+	}
+	switch kind {
+	case "encode":
+		o.codecEncode.With().Add(bytes)
+	case "decode":
+		o.codecDecode.With().Add(bytes)
+	case "chunk":
+		o.codecChunk.With().Add(bytes)
+	}
+}
+
+// CodecBusy records how many codec-pool workers are currently running a CPU
+// job. Nil-safe.
+func (o *Observer) CodecBusy(n int) {
+	if o == nil {
+		return
+	}
+	o.codecBusy.With().Set(float64(n))
 }
 
 // SelectorPick counts one chunk-download source decision per chosen csp,

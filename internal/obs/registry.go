@@ -47,6 +47,12 @@ const (
 	MetricTransferQueueDepth   = "cyrus_transfer_queue_depth"
 	MetricTransferRetries      = "cyrus_transfer_retries_total"
 	MetricTransferHedges       = "cyrus_transfer_hedges_total"
+
+	// Codec fast-path instrumentation (core's CPU worker pool).
+	MetricCodecEncodeBytes = "cyrus_codec_encode_bytes_total"
+	MetricCodecDecodeBytes = "cyrus_codec_decode_bytes_total"
+	MetricCodecChunkBytes  = "cyrus_codec_chunk_bytes_total"
+	MetricCodecBusy        = "cyrus_codec_busy"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.
