@@ -93,6 +93,10 @@ var runners = []runner{
 		res, err := experiments.FastPath(experiments.FastPathConfig{Seed: o.seed})
 		return res.Report, err
 	}},
+	{"5", "streaming data plane: PutReader/GetTo memory, TTFB, throughput vs whole-file", func(o options) (experiments.Report, error) {
+		res, err := experiments.Pipeline(experiments.PipelineConfig{Scale: o.scale, Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},
@@ -185,6 +189,8 @@ func datasetBytes(id string, opts options) int64 {
 	switch id {
 	case "table4", "fig14", "fig15", "3":
 		return int64(opts.scale * paperDataset)
+	case "5":
+		return int64(opts.scale * (256 << 20)) // the streaming benchmark's 256 MiB object
 	case "fig12":
 		return int64(opts.chunkMB) << 20
 	case "fig16":

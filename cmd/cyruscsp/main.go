@@ -44,7 +44,8 @@ func main() {
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (surrounding whitespace is trimmed)")
 	capacity := flag.Int64("capacity", 0, "storage capacity in bytes (0 = unlimited)")
 	identity := flag.String("identity", "name-keyed", "object identity model: name-keyed (overwrite) or id-keyed (duplicate)")
-	admin := flag.Bool("admin", false, "expose fault-injection admin endpoints (testing only)")
+	dir := flag.String("dir", "", "serve objects from this directory (durable; streams bodies end to end) instead of memory")
+	admin := flag.Bool("admin", false, "expose fault-injection admin endpoints (testing only; memory backend only)")
 	withObs := flag.Bool("obs", true, "serve /metrics, /healthz, /debug/pprof/, /debug/spans")
 	flag.Parse()
 
@@ -64,16 +65,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	backend := cloudsim.NewBackend(*name, id, *capacity)
-	srv, err := resthttp.NewServer(backend, tok, *admin)
+	var srv *resthttp.Server
+	if *dir != "" {
+		if *admin {
+			fmt.Fprintln(os.Stderr, "cyruscsp: -admin needs the in-memory backend; drop -dir or -admin")
+			os.Exit(2)
+		}
+		store, derr := cloudsim.NewDirStore(*name, *dir)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		srv, err = resthttp.NewStoreServer(store, tok)
+	} else {
+		backend := cloudsim.NewBackend(*name, id, *capacity)
+		srv, err = resthttp.NewServer(backend, tok, *admin)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *withObs {
 		srv.SetObserver(obs.NewObserver())
 	}
-	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d admin=%v obs=%v)",
-		*name, *addr, *identity, *capacity, *admin, *withObs)
+	log.Printf("cyruscsp %q serving on %s (identity=%s capacity=%d dir=%q admin=%v obs=%v)",
+		*name, *addr, *identity, *capacity, *dir, *admin, *withObs)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -342,15 +342,22 @@ func cmdPut(ctx context.Context, c *cyrus.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: put <file>")
 	}
-	data, err := os.ReadFile(args[0])
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
 	if err != nil {
 		return err
 	}
 	name := filepath.Base(args[0])
-	if err := c.Put(ctx, name, data); err != nil {
+	// Stream the file: client memory stays bounded by the pipeline window
+	// regardless of file size.
+	if err := c.PutReader(ctx, name, f); err != nil {
 		return err
 	}
-	fmt.Printf("stored %s (%d bytes)\n", name, len(data))
+	fmt.Printf("stored %s (%d bytes)\n", name, st.Size())
 	return nil
 }
 
@@ -365,25 +372,42 @@ func cmdGet(ctx context.Context, c *cyrus.Client, args []string) error {
 		return fmt.Errorf("usage: get [-o out] [-version id] <name>")
 	}
 	name := fs.Arg(0)
-	var data []byte
-	var info cyrus.FileInfo
-	var err error
-	if *version != "" {
-		data, info, err = c.GetVersion(ctx, name, *version)
-	} else {
-		data, info, err = c.Get(ctx, name)
-	}
-	if err != nil {
-		return err
-	}
 	dst := *out
 	if dst == "" {
 		dst = name
 	}
-	if err := os.WriteFile(dst, data, 0o644); err != nil {
+	// Stream into a sibling temp file and rename on success: an interrupted
+	// download never leaves a torn file at the destination, and client
+	// memory stays bounded by the pipeline window.
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+filepath.Base(dst)+".partial-*")
+	if err != nil {
 		return err
 	}
-	fmt.Printf("retrieved %s (%d bytes, version %.8s)\n", name, len(data), info.VersionID)
+	tmpName := tmp.Name()
+	var info cyrus.FileInfo
+	if *version != "" {
+		info, err = c.GetVersionTo(ctx, name, *version, tmp)
+	} else {
+		info, err = c.GetTo(ctx, name, tmp)
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	fmt.Printf("retrieved %s (%d bytes, version %.8s)\n", name, info.Size, info.VersionID)
 	if info.Conflicted {
 		fmt.Println("warning: this file has conflicting concurrent versions; see 'cyrusctl conflicts'")
 	}

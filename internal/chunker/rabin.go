@@ -239,21 +239,18 @@ func (c *Chunker) Split(data []byte) []Chunk {
 
 // SplitTo appends the chunks of data to dst and returns the extended slice,
 // allocating only when dst lacks capacity — the zero-steady-state-alloc
-// variant of Split for callers that recycle the chunk slice.
+// variant of Split for callers that recycle the chunk slice. It drives the
+// same Scanner that streams chunks from an io.Reader (in its zero-copy
+// ScanBytes mode), so batch and streaming chunking share one boundary loop.
 func (c *Chunker) SplitTo(dst []Chunk, data []byte) []Chunk {
-	fast := c.cfg.Algorithm == FastCDC
-	var start int64
-	for int(start) < len(data) {
-		var end int
-		if fast {
-			end = c.gearCut(data[start:])
-		} else {
-			end = c.nextBoundary(data[start:])
+	s := Scanner{c: c, buf: data, end: len(data), eof: true}
+	for {
+		ch, err := s.Next()
+		if err != nil {
+			return dst // ScanBytes mode can only fail with io.EOF
 		}
-		dst = append(dst, Chunk{Offset: start, Data: data[start : start+int64(end)]})
-		start += int64(end)
+		dst = append(dst, ch)
 	}
-	return dst
 }
 
 // nextBoundary returns the length of the next chunk starting at data[0].

@@ -1,0 +1,247 @@
+package chunker
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// fragmentReader feeds its payload in adversarially sized fragments: every
+// Read returns at most the next scripted size (1-byte reads, short reads,
+// exact-boundary reads), modeling a slow or bursty network source.
+type fragmentReader struct {
+	data  []byte
+	sizes []int // cycled; each entry caps one Read
+	i     int
+}
+
+func (f *fragmentReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, io.EOF
+	}
+	n := f.sizes[f.i%len(f.sizes)]
+	f.i++
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	if n == 0 {
+		n = 1
+	}
+	copied := copy(p[:n], f.data)
+	f.data = f.data[copied:]
+	return copied, nil
+}
+
+// collect drains a scanner, copying each chunk (streaming-mode Data is only
+// valid until the next call).
+func collect(t *testing.T, s *Scanner) []Chunk {
+	t.Helper()
+	var out []Chunk
+	for {
+		ch, err := s.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, Chunk{Offset: ch.Offset, Data: append([]byte(nil), ch.Data...)})
+	}
+}
+
+// requireSameChunks asserts identical cut points, offsets, and content
+// hashes between two chunkings of the same input.
+func requireSameChunks(t *testing.T, want, got []Chunk) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("chunk count mismatch: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Offset != got[i].Offset {
+			t.Fatalf("chunk %d: offset %d, want %d", i, got[i].Offset, want[i].Offset)
+		}
+		if sha1.Sum(want[i].Data) != sha1.Sum(got[i].Data) {
+			t.Fatalf("chunk %d: content hash mismatch at offset %d", i, want[i].Offset)
+		}
+	}
+}
+
+// TestScannerMatchesSplit is the core equivalence property: for both Rabin
+// and FastCDC, a Scanner fed arbitrary reader fragmentations produces
+// exactly the cut points Split produces on the whole buffer.
+func TestScannerMatchesSplit(t *testing.T) {
+	fragmentations := map[string][]int{
+		"one-byte":       {1},
+		"short-reads":    {7, 13, 1, 64, 3},
+		"exact-boundary": {4096}, // == MaxSize of the test configs
+		"large-reads":    {1 << 16},
+		"mixed":          {1, 4096, 2, 1000, 4095, 4097},
+	}
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		data := randomBytes(31, 300_000)
+		want := c.Split(data)
+		for name, sizes := range fragmentations {
+			got := collect(t, c.Scan(&fragmentReader{data: data, sizes: sizes}))
+			t.Run(name, func(t *testing.T) { requireSameChunks(t, want, got) })
+		}
+	})
+}
+
+// TestScannerRandomFragments drives the equivalence property across many
+// random fragmentations and input sizes, including sizes that land exactly
+// on Min/Average/MaxSize multiples.
+func TestScannerRandomFragments(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		rng := rand.New(rand.NewSource(77))
+		lengths := []int{0, 1, 255, 256, 257, 1024, 4095, 4096, 4097, 50_000, 123_457}
+		for _, n := range lengths {
+			data := randomBytes(int64(n)+5, n)
+			want := c.Split(data)
+			for trial := 0; trial < 4; trial++ {
+				sizes := make([]int, 1+rng.Intn(8))
+				for i := range sizes {
+					sizes[i] = 1 + rng.Intn(5000)
+				}
+				got := collect(t, c.Scan(&fragmentReader{data: data, sizes: sizes}))
+				requireSameChunks(t, want, got)
+			}
+		}
+	})
+}
+
+func TestScanBytesMatchesSplitAndAliases(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		data := randomBytes(33, 100_000)
+		want := c.Split(data)
+		s := c.ScanBytes(data)
+		var got []Chunk
+		for {
+			ch, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			// ScanBytes chunks must alias the input, exactly like Split.
+			if len(ch.Data) > 0 && &ch.Data[0] != &data[ch.Offset] {
+				t.Fatalf("chunk at offset %d does not alias the input", ch.Offset)
+			}
+			got = append(got, ch)
+		}
+		requireSameChunks(t, want, got)
+	})
+}
+
+func TestScannerEmptyInput(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		s := c.Scan(bytes.NewReader(nil))
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF on empty input, got %v", err)
+		}
+		// io.EOF is sticky.
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("want sticky io.EOF, got %v", err)
+		}
+	})
+}
+
+// errAfterReader yields its payload, then a non-EOF error: the scanner must
+// surface the error instead of finalizing the buffered partial window as a
+// bogus tail chunk.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestScannerSurfacesReadError(t *testing.T) {
+	boom := errors.New("link reset")
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		// 100 bytes buffered (< MinSize, so no chunk can be cut before the
+		// error): Next must fail, not emit a truncated tail.
+		s := c.Scan(&errAfterReader{data: randomBytes(9, 100), err: boom})
+		if _, err := s.Next(); !errors.Is(err, boom) {
+			t.Fatalf("want read error, got %v", err)
+		}
+		if _, err := s.Next(); !errors.Is(err, boom) {
+			t.Fatalf("want sticky read error, got %v", err)
+		}
+	})
+}
+
+func TestScannerStuckReaderErrNoProgress(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, c *Chunker) {
+		s := c.Scan(stuckReader{})
+		if _, err := s.Next(); !errors.Is(err, io.ErrNoProgress) {
+			t.Fatalf("want io.ErrNoProgress, got %v", err)
+		}
+	})
+}
+
+type stuckReader struct{}
+
+func (stuckReader) Read(p []byte) (int, error) { return 0, nil }
+
+// FuzzScannerMatchesSplit fuzzes both the payload and the fragmentation
+// schedule, asserting scanner/split cut-point and hash equivalence for both
+// algorithms.
+func FuzzScannerMatchesSplit(f *testing.F) {
+	f.Add([]byte(nil), uint8(1))
+	f.Add([]byte("hello world"), uint8(3))
+	f.Add(bytes.Repeat([]byte{0xAB}, 9000), uint8(0))
+	f.Add(randomBytes(28, 20_000), uint8(200))
+	chunkers := make(map[string]*Chunker)
+	for name, cfg := range algoConfigs() {
+		c, err := New(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		chunkers[name] = c
+	}
+	f.Fuzz(func(t *testing.T, data []byte, frag uint8) {
+		// Derive a fragmentation schedule from the fuzzed byte: 0 means
+		// 1-byte reads; otherwise a small cycle seeded by frag.
+		sizes := []int{1}
+		if frag > 0 {
+			sizes = []int{int(frag), 1, int(frag) * 16, 3}
+		}
+		for name, c := range chunkers {
+			want := c.Split(data)
+			var got []Chunk
+			s := c.Scan(&fragmentReader{data: append([]byte(nil), data...), sizes: sizes})
+			for {
+				ch, err := s.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s: Next: %v", name, err)
+				}
+				got = append(got, Chunk{Offset: ch.Offset, Data: append([]byte(nil), ch.Data...)})
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%s: chunk count mismatch: split %d, scan %d", name, len(want), len(got))
+			}
+			for i := range want {
+				if want[i].Offset != got[i].Offset || !bytes.Equal(want[i].Data, got[i].Data) {
+					t.Fatalf("%s: chunk %d differs between Split and Scanner", name, i)
+				}
+			}
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package cloudsim
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -339,5 +342,99 @@ func TestConcurrentBackendAccess(t *testing.T) {
 	}
 	if n := b.DuplicateCount("obj"); n != 400 {
 		t.Fatalf("DuplicateCount = %d, want 400", n)
+	}
+}
+
+// failAfterReader yields n bytes and then fails, standing in for an upload
+// whose writer died mid-stream.
+type failAfterReader struct {
+	n   int
+	err error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, r.err
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		p[i] = 'x'
+	}
+	r.n -= len(p)
+	return len(p), nil
+}
+
+// TestDirStoreKilledMidWriteLeavesNoTornObject pins the atomicity contract:
+// an upload that dies mid-write — whether the reader fails (client abort)
+// or the process is killed between temp write and rename (simulated by the
+// orphan temp file a real kill leaves behind) — must never surface a torn
+// or partial object through List or Download.
+func TestDirStoreKilledMidWriteLeavesNoTornObject(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDirStore("local", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Authenticate(ctx, csp.Credentials{Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Upload(ctx, "obj", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client abort: the body reader errors after a partial write.
+	boom := errors.New("killed mid-write")
+	if _, err := d.UploadFrom(ctx, "obj", &failAfterReader{n: 1 << 16, err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("UploadFrom err = %v, want %v", err, boom)
+	}
+	// Process kill between write and rename: the orphan temp file stays on
+	// disk. Fabricate one the way os.CreateTemp names them.
+	if err := os.WriteFile(filepath.Join(root, ".upload-4242"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := d.Download(ctx, "obj")
+	if err != nil || string(got) != "intact" {
+		t.Fatalf("Download after aborted overwrite = %q, %v; want intact", got, err)
+	}
+	infos, err := d.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "obj" || infos[0].Size != int64(len("intact")) {
+		t.Fatalf("List sees torn state: %+v", infos)
+	}
+}
+
+// TestDirStoreStreamingRoundTrip covers the StreamUploader/StreamDownloader
+// capability pair end to end.
+func TestDirStoreStreamingRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDirStore("local", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Authenticate(ctx, csp.Credentials{Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("stream!"), 10_000)
+	n, err := d.UploadFrom(ctx, "big/obj", bytes.NewReader(payload))
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("UploadFrom = %d, %v", n, err)
+	}
+	var out bytes.Buffer
+	n, err = d.DownloadTo(ctx, "big/obj", &out)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("DownloadTo = %d, %v", n, err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("streamed bytes differ from uploaded bytes")
+	}
+	if _, err := d.DownloadTo(ctx, "missing", &out); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("missing DownloadTo err = %v", err)
 	}
 }

@@ -1,9 +1,11 @@
 package cloudsim
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -117,29 +119,48 @@ func (d *DirStore) List(ctx context.Context, prefix string) ([]csp.ObjectInfo, e
 // goes through a temp file + rename so concurrent readers never observe a
 // torn object.
 func (d *DirStore) Upload(ctx context.Context, name string, data []byte) error {
+	_, err := d.UploadFrom(ctx, name, bytes.NewReader(data))
+	return err
+}
+
+// UploadFrom implements csp.StreamUploader: the object body is copied
+// incrementally from r into a temp file and published with one atomic
+// rename. A reader error (including a crashed or aborted upload) removes
+// the temp file, so a torn object is never visible to List or Download —
+// temp files carry no "f-" prefix and are invisible to List even if the
+// process dies between write and rename.
+func (d *DirStore) UploadFrom(ctx context.Context, name string, r io.Reader) (int64, error) {
 	if err := d.session(ctx); err != nil {
-		return err
+		return 0, err
 	}
 	dst := filepath.Join(d.root, encodeName(name))
 	tmp, err := os.CreateTemp(d.root, ".upload-*")
 	if err != nil {
-		return fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+		return 0, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	n, err := io.Copy(tmp, r)
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+		// Propagate the copy error as-is (a reader abort must stay
+		// branchable by the caller; a local write fault is already wrapped
+		// by the os layer).
+		return n, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+		return n, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return n, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
 	}
 	if err := os.Rename(tmpName, dst); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+		return n, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
 	}
-	return nil
+	return n, nil
 }
 
 // Download implements csp.Store.
@@ -157,6 +178,28 @@ func (d *DirStore) Download(ctx context.Context, name string) ([]byte, error) {
 	return data, nil
 }
 
+// DownloadTo implements csp.StreamDownloader: object bytes are copied to w
+// without buffering the whole object. Renames are atomic, so an open file
+// keeps serving the version it opened even if overwritten concurrently.
+func (d *DirStore) DownloadTo(ctx context.Context, name string, w io.Writer) (int64, error) {
+	if err := d.session(ctx); err != nil {
+		return 0, err
+	}
+	f, err := os.Open(filepath.Join(d.root, encodeName(name)))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, d.name, name)
+		}
+		return 0, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, d.name, err)
+	}
+	defer f.Close()
+	n, err := io.Copy(w, f)
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
 // Delete implements csp.Store.
 func (d *DirStore) Delete(ctx context.Context, name string) error {
 	if err := d.session(ctx); err != nil {
@@ -172,4 +215,8 @@ func (d *DirStore) Delete(ctx context.Context, name string) error {
 	return nil
 }
 
-var _ csp.Store = (*DirStore)(nil)
+var (
+	_ csp.Store            = (*DirStore)(nil)
+	_ csp.StreamUploader   = (*DirStore)(nil)
+	_ csp.StreamDownloader = (*DirStore)(nil)
+)

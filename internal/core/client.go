@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunker"
@@ -121,6 +122,14 @@ type Config struct {
 	// this pool, decoupled from the transfer engine's in-flight slots, so
 	// coding one chunk overlaps with transferring another.
 	CodecWorkers int
+
+	// PipelineDepth bounds how many chunks the streaming Put/Get pipeline
+	// (PutReader/GetTo) holds resident at once: chunk k+1 is scanned,
+	// hashed, and encoded while chunk k's shares are still in flight, but
+	// never more than PipelineDepth plaintext chunk buffers exist
+	// concurrently, so client memory is O(PipelineDepth × MaxSize × n/t)
+	// instead of O(file). Default 4.
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -156,6 +165,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FailureThreshold == 0 {
 		c.FailureThreshold = 24 * time.Hour
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 4
+	}
+	if c.PipelineDepth < 1 {
+		return c, fmt.Errorf("cyrus: PipelineDepth=%d", c.PipelineDepth)
 	}
 	return c, nil
 }
@@ -193,6 +208,13 @@ type Client struct {
 	stores  map[string]csp.Store
 	removed map[string]bool // removed or failed CSPs: no uploads go there
 	cspSeq  int64           // highest CSP-list sequence seen or published
+
+	// Accounted data-plane payload bytes currently resident (plaintext
+	// chunk buffers in the streaming window, plus whole-file buffers on the
+	// batch wrappers) and the high-water mark. The streaming-vs-batch
+	// memory experiment reads these through BufferBytes.
+	bufCur  atomic.Int64
+	bufPeak atomic.Int64
 }
 
 // New builds a client over the given providers — the paper's s = create()
@@ -431,6 +453,51 @@ func (c *Client) Observer() *obs.Observer { return c.obs }
 
 // Engine exposes the transfer engine (for tests asserting on its caps).
 func (c *Client) Engine() *transfer.Engine { return c.engine }
+
+// acctAdd accounts n data-plane payload bytes as resident, updating the
+// high-water mark and the pipeline buffer gauges.
+func (c *Client) acctAdd(n int64) {
+	if n <= 0 {
+		return
+	}
+	cur := c.bufCur.Add(n)
+	peak := c.bufPeak.Load()
+	for cur > peak && !c.bufPeak.CompareAndSwap(peak, cur) {
+		peak = c.bufPeak.Load()
+	}
+	if cur > peak {
+		peak = cur
+	}
+	c.obs.PipelineBufferBytes(cur, peak)
+}
+
+// acctSub releases n previously accounted bytes.
+func (c *Client) acctSub(n int64) {
+	if n <= 0 {
+		return
+	}
+	cur := c.bufCur.Add(-n)
+	c.obs.PipelineBufferBytes(cur, c.bufPeak.Load())
+}
+
+// BufferBytes reports the accounted data-plane payload bytes currently
+// resident and the high-water mark since construction (or the last
+// ResetBufferPeak). The streaming pipeline accounts each plaintext chunk
+// buffer for exactly its residency window; the batch Put/Get wrappers
+// additionally account their whole-file buffers — so the gap between the
+// two paths' peaks is the memory the pipeline saves.
+func (c *Client) BufferBytes() (cur, peak int64) {
+	return c.bufCur.Load(), c.bufPeak.Load()
+}
+
+// ResetBufferPeak rearms the high-water mark (for per-phase measurements).
+func (c *Client) ResetBufferPeak() {
+	c.bufPeak.Store(c.bufCur.Load())
+}
+
+// PipelineDepth reports the effective streaming-window depth (the
+// configured Config.PipelineDepth, or the default when unset).
+func (c *Client) PipelineDepth() int { return c.cfg.PipelineDepth }
 
 // hedgeAfter predicts how long a share download from the given provider
 // should take — the scoreboard's request-latency EWMA plus the payload

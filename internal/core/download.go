@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -10,7 +11,6 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/metadata"
-	"repro/internal/selector"
 	"repro/internal/transfer"
 )
 
@@ -59,133 +59,21 @@ func (c *Client) GetVersion(ctx context.Context, name, versionID string) (_ []by
 	return data, info, nil
 }
 
-// fetchVersion gathers, decodes, and reassembles all chunks of a version,
-// running the downlink CSP selection first and lazily migrating shares off
-// removed or failed providers afterwards.
+// fetchVersion is the batch wrapper over the streaming fetchTo: it
+// collects the whole version into one buffer (accounted as resident for
+// its duration) and returns it. All gather/verify/migrate logic lives in
+// fetchTo (stream.go).
 func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte, error) {
 	if len(m.Chunks) == 0 {
 		return []byte{}, nil
 	}
-	fetchStart := c.rt.Now()
-
-	// Build the selection instance over unique chunks. Share locations
-	// come from the freshest source available: the global chunk table
-	// first (it tracks migrations), the version's ShareMap as fallback.
-	type chunkState struct {
-		ref    metadata.ChunkRef
-		shares map[int]string // index -> csp, all known locations
-		usable []string       // CSPs serving downloads now
-	}
-	unique := make(map[string]*chunkState)
-	var order []string
-	for _, ref := range m.Chunks {
-		if _, ok := unique[ref.ID]; ok {
-			continue
-		}
-		st := &chunkState{ref: ref, shares: make(map[int]string)}
-		if info, ok := c.table.Lookup(ref.ID); ok {
-			for idx, cspName := range info.Shares {
-				st.shares[idx] = cspName
-			}
-		} else {
-			for _, loc := range m.SharesOf(ref.ID) {
-				st.shares[loc.Index] = loc.CSP
-			}
-		}
-		seen := map[string]bool{}
-		for _, cspName := range st.shares {
-			if !seen[cspName] && c.readable(cspName) {
-				seen[cspName] = true
-				st.usable = append(st.usable, cspName)
-			}
-		}
-		sort.Strings(st.usable)
-		if len(st.usable) < st.ref.T {
-			return nil, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d",
-				ErrDamaged, ref.ID[:8], len(st.usable), st.ref.T)
-		}
-		unique[ref.ID] = st
-		order = append(order, ref.ID)
-	}
-
-	// Chunks may carry heterogeneous T (dedup across configs); the
-	// selector instance is per-T, so group chunks by T.
-	byT := map[int][]*chunkState{}
-	for _, id := range order {
-		st := unique[id]
-		byT[st.ref.T] = append(byT[st.ref.T], st)
-	}
-
-	pick := make(map[string][]string)
-	for t, states := range byT {
-		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
-		for _, st := range states {
-			in.Chunks = append(in.Chunks, selector.Chunk{
-				ID:        st.ref.ID,
-				ShareSize: erasure.ShareSize(st.ref.Size, st.ref.T),
-				StoredOn:  st.usable,
-			})
-			for _, cspName := range st.usable {
-				in.LinkBps[cspName] = c.bw.estimate(cspName)
-			}
-		}
-		a, err := c.sel.Select(in)
-		if err != nil {
-			return nil, fmt.Errorf("cyrus: download selection: %w", err)
-		}
-		for id, sources := range a.Pick {
-			pick[id] = sources
-			for _, src := range sources {
-				c.obs.SelectorPick(src)
-			}
-		}
-	}
-
-	// Gather all unique chunks in parallel (Algorithm 3 lines 3-5)
-	// through one engine operation: shared failed set, bounded in-flight
-	// slots, and first-fatal-error cancellation of sibling gathers.
-	op := c.engine.Begin(ctx)
-	defer op.Finish()
-	chunkData := make(map[string][]byte, len(unique))
-	var mu sync.Mutex
-	op.Each(len(order), func(k int) {
-		st := unique[order[k]]
-		data, err := c.gatherChunk(op, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
-		if err != nil {
-			op.Fail(err)
-			return
-		}
-		mu.Lock()
-		chunkData[st.ref.ID] = data
-		mu.Unlock()
-	})
-	if err := op.Err(); err != nil {
+	c.acctAdd(m.File.Size)
+	defer c.acctSub(m.File.Size)
+	buf := bytes.NewBuffer(make([]byte, 0, m.File.Size))
+	if err := c.fetchTo(ctx, m, 0, m.File.Size, buf, true); err != nil {
 		return nil, err
 	}
-
-	// Reassemble and verify.
-	out := make([]byte, m.File.Size)
-	for _, ref := range m.Chunks {
-		copy(out[ref.Offset:ref.Offset+ref.Size], chunkData[ref.ID])
-	}
-	if got := metadata.HashData(out); got != m.File.ID {
-		return nil, fmt.Errorf("%w: file %q reassembled to %s, metadata says %s",
-			ErrDamaged, m.File.Name, got[:8], m.File.ID[:8])
-	}
-
-	// Lazy migration (paper §5.5, Figure 9): shares on removed/failed
-	// providers are reconstructed from the decoded chunks and re-uploaded
-	// elsewhere, now that we hold the plaintext chunks anyway.
-	refs := make(map[string]metadata.ChunkRef, len(unique))
-	locs := make(map[string]map[int]string, len(unique))
-	for id, st := range unique {
-		refs[id] = st.ref
-		locs[id] = st.shares
-	}
-	c.migrateStaleShares(ctx, m.File.Name, refs, locs, chunkData)
-
-	c.events.emit(Event{Type: EvFileComplete, File: m.File.Name, Bytes: m.File.Size, Duration: c.rt.Now().Sub(fetchStart)})
-	return out, nil
+	return buf.Bytes(), nil
 }
 
 // gatherChunk downloads t shares of one chunk (preferring the optimizer's

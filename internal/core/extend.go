@@ -1,14 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
-	"sort"
-	"sync"
 
 	"repro/internal/erasure"
 	"repro/internal/metadata"
-	"repro/internal/selector"
 	"repro/internal/transfer"
 )
 
@@ -46,111 +44,16 @@ func (c *Client) GetRange(ctx context.Context, name string, offset, length int64
 		return []byte{}, info, nil
 	}
 
-	// Chunks overlapping the range.
-	var wanted []metadata.ChunkRef
-	seen := map[string]bool{}
-	for _, ref := range head.Chunks {
-		if ref.Offset+ref.Size <= offset || ref.Offset >= offset+length {
-			continue
-		}
-		if !seen[ref.ID] {
-			seen[ref.ID] = true
-		}
-		wanted = append(wanted, ref)
-	}
-
-	// Select sources for the unique wanted chunks, grouped by t.
-	locsOf := func(ref metadata.ChunkRef) map[int]string {
-		locs := make(map[int]string)
-		if ci, ok := c.table.Lookup(ref.ID); ok {
-			for idx, cspName := range ci.Shares {
-				locs[idx] = cspName
-			}
-		} else {
-			for _, l := range head.SharesOf(ref.ID) {
-				locs[l.Index] = l.CSP
-			}
-		}
-		return locs
-	}
-	uniqueRefs := map[string]metadata.ChunkRef{}
-	for _, ref := range wanted {
-		uniqueRefs[ref.ID] = ref
-	}
-	byT := map[int][]metadata.ChunkRef{}
-	for _, ref := range uniqueRefs {
-		byT[ref.T] = append(byT[ref.T], ref)
-	}
-	pick := map[string][]string{}
-	for t, refs := range byT {
-		sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
-		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
-		for _, ref := range refs {
-			var usable []string
-			seenCSP := map[string]bool{}
-			for _, cspName := range locsOf(ref) {
-				if !seenCSP[cspName] && c.readable(cspName) {
-					seenCSP[cspName] = true
-					usable = append(usable, cspName)
-				}
-			}
-			sort.Strings(usable)
-			if len(usable) < t {
-				return nil, info, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d", ErrDamaged, ref.ID[:8], len(usable), t)
-			}
-			in.Chunks = append(in.Chunks, selector.Chunk{ID: ref.ID, ShareSize: erasure.ShareSize(ref.Size, t), StoredOn: usable})
-			for _, u := range usable {
-				in.LinkBps[u] = c.bw.estimate(u)
-			}
-		}
-		a, err := c.sel.Select(in)
-		if err != nil {
-			return nil, info, err
-		}
-		for id, srcs := range a.Pick {
-			pick[id] = srcs
-			for _, src := range srcs {
-				c.obs.SelectorPick(src)
-			}
-		}
-	}
-
-	// Gather in parallel through one engine operation: shared failed set,
-	// bounded slots, first fatal error cancels the sibling gathers.
-	ids := make([]string, 0, len(uniqueRefs))
-	for id := range uniqueRefs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	op := c.engine.Begin(ctx)
-	defer op.Finish()
-	chunkData := make(map[string][]byte, len(uniqueRefs))
-	var mu sync.Mutex
-	op.Each(len(ids), func(k int) {
-		id := ids[k]
-		ref := uniqueRefs[id]
-		data, err := c.gatherChunk(op, name, ref, locsOf(ref), pick[id])
-		if err != nil {
-			op.Fail(err)
-			return
-		}
-		mu.Lock()
-		chunkData[id] = data
-		mu.Unlock()
-	})
-	if err := op.Err(); err != nil {
+	// The streaming fetch path does the planning, windowed gather, and
+	// in-order assembly; a range fetch neither migrates nor verifies the
+	// whole-file hash (only the requested chunks are transferred).
+	c.acctAdd(length)
+	defer c.acctSub(length)
+	buf := bytes.NewBuffer(make([]byte, 0, length))
+	if err := c.fetchTo(ctx, head, offset, length, buf, false); err != nil {
 		return nil, info, err
 	}
-
-	out := make([]byte, length)
-	for _, ref := range wanted {
-		data := chunkData[ref.ID]
-		// Overlap of [ref.Offset, ref.Offset+ref.Size) with the range.
-		lo := max64(ref.Offset, offset)
-		hi := min64(ref.Offset+ref.Size, offset+length)
-		copy(out[lo-offset:hi-offset], data[lo-ref.Offset:hi-ref.Offset])
-	}
-	return out, info, nil
+	return buf.Bytes(), info, nil
 }
 
 // Import pulls an object the user already stores at one provider (outside

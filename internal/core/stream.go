@@ -1,0 +1,516 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/erasure"
+	"repro/internal/metadata"
+	"repro/internal/selector"
+	"repro/internal/vclock"
+)
+
+// Streaming data plane (DESIGN.md §8): bounded-memory, pipelined Put/Get.
+//
+// PutReader and GetTo run a windowed pipeline over the chunk sequence: at
+// most Config.PipelineDepth chunks are resident at once, so client memory
+// is O(PipelineDepth × MaxSize × n/t) instead of O(file). The window
+// blocks only through vclock.Runtime groups — never raw channels — so the
+// identical code runs under netsim virtual time.
+
+// putPending is one new chunk in flight through the upload window: its
+// plaintext is held in a pooled buffer until the scatter joins.
+type putPending struct {
+	ref  metadata.ChunkRef
+	buf  *[]byte
+	g    vclock.Group
+	locs []metadata.ShareLoc
+	err  error
+	done atomic.Bool
+}
+
+// PutReader uploads a file from a stream — put(s, f) without materializing
+// f. Chunks are scanned incrementally (chunker.Scanner), hashed and
+// deduplicated in scan order, and new chunks are erasure-encoded and
+// scattered while the scanner is already working on the next chunk: chunk
+// k+1 flows through the codec pool while chunk k's shares are in flight on
+// the transfer engine. As with Put, the metadata record is uploaded only
+// after every share landed, so no other client can observe a version whose
+// shares are not fully stored.
+func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err error) {
+	if name == "" {
+		return fmt.Errorf("cyrus: empty file name")
+	}
+	opStart := c.rt.Now()
+	ctx, sp := c.obs.StartOp(ctx, "put")
+	defer func() { sp.End(err) }()
+	c.syncBestEffort(ctx)
+
+	// The parent version is resolved up front; whether the content is
+	// unchanged is only known once the stream has been consumed.
+	prevID, oldID := "", ""
+	oldLive := false
+	if head, _, herr := c.tree.Head(name); herr == nil {
+		prevID = head.VersionID()
+		oldID = head.File.ID
+		oldLive = !head.File.Deleted
+	}
+
+	t, n, err := c.shareParams()
+	if err != nil {
+		return err
+	}
+
+	meta := &metadata.FileMeta{
+		File: metadata.FileMap{
+			PrevID:   prevID,
+			ClientID: c.cfg.ClientID,
+			Name:     name,
+			Modified: c.rt.Now(),
+		},
+	}
+
+	// One transfer-engine operation spans the whole upload: shared failed
+	// set, first-fatal-error cancellation (exactly as Put).
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+
+	depth := c.cfg.PipelineDepth
+	sc := c.chunk.Scan(r)
+	// The scanner's ring buffer is data-plane memory too.
+	ringBytes := int64(c.chunk.Config().MaxSize)
+	c.acctAdd(ringBytes)
+	defer c.acctSub(ringBytes)
+
+	fileHash := metadata.NewHash()
+	var size int64
+	seenInFile := make(map[string]bool)
+	var window []*putPending // launched, not yet joined (≤ depth)
+	var newPend []*putPending
+	var firstErr error
+
+	// join waits for the oldest window entry and surfaces its error. The
+	// wait parks on a Runtime group, so netsim's virtual clock advances.
+	join := func(stallable bool) {
+		p := window[0]
+		window = window[1:]
+		if stallable && !p.done.Load() {
+			c.obs.PipelineStall("put")
+		}
+		p.g.Wait()
+		c.obs.PipelineInflight("put", len(window))
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
+		}
+	}
+
+	for firstErr == nil {
+		if oerr := op.Err(); oerr != nil {
+			firstErr = oerr
+			break
+		}
+		ch, serr := sc.Next()
+		if serr == io.EOF {
+			break
+		}
+		if serr != nil {
+			firstErr = fmt.Errorf("cyrus: reading %q: %w", name, serr)
+			op.Fail(firstErr)
+			break
+		}
+		size += int64(len(ch.Data))
+		fileHash.Write(ch.Data)
+
+		// Hash the chunk on the codec pool (bounded CPU slots, overlapping
+		// the scatters of earlier chunks).
+		var id string
+		_, hsp := c.obs.Trace(ctx, "chunk.hash")
+		c.codec.run("chunk", int64(len(ch.Data)), func() {
+			id = metadata.HashData(ch.Data)
+		})
+		hsp.End(nil)
+
+		// Deduplicate exactly as Put: chunks in the global table are
+		// referenced, not uploaded; repeats within the file upload once.
+		if info, ok := c.table.Lookup(id); ok {
+			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N}
+			meta.Chunks = append(meta.Chunks, ref)
+			if !seenInFile[id] {
+				for idx, cspName := range info.Shares {
+					meta.Shares = append(meta.Shares, metadata.ShareLoc{ChunkID: id, Index: idx, CSP: cspName})
+				}
+				seenInFile[id] = true
+			}
+			continue
+		}
+		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n}
+		meta.Chunks = append(meta.Chunks, ref)
+		if seenInFile[id] {
+			continue
+		}
+		seenInFile[id] = true
+
+		// Window admission: at most depth chunks resident. Joining the
+		// oldest here is what pipelines the stream — the scan of this
+		// chunk already overlapped the transfers of the previous ones.
+		for len(window) >= depth {
+			join(true)
+			if firstErr != nil {
+				break
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+
+		// Copy the scanner's window into a pooled buffer (the scanner
+		// reuses its ring on the next iteration) and scatter concurrently.
+		bp := erasure.GetDataBuf(len(ch.Data))
+		copy(*bp, ch.Data)
+		c.acctAdd(int64(len(ch.Data)))
+		p := &putPending{ref: ref, buf: bp, g: c.rt.NewGroup()}
+		p.g.Add(1)
+		newPend = append(newPend, p)
+		window = append(window, p)
+		c.obs.PipelineInflight("put", len(window))
+		c.rt.Go(func() {
+			defer p.g.Done()
+			locs, serr := c.scatterChunk(op, name, p.ref, *p.buf)
+			c.acctSub(int64(len(*p.buf)))
+			erasure.PutDataBuf(p.buf)
+			p.buf = nil
+			if serr != nil {
+				p.err = serr
+				op.Fail(serr)
+			} else {
+				p.locs = locs
+			}
+			p.done.Store(true)
+		})
+	}
+	// Drain: every launched scatter must join before we return (their
+	// closures reference the operation and pooled buffers).
+	for len(window) > 0 {
+		join(false)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := op.Err(); err != nil {
+		return err
+	}
+
+	fileID := metadata.HashSum(fileHash)
+	if oldLive && oldID == fileID {
+		// Unchanged content: no new version. Any chunks scattered above
+		// were content-addressed re-uploads of existing objects (idempotent).
+		return nil
+	}
+	meta.File.ID = fileID
+	meta.File.Size = size
+	for _, p := range newPend {
+		meta.Shares = append(meta.Shares, p.locs...)
+	}
+
+	if err := c.uploadMeta(op, meta); err != nil {
+		return err
+	}
+	if err := c.absorb(meta); err != nil {
+		return err
+	}
+	c.logf("stored version", "file", name, "version", meta.VersionID()[:8],
+		"bytes", size, "chunks", len(meta.Chunks), "newChunks", len(newPend))
+	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: size, Duration: c.rt.Now().Sub(opStart)})
+	return nil
+}
+
+// GetTo streams the current version of a file to w — get(s, f) without
+// materializing the file. Chunks are gathered through the same
+// PipelineDepth window (per-chunk hedging preserved) and delivered to w
+// strictly in file order, so the first byte reaches w while later chunks
+// are still in flight.
+//
+// On an error after delivery has started, a correct prefix of the file may
+// already have been written to w; callers writing to a final destination
+// should stage through a temporary file (as syncdir does).
+func (c *Client) GetTo(ctx context.Context, name string, w io.Writer) (_ FileInfo, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "get")
+	defer func() { sp.End(err) }()
+	c.syncBestEffort(ctx)
+	head, conflicted, err := c.tree.Head(name)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+	}
+	info := fileInfo(head, conflicted)
+	if head.File.Deleted {
+		return info, fmt.Errorf("%w: %q", ErrFileDeleted, name)
+	}
+	if err := c.fetchTo(ctx, head, 0, head.File.Size, w, true); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// GetVersionTo streams a specific version to w — get(s, f, v).
+func (c *Client) GetVersionTo(ctx context.Context, name, versionID string, w io.Writer) (_ FileInfo, err error) {
+	ctx, sp := c.obs.StartOp(ctx, "get")
+	defer func() { sp.End(err) }()
+	m, err := c.tree.Get(versionID)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if m.File.Name != name {
+		return FileInfo{}, fmt.Errorf("cyrus: version %s belongs to %q, not %q", versionID, m.File.Name, name)
+	}
+	info := fileInfo(m, false)
+	if m.File.Deleted {
+		return info, fmt.Errorf("%w: version %s", ErrFileDeleted, versionID)
+	}
+	if err := c.fetchTo(ctx, m, 0, m.File.Size, w, true); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// chunkState is the per-unique-chunk gather plan: all known share
+// locations plus the subset of providers currently serving downloads.
+type chunkState struct {
+	ref    metadata.ChunkRef
+	shares map[int]string // index -> csp, all known locations
+	usable []string       // CSPs serving downloads now
+}
+
+// planGather builds the gather plan for the given chunk occurrences: share
+// locations from the freshest source (global chunk table first, the
+// version's ShareMap as fallback) and the Algorithm-1 download-source
+// selection, grouped by T (dedup across configs can mix privacy levels).
+func (c *Client) planGather(m *metadata.FileMeta, wanted []metadata.ChunkRef) (map[string]*chunkState, map[string][]string, error) {
+	unique := make(map[string]*chunkState)
+	var order []string
+	for _, ref := range wanted {
+		if _, ok := unique[ref.ID]; ok {
+			continue
+		}
+		st := &chunkState{ref: ref, shares: make(map[int]string)}
+		if info, ok := c.table.Lookup(ref.ID); ok {
+			for idx, cspName := range info.Shares {
+				st.shares[idx] = cspName
+			}
+		} else {
+			for _, loc := range m.SharesOf(ref.ID) {
+				st.shares[loc.Index] = loc.CSP
+			}
+		}
+		seen := map[string]bool{}
+		for _, cspName := range st.shares {
+			if !seen[cspName] && c.readable(cspName) {
+				seen[cspName] = true
+				st.usable = append(st.usable, cspName)
+			}
+		}
+		sort.Strings(st.usable)
+		if len(st.usable) < st.ref.T {
+			return nil, nil, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d",
+				ErrDamaged, ref.ID[:8], len(st.usable), st.ref.T)
+		}
+		unique[ref.ID] = st
+		order = append(order, ref.ID)
+	}
+
+	byT := map[int][]*chunkState{}
+	for _, id := range order {
+		st := unique[id]
+		byT[st.ref.T] = append(byT[st.ref.T], st)
+	}
+	pick := make(map[string][]string)
+	for t, states := range byT {
+		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
+		for _, st := range states {
+			in.Chunks = append(in.Chunks, selector.Chunk{
+				ID:        st.ref.ID,
+				ShareSize: erasure.ShareSize(st.ref.Size, st.ref.T),
+				StoredOn:  st.usable,
+			})
+			for _, cspName := range st.usable {
+				in.LinkBps[cspName] = c.bw.estimate(cspName)
+			}
+		}
+		a, err := c.sel.Select(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cyrus: download selection: %w", err)
+		}
+		for id, sources := range a.Pick {
+			pick[id] = sources
+			for _, src := range sources {
+				c.obs.SelectorPick(src)
+			}
+		}
+	}
+	return unique, pick, nil
+}
+
+// gatherRes is one unique chunk's decoded plaintext in the download
+// window; uses counts the window entries (chunk occurrences) still
+// waiting to deliver it.
+type gatherRes struct {
+	g    vclock.Group
+	data []byte
+	err  error
+	done atomic.Bool
+	uses int
+}
+
+// fetchTo gathers the chunks of [offset, offset+length) of version m and
+// writes exactly those bytes to w, in order, holding at most PipelineDepth
+// decoded chunks at once. When full is set (whole-file fetches) it also
+// verifies the reassembled content hash, lazily migrates stale shares per
+// chunk while its plaintext is resident, and emits EvFileComplete —
+// matching the batch Get; range fetches (GetRange) do neither.
+func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, length int64, w io.Writer, full bool) error {
+	if length == 0 || len(m.Chunks) == 0 {
+		return nil
+	}
+	fetchStart := c.rt.Now()
+
+	// Chunk occurrences overlapping the byte range, in file order.
+	var wanted []metadata.ChunkRef
+	for _, ref := range m.Chunks {
+		if ref.Offset+ref.Size <= offset || ref.Offset >= offset+length {
+			continue
+		}
+		wanted = append(wanted, ref)
+	}
+	states, pick, err := c.planGather(m, wanted)
+	if err != nil {
+		return err
+	}
+
+	op := c.engine.Begin(ctx)
+	defer op.Finish()
+	// Every launched gather must join before fetchTo returns: the
+	// goroutines reference the operation, and op.Finish must not run with
+	// attempts still in flight.
+	var launched []*gatherRes
+	defer func() {
+		for _, res := range launched {
+			res.g.Wait()
+		}
+	}()
+
+	type occEntry struct {
+		ref metadata.ChunkRef
+		res *gatherRes
+	}
+	depth := c.cfg.PipelineDepth
+	live := make(map[string]*gatherRes) // chunk ID -> resident result
+	var window []occEntry
+	var fileHash = metadata.NewHash()
+	var firstErr error
+
+	// deliver pops the oldest window entry: joins its gather, writes the
+	// occurrence's byte range to w, and releases the chunk once its last
+	// in-window occurrence has been delivered.
+	deliver := func(stallable bool) {
+		e := window[0]
+		window = window[1:]
+		if stallable && !e.res.done.Load() {
+			c.obs.PipelineStall("get")
+		}
+		e.res.g.Wait()
+		if e.res.err != nil {
+			if firstErr == nil {
+				firstErr = e.res.err
+			}
+			return
+		}
+		if firstErr == nil {
+			lo := max64(e.ref.Offset, offset)
+			hi := min64(e.ref.Offset+e.ref.Size, offset+length)
+			seg := e.res.data[lo-e.ref.Offset : hi-e.ref.Offset]
+			_, dsp := c.obs.Trace(ctx, "chunk.deliver")
+			if full {
+				fileHash.Write(seg)
+			}
+			_, werr := w.Write(seg)
+			dsp.End(werr)
+			if werr != nil {
+				firstErr = fmt.Errorf("cyrus: writing %q: %w", m.File.Name, werr)
+				op.Fail(firstErr)
+			}
+		}
+		e.res.uses--
+		if e.res.uses == 0 {
+			delete(live, e.ref.ID)
+			if full && firstErr == nil {
+				// Lazy migration (paper §5.5) per chunk, while its
+				// plaintext is resident in the window anyway.
+				st := states[e.ref.ID]
+				c.migrateStaleShares(ctx, m.File.Name,
+					map[string]metadata.ChunkRef{e.ref.ID: st.ref},
+					map[string]map[int]string{e.ref.ID: st.shares},
+					map[string][]byte{e.ref.ID: e.res.data})
+			}
+			c.acctSub(int64(len(e.res.data)))
+			e.res.data = nil
+		}
+		c.obs.PipelineInflight("get", len(live))
+	}
+
+	for _, ref := range wanted {
+		if firstErr != nil {
+			break
+		}
+		res := live[ref.ID]
+		if res == nil {
+			// Admission: at most depth decoded chunks resident.
+			for len(live) >= depth && firstErr == nil {
+				deliver(true)
+			}
+			if firstErr != nil {
+				break
+			}
+			st := states[ref.ID]
+			res = &gatherRes{g: c.rt.NewGroup()}
+			res.g.Add(1)
+			live[ref.ID] = res
+			launched = append(launched, res)
+			c.obs.PipelineInflight("get", len(live))
+			c.rt.Go(func() {
+				defer res.g.Done()
+				data, gerr := c.gatherChunk(op, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
+				if gerr != nil {
+					res.err = gerr
+					op.Fail(gerr)
+				} else {
+					res.data = data
+					c.acctAdd(int64(len(data)))
+				}
+				res.done.Store(true)
+			})
+		}
+		res.uses++
+		window = append(window, occEntry{ref: ref, res: res})
+	}
+	for len(window) > 0 {
+		deliver(false)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := op.Err(); err != nil {
+		return err
+	}
+	if full {
+		if got := metadata.HashSum(fileHash); got != m.File.ID {
+			// The mismatching bytes have already been streamed to w — the
+			// error tells the caller to discard them.
+			return fmt.Errorf("%w: file %q reassembled to %s, metadata says %s",
+				ErrDamaged, m.File.Name, got[:8], m.File.ID[:8])
+		}
+		c.events.emit(Event{Type: EvFileComplete, File: m.File.Name, Bytes: m.File.Size, Duration: c.rt.Now().Sub(fetchStart)})
+	}
+	return nil
+}

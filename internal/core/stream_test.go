@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chunker"
+	"repro/internal/erasure"
+	"repro/internal/vclock"
+)
+
+// fixedNow is a real runtime with a pinned clock, so two universes produce
+// byte-identical metadata records (Modified is part of the serialized
+// record, though not of the version identity).
+type fixedNow struct {
+	vclock.Runtime
+	at time.Time
+}
+
+func (f fixedNow) Now() time.Time { return f.at }
+
+// stutterReader serves data through a cycle of awkward fragment sizes so
+// the scanner's fill loop sees short reads, huge reads, and 1-byte reads.
+type stutterReader struct {
+	data  []byte
+	sizes []int
+	i     int
+	off   int
+}
+
+func (r *stutterReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	want := r.sizes[r.i%len(r.sizes)]
+	r.i++
+	if want > len(p) {
+		want = len(p)
+	}
+	n := copy(p[:want], r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// goldenChunking gives the 64 MiB golden input about a thousand chunks.
+var goldenChunking = chunker.Config{AverageSize: 64 * 1024, MinSize: 16 * 1024, MaxSize: 256 * 1024, Window: 48}
+
+// TestStreamingGoldenEquivalence is the acceptance pin for the streaming
+// data plane: for a seeded 64 MiB input, PutReader (fed through ragged
+// reader fragments) in one universe and batch Put in an identical second
+// universe must leave byte-for-byte identical provider state — same object
+// names, same share bytes, same metadata records — and GetTo, Get, and
+// GetRange must all reproduce the input exactly.
+func TestStreamingGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 MiB golden input")
+	}
+	t.Parallel()
+	const size = 64 << 20
+	data := randData(42, size)
+	pinned := fixedNow{vclock.Real(), time.Date(2015, 4, 21, 12, 0, 0, 0, time.UTC)}
+	tweak := func(cfg *Config) {
+		cfg.Chunking = goldenChunking
+		cfg.Runtime = pinned
+	}
+
+	envStream := newEnv(t, 5)
+	envBatch := newEnv(t, 5)
+	cs := envStream.client("alice", tweak)
+	cb := envBatch.client("alice", tweak)
+
+	r := &stutterReader{data: data, sizes: []int{65537, 13, 1 << 20, 4097, 255, 1}}
+	if err := cs.PutReader(bg, "golden/big.bin", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Put(bg, "golden/big.bin", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical stored state, provider by provider, object by object: this
+	// covers shares (same cut points, same codewords) and metadata records
+	// (same version identity, chunk tables, and share maps).
+	for _, name := range envStream.names {
+		sNames := envStream.backends[name].ObjectNames("")
+		bNames := envBatch.backends[name].ObjectNames("")
+		if len(sNames) != len(bNames) {
+			t.Fatalf("%s: %d objects streamed vs %d batch", name, len(sNames), len(bNames))
+		}
+		for i, obj := range sNames {
+			if obj != bNames[i] {
+				t.Fatalf("%s: object %d: %q vs %q", name, i, obj, bNames[i])
+			}
+			sData, _ := envStream.backends[name].PeekObject(obj)
+			bData, _ := envBatch.backends[name].PeekObject(obj)
+			if !bytes.Equal(sData, bData) {
+				t.Fatalf("%s: object %q differs between streamed and batch upload", name, obj)
+			}
+		}
+	}
+
+	// Read-back equivalence through both planes.
+	var streamed bytes.Buffer
+	streamed.Grow(size)
+	info, err := cs.GetTo(bg, "golden/big.bin", &streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != size {
+		t.Fatalf("GetTo info.Size = %d, want %d", info.Size, size)
+	}
+	if !bytes.Equal(streamed.Bytes(), data) {
+		t.Fatal("GetTo bytes differ from input")
+	}
+	got, _, err := cb.Get(bg, "golden/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("batch Get bytes differ from input")
+	}
+	// A mid-file range through the windowed fetch path.
+	const off, ln = size/2 - 12345, 777_777
+	part, _, err := cs.GetRange(bg, "golden/big.bin", off, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, data[off:off+ln]) {
+		t.Fatal("GetRange bytes differ from input slice")
+	}
+}
+
+// TestPutReaderMemoryBounded pins the window invariant: streaming a file
+// many times larger than the window keeps the accounted data-plane memory
+// at O(PipelineDepth × MaxSize), not O(file).
+func TestPutReaderMemoryBounded(t *testing.T) {
+	env := newEnv(t, 5)
+	const depth = 2
+	c := env.client("alice", func(cfg *Config) { cfg.PipelineDepth = depth })
+	// Default test chunking: MaxSize 4096. 2 MiB => ~2k chunks.
+	const size = 2 << 20
+	data := randData(3, size)
+
+	c.ResetBufferPeak()
+	if err := c.PutReader(bg, "stream/mem.bin", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	cur, peak := c.BufferBytes()
+	if cur != 0 {
+		t.Fatalf("accounted bytes after PutReader = %d, want 0", cur)
+	}
+	maxChunk := int64(4096)
+	// Window chunks + the scanner ring + one chunk being admitted.
+	bound := (depth + 2) * maxChunk
+	if peak > bound {
+		t.Fatalf("PutReader peak accounted bytes = %d, want <= %d (window bound)", peak, bound)
+	}
+	if peak*8 > size {
+		t.Fatalf("PutReader peak %d not far below file size %d", peak, size)
+	}
+
+	c.ResetBufferPeak()
+	if _, err := c.GetTo(bg, "stream/mem.bin", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	cur, peak = c.BufferBytes()
+	if cur != 0 {
+		t.Fatalf("accounted bytes after GetTo = %d, want 0", cur)
+	}
+	if peak > bound {
+		t.Fatalf("GetTo peak accounted bytes = %d, want <= %d (window bound)", peak, bound)
+	}
+
+	// The batch wrappers account the whole-file buffer: their peak is the
+	// contrast the streaming experiment measures.
+	c.ResetBufferPeak()
+	gotAll, _, err := c.Get(bg, "stream/mem.bin")
+	if err != nil || !bytes.Equal(gotAll, data) {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, peak = c.BufferBytes(); peak < size {
+		t.Fatalf("batch Get peak %d, want >= file size %d", peak, size)
+	}
+}
+
+// TestStreamingFaultInjectionReleasesBuffers hammers the streaming paths
+// with injected provider faults and pins two invariants: the erasure pool's
+// live-buffer counter returns to its baseline (no silent pool growth on
+// error paths) and the client's accounted data-plane bytes drain to zero.
+// Not parallel: the live-buffer counter is process-global.
+func TestStreamingFaultInjectionReleasesBuffers(t *testing.T) {
+	env := newEnv(t, 5)
+	c := env.client("alice", func(cfg *Config) { cfg.PipelineDepth = 3 })
+	rng := rand.New(rand.NewSource(99))
+	base := erasure.LiveBuffers()
+
+	for round := 0; round < 25; round++ {
+		name := fmt.Sprintf("chaos/f%d", round%6)
+		data := randData(int64(round), 8_000+rng.Intn(30_000))
+
+		// Fault mix: transient failures, and sometimes a provider fully down
+		// for the round.
+		env.backends[env.names[rng.Intn(len(env.names))]].FailNext(1 + rng.Intn(3))
+		var down string
+		if round%4 == 3 {
+			down = env.names[rng.Intn(len(env.names))]
+			env.backends[down].SetAvailable(false)
+		}
+
+		// Both ops may fail — that is the point; they must not leak.
+		_ = c.PutReader(bg, name, bytes.NewReader(data))
+		_, _ = c.GetTo(bg, name, io.Discard)
+
+		if down != "" {
+			env.backends[down].SetAvailable(true)
+		}
+	}
+	// Clear any pending fault injections and verify a clean pass still works.
+	for _, n := range env.names {
+		env.backends[n].FailNext(0)
+		env.backends[n].SetAvailable(true)
+	}
+	data := randData(1234, 20_000)
+	if err := c.PutReader(bg, "chaos/final", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := c.GetTo(bg, "chaos/final", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("post-chaos round trip mismatch")
+	}
+
+	if got := erasure.LiveBuffers(); got != base {
+		t.Fatalf("live pooled buffers = %d, want %d (pool grew under fault injection)", got, base)
+	}
+	if cur, _ := c.BufferBytes(); cur != 0 {
+		t.Fatalf("accounted data-plane bytes = %d, want 0", cur)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -11,143 +12,14 @@ import (
 	"repro/internal/transfer"
 )
 
-// Put uploads a file — put(s, f), Algorithm 2.
-//
-// The metadata tree is synced so the new version chains onto the correct
-// parent; the file is chunked; chunks already in the cloud are deduplicated
-// against the global chunk table; new chunks are (t, n)-encoded and their
-// shares scattered in parallel to CSPs picked by consistent hashing under
-// the platform-cluster constraint. Only after every share upload returns is
-// the metadata record itself uploaded, so no other client can observe a
-// version whose shares are not fully stored.
-func (c *Client) Put(ctx context.Context, name string, data []byte) (err error) {
-	if name == "" {
-		return fmt.Errorf("cyrus: empty file name")
-	}
-	opStart := c.rt.Now()
-	ctx, sp := c.obs.StartOp(ctx, "put")
-	defer func() { sp.End(err) }()
-	// Step 1-2: refresh the tree, find the parent version. Sync failures
-	// are tolerated — conflicts, if any, are detected after the fact.
-	c.syncBestEffort(ctx)
-
-	fileID := metadata.HashData(data)
-	prevID := ""
-	if head, _, err := c.tree.Head(name); err == nil {
-		if !head.File.Deleted && head.File.ID == fileID {
-			return nil // unchanged content: no new version
-		}
-		prevID = head.VersionID()
-	}
-
-	// Step 3: content-defined chunking, then chunk hashing on the codec
-	// pool — one job per chunk, so hashing a large file saturates the
-	// cores instead of a single Put goroutine.
-	chunks := c.chunk.Split(data)
-	ids := make([]string, len(chunks))
-	g := c.rt.NewGroup()
-	for k := range chunks {
-		k := k
-		g.Add(1)
-		c.rt.Go(func() {
-			defer g.Done()
-			c.codec.run("chunk", int64(len(chunks[k].Data)), func() {
-				ids[k] = metadata.HashData(chunks[k].Data)
-			})
-		})
-	}
-	g.Wait()
-
-	t, n, err := c.shareParams()
-	if err != nil {
-		return err
-	}
-
-	meta := &metadata.FileMeta{
-		File: metadata.FileMap{
-			ID:       fileID,
-			PrevID:   prevID,
-			ClientID: c.cfg.ClientID,
-			Name:     name,
-			Modified: c.rt.Now(),
-			Size:     int64(len(data)),
-		},
-	}
-
-	// Steps 4-5: deduplicate and scatter. Unique new chunks upload in
-	// parallel; chunks already stored (by any client) are referenced.
-	type job struct {
-		ref  metadata.ChunkRef
-		data []byte
-	}
-	var jobs []job
-	seenInFile := make(map[string]bool)
-	for ci, ch := range chunks {
-		id := ids[ci]
-		if info, ok := c.table.Lookup(id); ok {
-			// Stored in the cloud: reuse its parameters and locations.
-			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N}
-			meta.Chunks = append(meta.Chunks, ref)
-			if !seenInFile[id] {
-				for idx, cspName := range info.Shares {
-					meta.Shares = append(meta.Shares, metadata.ShareLoc{ChunkID: id, Index: idx, CSP: cspName})
-				}
-				seenInFile[id] = true
-			}
-			continue
-		}
-		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n}
-		meta.Chunks = append(meta.Chunks, ref)
-		if seenInFile[id] {
-			continue // duplicate chunk within this very file: upload once
-		}
-		seenInFile[id] = true
-		jobs = append(jobs, job{ref: ref, data: ch.Data})
-	}
-
-	// One transfer-engine operation spans the whole Put: the chunk
-	// fan-out shares a failed-provider set, and the first fatal chunk
-	// error cancels the operation context so sibling scatters stop
-	// instead of finishing doomed uploads.
-	op := c.engine.Begin(ctx)
-	defer op.Finish()
-
-	var mu sync.Mutex
-	locsByChunk := make(map[string][]metadata.ShareLoc, len(jobs))
-	op.Each(len(jobs), func(k int) {
-		j := jobs[k]
-		locs, err := c.scatterChunk(op, name, j.ref, j.data)
-		if err != nil {
-			op.Fail(err)
-			return
-		}
-		mu.Lock()
-		locsByChunk[j.ref.ID] = locs
-		mu.Unlock()
-	})
-	if err := op.Err(); err != nil {
-		return err
-	}
-	for _, j := range jobs {
-		meta.Shares = append(meta.Shares, locsByChunk[j.ref.ID]...)
-	}
-
-	// Step 6 (Algorithm 2 line 10): metadata goes up only after all chunk
-	// uploads completed. The metadata scatter reuses the operation's
-	// failed set — a provider that just rejected chunk shares is not
-	// re-probed for its metadata share — but runs under its own quorum
-	// rule, so it must not inherit a cancelled context (none is: a failed
-	// chunk already returned above).
-	if err := c.uploadMeta(op, meta); err != nil {
-		return err
-	}
-	if err := c.absorb(meta); err != nil {
-		return err
-	}
-	c.logf("stored version", "file", name, "version", meta.VersionID()[:8],
-		"bytes", len(data), "chunks", len(meta.Chunks), "newChunks", len(jobs))
-	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: int64(len(data)), Duration: c.rt.Now().Sub(opStart)})
-	return nil
+// Put uploads a file — put(s, f), Algorithm 2. It is the batch wrapper
+// over PutReader: the whole-file buffer is accounted as resident for its
+// duration (the streaming path accounts only its PipelineDepth window,
+// which is what the memory experiment compares).
+func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+	c.acctAdd(int64(len(data)))
+	defer c.acctSub(int64(len(data)))
+	return c.PutReader(ctx, name, bytes.NewReader(data))
 }
 
 // scatterChunk encodes one chunk and uploads its n shares to n distinct

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"time"
 )
@@ -63,6 +64,48 @@ type Store interface {
 	Download(ctx context.Context, name string) ([]byte, error)
 	// Delete removes the object (all duplicates of the name).
 	Delete(ctx context.Context, name string) error
+}
+
+// StreamUploader is an optional Store capability: Upload with the body
+// drawn incrementally from r, so neither side must buffer the whole
+// object. Implementations must be atomic — when r returns an error the
+// partial object must never become visible to List or Download.
+type StreamUploader interface {
+	UploadFrom(ctx context.Context, name string, r io.Reader) (int64, error)
+}
+
+// StreamDownloader is an optional Store capability: Download with the
+// object bytes written incrementally to w. On error, a prefix of the
+// object may already have been written.
+type StreamDownloader interface {
+	DownloadTo(ctx context.Context, name string, w io.Writer) (int64, error)
+}
+
+// UploadFrom streams r into the store, using its StreamUploader fast path
+// when present and buffering through memory otherwise.
+func UploadFrom(ctx context.Context, s Store, name string, r io.Reader) (int64, error) {
+	if su, ok := s.(StreamUploader); ok {
+		return su.UploadFrom(ctx, name, r)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return int64(len(data)), err
+	}
+	return int64(len(data)), s.Upload(ctx, name, data)
+}
+
+// DownloadTo streams the object into w, using the store's StreamDownloader
+// fast path when present and buffering through memory otherwise.
+func DownloadTo(ctx context.Context, s Store, name string, w io.Writer) (int64, error) {
+	if sd, ok := s.(StreamDownloader); ok {
+		return sd.DownloadTo(ctx, name, w)
+	}
+	data, err := s.Download(ctx, name)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
 }
 
 // AuthKind is a provider's authentication mechanism (Table 2).

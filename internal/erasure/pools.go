@@ -3,6 +3,7 @@ package erasure
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/gf256"
 )
@@ -20,9 +21,20 @@ import (
 // across coders: buffers carry no key-derived state.
 var shareBufPool sync.Pool
 
+// liveBufs counts pool-managed buffers currently checked out (share buffers
+// plus data buffers). A steady-state client returns to its baseline after
+// every operation — including failed ones — so tests can pin "the pool does
+// not silently grow under fault injection" to this number.
+var liveBufs atomic.Int64
+
+// LiveBuffers reports the number of pooled buffers currently checked out
+// and not yet released. Exposed for leak regression tests.
+func LiveBuffers() int64 { return liveBufs.Load() }
+
 // getShareBuf returns a pooled buffer of length n, allocating only when the
 // pool is empty or its buffer is too small.
 func getShareBuf(n int) *[]byte {
+	liveBufs.Add(1)
 	if v := shareBufPool.Get(); v != nil {
 		bp := v.(*[]byte)
 		if cap(*bp) >= n {
@@ -32,6 +44,37 @@ func getShareBuf(n int) *[]byte {
 	}
 	b := make([]byte, n)
 	return &b
+}
+
+// dataBufPool recycles plaintext chunk buffers for the streaming pipeline:
+// a windowed PutReader copies each scanned chunk out of the scanner's ring
+// into one of these so encoding can overlap the next scan.
+var dataBufPool sync.Pool
+
+// GetDataBuf returns a pooled plaintext buffer of length n. Same ownership
+// contract as share buffers: pass it back to PutDataBuf when done, never
+// touch the slice afterwards; forgetting costs garbage, not correctness.
+func GetDataBuf(n int) *[]byte {
+	liveBufs.Add(1)
+	if v := dataBufPool.Get(); v != nil {
+		bp := v.(*[]byte)
+		if cap(*bp) >= n {
+			*bp = (*bp)[:n]
+			return bp
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+// PutDataBuf returns a buffer obtained from GetDataBuf to the pool. Safe to
+// call with nil (no-op).
+func PutDataBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	liveBufs.Add(-1)
+	dataBufPool.Put(bp)
 }
 
 // encodeScratch holds the per-call slice headers EncodeTo needs: the payload

@@ -102,6 +102,13 @@ type Options struct {
 	// Put, two share objects of its first chunk are silently removed from
 	// the providers' durable state. The durability invariant must flag it.
 	BreakDurability bool
+
+	// Streaming routes the workload's Puts and Gets through the streaming
+	// pipeline (PutReader fed via ragged reader fragments, GetTo into a
+	// buffer) instead of the whole-buffer wrappers. The durability and
+	// read-guarantee oracles are unchanged: both planes must satisfy the
+	// same invariants under the same faults.
+	Streaming bool
 }
 
 func (o Options) withDefaults() Options {

@@ -198,6 +198,26 @@ func TestScenarios(t *testing.T) {
 				},
 			},
 		},
+		{
+			// Streaming Put/Get chaos: the windowed pipeline under a crawling
+			// link and a CSP killed mid-run, so in-flight streams must fail
+			// over or abort cleanly. Larger files give each stream many
+			// chunks, landing the faults mid-stream; the oracles are the same
+			// as the batch plane's.
+			name: "streaming-slow-link-crash",
+			opts: Options{
+				Virtual:   true,
+				Streaming: true,
+				Ops:       90,
+				MaxBytes:  24 * 1024,
+				Schedule: Schedule{
+					{At: 15, Act: SlowLink, CSP: "cspb", Factor: 0.05},
+					{At: 40, Act: Crash, CSP: "cspd"},
+					{At: 55, Act: RestoreLink, CSP: "cspb"},
+					{At: 70, Act: Restart, CSP: "cspd"},
+				},
+			},
+		},
 	}
 	for i, sc := range scenarios {
 		sc := sc

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/metadata"
@@ -51,7 +53,15 @@ func (h *Harness) doPut(ctx context.Context, c *core.Client, name string) {
 	} else {
 		data = h.randBytes(1 + h.rng.Intn(h.opts.MaxBytes))
 	}
-	if err := c.Put(ctx, name, data); err != nil {
+	var err error
+	if h.opts.Streaming {
+		// Feed the scanner through ragged fragments so the pipeline's fill
+		// loop sees short reads mid-chunk, not one tidy buffer.
+		err = c.PutReader(ctx, name, &raggedReader{data: data, rng: h.rng})
+	} else {
+		err = c.Put(ctx, name, data)
+	}
+	if err != nil {
 		h.failedPuts = append(h.failedPuts, data)
 		h.report.FailedPuts++
 		return
@@ -70,6 +80,29 @@ func (h *Harness) doPut(ctx context.Context, c *core.Client, name string) {
 		h.sabotaged = true
 		h.sabotage(data)
 	}
+}
+
+// raggedReader serves its data in PRNG-sized fragments (1..512 bytes) so a
+// streamed Put exercises the scanner's partial-fill path. Reads happen on
+// the workload goroutine inside PutReader, so sharing the harness PRNG is
+// safe and keeps the run reproducible.
+type raggedReader struct {
+	data []byte
+	rng  *rand.Rand
+	off  int
+}
+
+func (r *raggedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	want := 1 + r.rng.Intn(512)
+	if want > len(p) {
+		want = len(p)
+	}
+	n := copy(p[:want], r.data[r.off:])
+	r.off += n
+	return n, nil
 }
 
 // findVersion locates the version node serving the given content for the
@@ -95,7 +128,18 @@ func (h *Harness) findVersion(c *core.Client, name, contentID string) string {
 // successful Get must return exactly the bytes of some acknowledged write
 // of that file — never a torn, corrupted, or phantom version.
 func (h *Harness) doGet(ctx context.Context, c *core.Client, name string, i int) {
-	got, info, err := c.Get(ctx, name)
+	var (
+		got  []byte
+		info core.FileInfo
+		err  error
+	)
+	if h.opts.Streaming {
+		var buf bytes.Buffer
+		info, err = c.GetTo(ctx, name, &buf)
+		got = buf.Bytes()
+	} else {
+		got, info, err = c.Get(ctx, name)
+	}
 	if err != nil {
 		return
 	}

@@ -18,6 +18,7 @@ import (
 	"crypto/sha1"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"time"
 )
 
@@ -130,3 +131,11 @@ func HashData(data []byte) string {
 	sum := sha1.Sum(data)
 	return hex.EncodeToString(sum[:])
 }
+
+// NewHash returns an incremental hasher producing the same digest as
+// HashData, for callers that stream content instead of buffering it; read
+// the result with HashSum.
+func NewHash() hash.Hash { return sha1.New() }
+
+// HashSum finishes an incremental NewHash digest in HashData's hex form.
+func HashSum(h hash.Hash) string { return hex.EncodeToString(h.Sum(nil)) }

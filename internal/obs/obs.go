@@ -53,6 +53,12 @@ type Observer struct {
 	codecDecode *CounterVec
 	codecChunk  *CounterVec
 	codecBusy   *GaugeVec
+
+	// Streaming-pipeline instrument families (core's windowed Put/Get).
+	pipeInflight *GaugeVec
+	pipeStalls   *CounterVec
+	pipeBufBytes *GaugeVec
+	pipeBufPeak  *GaugeVec
 }
 
 // NewObserver builds an Observer with a fresh registry, scoreboard, and
@@ -86,6 +92,11 @@ func NewObserver() *Observer {
 		codecDecode: reg.Counter(MetricCodecDecodeBytes, "Chunk bytes erasure-decoded by the codec pool."),
 		codecChunk:  reg.Counter(MetricCodecChunkBytes, "File bytes chunk-hashed by the codec pool."),
 		codecBusy:   reg.Gauge(MetricCodecBusy, "Codec-pool workers currently running a CPU job."),
+
+		pipeInflight: reg.Gauge(MetricPipelineInflight, "Chunks resident in the streaming Put/Get window by direction.", "dir"),
+		pipeStalls:   reg.Counter(MetricPipelineStalls, "Times the streaming pipeline blocked on a full window by direction.", "dir"),
+		pipeBufBytes: reg.Gauge(MetricPipelineBufferBytes, "Accounted data-plane payload bytes currently resident."),
+		pipeBufPeak:  reg.Gauge(MetricPipelineBufferPeak, "High-water accounted data-plane payload bytes."),
 	}
 	return o
 }
@@ -276,6 +287,34 @@ func (o *Observer) CodecBusy(n int) {
 		return
 	}
 	o.codecBusy.With().Set(float64(n))
+}
+
+// PipelineInflight records how many chunks the streaming pipeline currently
+// holds resident for one direction ("put" or "get"). Nil-safe.
+func (o *Observer) PipelineInflight(dir string, n int) {
+	if o == nil || dir == "" {
+		return
+	}
+	o.pipeInflight.With(dir).Set(float64(n))
+}
+
+// PipelineStall counts one scan/write-loop block on a full pipeline window
+// for the given direction. Nil-safe.
+func (o *Observer) PipelineStall(dir string) {
+	if o == nil || dir == "" {
+		return
+	}
+	o.pipeStalls.With(dir).Inc()
+}
+
+// PipelineBufferBytes records the accounted data-plane payload bytes
+// currently resident and the run's high-water mark. Nil-safe.
+func (o *Observer) PipelineBufferBytes(cur, peak int64) {
+	if o == nil {
+		return
+	}
+	o.pipeBufBytes.With().Set(float64(cur))
+	o.pipeBufPeak.With().Set(float64(peak))
 }
 
 // SelectorPick counts one chunk-download source decision per chosen csp,

@@ -53,6 +53,12 @@ const (
 	MetricCodecDecodeBytes = "cyrus_codec_decode_bytes_total"
 	MetricCodecChunkBytes  = "cyrus_codec_chunk_bytes_total"
 	MetricCodecBusy        = "cyrus_codec_busy"
+
+	// Streaming-pipeline instrumentation (core's windowed Put/Get path).
+	MetricPipelineInflight    = "cyrus_pipeline_inflight_chunks"
+	MetricPipelineStalls      = "cyrus_pipeline_stalls_total"
+	MetricPipelineBufferBytes = "cyrus_pipeline_buffer_bytes"
+	MetricPipelineBufferPeak  = "cyrus_pipeline_buffer_peak_bytes"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.

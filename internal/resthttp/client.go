@@ -138,6 +138,22 @@ func (s *Store) Upload(ctx context.Context, name string, data []byte) error {
 	return nil
 }
 
+// UploadFrom implements csp.StreamUploader: the request body is drawn from
+// r (chunked transfer encoding), so neither the connector nor the server
+// buffers the whole object.
+func (s *Store) UploadFrom(ctx context.Context, name string, r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	resp, err := s.do(ctx, http.MethodPut, "/v1/objects/"+url.PathEscape(name), cr)
+	if err != nil {
+		return cr.n, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return cr.n, s.mapStatus(resp)
+	}
+	resp.Body.Close()
+	return cr.n, nil
+}
+
 // Download implements csp.Store.
 func (s *Store) Download(ctx context.Context, name string) ([]byte, error) {
 	resp, err := s.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(name), nil)
@@ -155,6 +171,36 @@ func (s *Store) Download(ctx context.Context, name string) ([]byte, error) {
 	return data, nil
 }
 
+// DownloadTo implements csp.StreamDownloader: the response body is copied
+// straight to w.
+func (s *Store) DownloadTo(ctx context.Context, name string, w io.Writer) (int64, error) {
+	resp, err := s.do(ctx, http.MethodGet, "/v1/objects/"+url.PathEscape(name), nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, s.mapStatus(resp)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("%w: %s: %v", csp.ErrUnavailable, s.name, err)
+	}
+	return n, nil
+}
+
+// countingReader reports how many bytes a streamed upload consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Delete implements csp.Store.
 func (s *Store) Delete(ctx context.Context, name string) error {
 	resp, err := s.do(ctx, http.MethodDelete, "/v1/objects/"+url.PathEscape(name), nil)
@@ -168,4 +214,8 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 	return nil
 }
 
-var _ csp.Store = (*Store)(nil)
+var (
+	_ csp.Store            = (*Store)(nil)
+	_ csp.StreamUploader   = (*Store)(nil)
+	_ csp.StreamDownloader = (*Store)(nil)
+)

@@ -48,8 +48,8 @@ type objectInfoJSON struct {
 
 // Server serves one provider. Create with NewServer and mount its Handler.
 type Server struct {
-	backend *cloudsim.Backend
-	store   *cloudsim.SimStore // authenticated pass-through to the backend
+	backend *cloudsim.Backend // nil when serving a non-simulated store
+	store   csp.Store         // authenticated pass-through to the provider
 	token   string
 	admin   bool
 	obs     *obs.Observer // nil = observability endpoints disabled
@@ -66,6 +66,22 @@ func NewServer(backend *cloudsim.Backend, token string, admin bool) (*Server, er
 		return nil, err
 	}
 	return &Server{backend: backend, store: s, token: token, admin: admin}, nil
+}
+
+// NewStoreServer serves an arbitrary csp.Store — e.g. a directory-backed
+// DirStore for a durable single-machine provider. Stores implementing the
+// streaming capabilities (csp.StreamUploader / csp.StreamDownloader) get
+// object bodies piped end to end without whole-object buffering. The
+// fault-injection admin endpoints need a simulated backend and are not
+// available.
+func NewStoreServer(store csp.Store, token string) (*Server, error) {
+	if token == "" {
+		return nil, errors.New("resthttp: empty token")
+	}
+	if err := store.Authenticate(context.Background(), csp.Credentials{Token: token}); err != nil {
+		return nil, err
+	}
+	return &Server{store: store, token: token}, nil
 }
 
 // SetObserver attaches an observability layer: /metrics (Prometheus text),
@@ -138,6 +154,43 @@ func routeLabel(path string) string {
 	default:
 		return "other"
 	}
+}
+
+// errTooLarge aborts a streamed upload that exceeds maxObjectBytes.
+var errTooLarge = errors.New("resthttp: object exceeds size limit")
+
+// cappedReader is the streaming form of the per-object LimitReader guard:
+// it returns errTooLarge instead of io.EOF once the cap is consumed, so a
+// too-large body fails the upload rather than committing a truncated
+// object.
+type cappedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, errTooLarge
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// countingWriter tracks whether any response bytes were written, to decide
+// if an error status can still be sent.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // statusWriter records the status code written by a handler.
@@ -221,6 +274,20 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
+		if sd, ok := s.store.(csp.StreamDownloader); ok {
+			// Stream the body: the store pipes object bytes straight to the
+			// response (chunked transfer; length is unknown up front). An
+			// error after the first byte can only abort the connection.
+			w.Header().Set("Content-Type", "application/octet-stream")
+			cw := &countingWriter{w: w}
+			if _, err := sd.DownloadTo(r.Context(), name, cw); err != nil {
+				if cw.n == 0 {
+					writeErr(w, err)
+				}
+				return
+			}
+			return
+		}
 		data, err := s.store.Download(r.Context(), name)
 		if err != nil {
 			writeErr(w, err)
@@ -230,6 +297,22 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 		_, _ = w.Write(data)
 	case http.MethodPut:
+		if su, ok := s.store.(csp.StreamUploader); ok {
+			// Stream the body into the store; the byte-limit guard errors
+			// (rather than silently truncating) past the cap, which aborts
+			// the store's atomic write — no torn or clipped object lands.
+			_, err := su.UploadFrom(r.Context(), name, &cappedReader{r: r.Body, left: maxObjectBytes + 1})
+			switch {
+			case errors.Is(err, errTooLarge):
+				http.Error(w, "object too large", http.StatusRequestEntityTooLarge)
+				return
+			case err != nil:
+				writeErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			return
+		}
 		data, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes+1))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -173,25 +174,33 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 	}
 	present := map[string]bool{}
 
-	// 1. Push local creations and edits.
+	// 1. Push local creations and edits. Hashing and uploading both stream
+	// the file, so sync memory stays bounded by the pipeline window even
+	// for huge files.
 	for _, lf := range locals {
 		present[lf.rel] = true
 		known := s.idx.Files[lf.rel]
 		if known != nil && known.Size == lf.size && known.Modified.Equal(lf.mod) {
 			continue // unchanged by cheap check
 		}
-		data, err := os.ReadFile(filepath.Join(s.root, filepath.FromSlash(lf.rel)))
+		path := filepath.Join(s.root, filepath.FromSlash(lf.rel))
+		hash, err := hashFile(path)
 		if err != nil {
 			return actions, err
 		}
-		hash := metadata.HashData(data)
 		if known != nil && known.Hash == hash {
 			// Touched but identical: refresh the index only.
 			known.Modified = lf.mod
 			known.Size = lf.size
 			continue
 		}
-		if err := s.client.Put(ctx, lf.rel, data); err != nil {
+		f, err := os.Open(path)
+		if err != nil {
+			return actions, err
+		}
+		err = s.client.PutReader(ctx, lf.rel, f)
+		f.Close()
+		if err != nil {
 			return actions, fmt.Errorf("syncdir: upload %s: %w", lf.rel, err)
 		}
 		st, err := s.client.Stat(ctx, lf.rel)
@@ -226,19 +235,18 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 		if known != nil && known.VersionID == fi.VersionID {
 			continue // up to date
 		}
-		data, info, err := s.client.Get(ctx, fi.Name)
+		hash, info, err := s.downloadLocal(fi.Name, func(w io.Writer) (core.FileInfo, error) {
+			return s.client.GetTo(ctx, fi.Name, w)
+		})
 		if err != nil {
 			return actions, fmt.Errorf("syncdir: download %s: %w", fi.Name, err)
-		}
-		if err := s.writeLocal(fi.Name, data); err != nil {
-			return actions, err
 		}
 		st, err := os.Stat(filepath.Join(s.root, filepath.FromSlash(fi.Name)))
 		if err != nil {
 			return actions, err
 		}
 		s.idx.Files[fi.Name] = &entry{
-			Hash: metadata.HashData(data), Modified: st.ModTime(), Size: int64(len(data)),
+			Hash: hash, Modified: st.ModTime(), Size: info.Size,
 			VersionID: info.VersionID,
 		}
 		actions = append(actions, Action{Op: "download", Name: fi.Name})
@@ -269,12 +277,17 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 			if v.VersionID == winner.VersionID || v.Deleted {
 				continue
 			}
-			data, _, err := s.client.GetVersion(ctx, cf.Name, v.VersionID)
-			if err != nil {
-				continue
-			}
 			copyName := conflictCopyName(cf.Name, s.loserClient(v.VersionID), v.VersionID)
-			if err := s.writeLocal(copyName, data); err != nil {
+			versionID := v.VersionID
+			var fetchErr error
+			if _, _, err := s.downloadLocal(copyName, func(w io.Writer) (core.FileInfo, error) {
+				info, ferr := s.client.GetVersionTo(ctx, cf.Name, versionID, w)
+				fetchErr = ferr
+				return info, ferr
+			}); err != nil {
+				if fetchErr != nil {
+					continue // the losing version may be unreachable; skip its copy
+				}
 				return actions, err
 			}
 			actions = append(actions, Action{Op: "conflict-copy", Name: copyName})
@@ -334,11 +347,56 @@ func conflictCopyName(name, clientID, versionID string) string {
 	return fmt.Sprintf("%s%s%s-%s%s", stem, conflictInfix, clientID, v, ext)
 }
 
-// writeLocal writes a file under the root, creating parent directories.
-func (s *Syncer) writeLocal(rel string, data []byte) error {
+// downloadLocal streams a remote version into place under the root via
+// fetch, writing through a sibling temp file and renaming on success — an
+// interrupted download never leaves a torn file, and memory stays bounded
+// by the client's pipeline window. It returns the content hash of the
+// written bytes (computed while streaming) and the fetched version's info.
+func (s *Syncer) downloadLocal(rel string, fetch func(io.Writer) (core.FileInfo, error)) (string, core.FileInfo, error) {
 	dst := filepath.Join(s.root, filepath.FromSlash(rel))
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return err
+		return "", core.FileInfo{}, err
 	}
-	return os.WriteFile(dst, data, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".cyrus-partial-*")
+	if err != nil {
+		return "", core.FileInfo{}, err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, core.FileInfo, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", core.FileInfo{}, err
+	}
+	h := metadata.NewHash()
+	info, err := fetch(io.MultiWriter(tmp, h))
+	if err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", core.FileInfo{}, err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return "", core.FileInfo{}, err
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return "", core.FileInfo{}, err
+	}
+	return metadata.HashSum(h), info, nil
+}
+
+// hashFile computes a local file's content hash without buffering it.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := metadata.NewHash()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return metadata.HashSum(h), nil
 }
