@@ -97,6 +97,10 @@ var runners = []runner{
 		res, err := experiments.Pipeline(experiments.PipelineConfig{Scale: o.scale, Seed: o.seed})
 		return res.Report, err
 	}},
+	{"6", "convergent dedup: raw CSP bytes and dedup ratio vs overlap at (2,4)/(3,6), two users", func(o options) (experiments.Report, error) {
+		res, err := experiments.Dedup(experiments.DedupConfig{Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},
@@ -195,6 +199,8 @@ func datasetBytes(id string, opts options) int64 {
 		return int64(opts.chunkMB) << 20
 	case "fig16":
 		return 40 << 20
+	case "6":
+		return 2 * 12 * (32 << 10) * 8 // 2 users x 12 files x 32 KiB, 8 sweep points
 	case "fig19":
 		return 20 << 20
 	}

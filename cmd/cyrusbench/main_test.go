@@ -13,11 +13,11 @@ import (
 
 func TestRunnerRegistryIsComplete(t *testing.T) {
 	// Every table/figure in the paper's evaluation plus the ablations, the
-	// transfer-engine benchmark, the compute fast-path benchmark, and the
-	// streaming-pipeline benchmark.
+	// transfer-engine benchmark, the compute fast-path benchmark, the
+	// streaming-pipeline benchmark, and the convergent-dedup sweep.
 	want := []string{
 		"table1", "table2", "table4", "fig3", "fig12", "fig13",
-		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3", "4", "5",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3", "4", "5", "6",
 		"ablation-selector", "ablation-chunking", "ablation-ring",
 		"ablation-migration", "ablation-concurrency", "ablation-metadata",
 	}
@@ -119,6 +119,7 @@ func TestDatasetBytes(t *testing.T) {
 		"fig12":  8 << 20,
 		"fig16":  40 << 20,
 		"5":      256 << 20,
+		"6":      2 * 12 * (32 << 10) * 8,
 		"fig19":  20 << 20,
 		"table1": 0, // analytic experiment: no payload
 	}

@@ -25,7 +25,8 @@ type Backend struct {
 	identity csp.ObjectIdentity
 
 	mu        sync.Mutex
-	objects   map[string][]version // name -> versions (id-keyed keeps all)
+	objects   map[string][]version       // name -> versions (id-keyed keeps all)
+	refs      map[string]map[string]bool // name -> reference tokens (dedup)
 	used      int64
 	capacity  int64 // 0 = unlimited
 	available bool
@@ -49,6 +50,7 @@ func NewBackend(name string, identity csp.ObjectIdentity, capacity int64) *Backe
 		name:      name,
 		identity:  identity,
 		objects:   make(map[string][]version),
+		refs:      make(map[string]map[string]bool),
 		capacity:  capacity,
 		available: true,
 	}
@@ -182,6 +184,7 @@ func (b *Backend) RemoveObject(name string) bool {
 		b.used -= int64(len(v.data))
 	}
 	delete(b.objects, name)
+	delete(b.refs, name)
 	return true
 }
 
@@ -316,8 +319,118 @@ func (b *Backend) delete(name string) error {
 		b.used -= int64(len(v.data))
 	}
 	delete(b.objects, name)
+	delete(b.refs, name) // plain delete bypasses refcounts; tokens die with the object
 	b.deletes++
 	return nil
+}
+
+// Reference-token operations (csp.RefStore semantics). Tokens live in
+// durable state alongside the objects — they survive availability flips
+// (crash/restart) like everything else — and every call is gated and
+// atomic under b.mu, which is exactly the capability the refcounted-GC
+// protocol needs from a provider.
+
+func (b *Backend) putRef(name, ref string, data []byte, now time.Time) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return false, err
+	}
+	if len(b.objects[name]) > 0 {
+		b.addRefLocked(name, ref)
+		return false, nil
+	}
+	delta := int64(len(data))
+	if b.capacity > 0 && b.used+delta > b.capacity {
+		return false, fmt.Errorf("%w: %s used %d of %d bytes", csp.ErrOverCapacity, b.name, b.used, b.capacity)
+	}
+	cp := append([]byte(nil), data...)
+	b.objects[name] = []version{{data: cp, modified: now}}
+	b.used += delta
+	b.uploads++
+	b.bytesIn += delta
+	b.addRefLocked(name, ref)
+	return true, nil
+}
+
+func (b *Backend) addRef(name, ref string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return err
+	}
+	if len(b.objects[name]) == 0 {
+		return fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, b.name, name)
+	}
+	b.addRefLocked(name, ref)
+	return nil
+}
+
+func (b *Backend) delRef(name, ref string) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return false, err
+	}
+	vs := b.objects[name]
+	if len(vs) == 0 {
+		return false, fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, b.name, name)
+	}
+	if toks := b.refs[name]; toks != nil {
+		delete(toks, ref)
+		if len(toks) > 0 {
+			return false, nil
+		}
+	}
+	// Last token drained (or the object never had any): remove the object
+	// and its token set in one atomic step — there is no window in which a
+	// zero-referenced share object lingers or a referenced one is gone.
+	for _, v := range vs {
+		b.used -= int64(len(v.data))
+	}
+	delete(b.objects, name)
+	delete(b.refs, name)
+	b.deletes++
+	return true, nil
+}
+
+func (b *Backend) refList(name string) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.gateLocked(); err != nil {
+		return nil, err
+	}
+	if len(b.objects[name]) == 0 {
+		return nil, fmt.Errorf("%w: %s has no %q", csp.ErrNotFound, b.name, name)
+	}
+	out := make([]string, 0, len(b.refs[name]))
+	for tok := range b.refs[name] {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *Backend) addRefLocked(name, ref string) {
+	toks := b.refs[name]
+	if toks == nil {
+		toks = make(map[string]bool)
+		b.refs[name] = toks
+	}
+	toks[ref] = true
+}
+
+// RefTokens returns the reference tokens registered on an object, sorted.
+// Ungated oracle dump for the harness: works while the provider is down.
+func (b *Backend) RefTokens(name string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.refs[name]))
+	for tok := range b.refs[name] {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // objectSize returns the size of the latest version, for transport costing.

@@ -1,0 +1,157 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/csp"
+)
+
+func TestRefStoreLifecycle(t *testing.T) {
+	b := NewBackend("d", csp.NameKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+
+	// AddRef before the object exists is the existence-probe miss.
+	if err := s.AddRef(ctx, "cas-1", "u1"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("AddRef on missing object err = %v", err)
+	}
+
+	created, err := s.PutRef(ctx, "cas-1", "u1", []byte("payload"))
+	if err != nil || !created {
+		t.Fatalf("PutRef = (%v, %v), want created", created, err)
+	}
+	// A second PutRef is the dedup hit: no new object, token registered.
+	created, err = s.PutRef(ctx, "cas-1", "u2", []byte("payload"))
+	if err != nil || created {
+		t.Fatalf("second PutRef = (%v, %v), want hit", created, err)
+	}
+	if refs, err := s.Refs(ctx, "cas-1"); err != nil || !reflect.DeepEqual(refs, []string{"u1", "u2"}) {
+		t.Fatalf("Refs = %v, %v", refs, err)
+	}
+	// AddRef is idempotent per token.
+	if err := s.AddRef(ctx, "cas-1", "u2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RefTokens("cas-1"); !reflect.DeepEqual(got, []string{"u1", "u2"}) {
+		t.Fatalf("RefTokens = %v", got)
+	}
+
+	// Releasing one of two tokens keeps the object; dropping an
+	// unregistered token is an idempotent no-op.
+	if removed, err := s.DelRef(ctx, "cas-1", "u1"); err != nil || removed {
+		t.Fatalf("DelRef u1 = (%v, %v)", removed, err)
+	}
+	if removed, err := s.DelRef(ctx, "cas-1", "u1"); err != nil || removed {
+		t.Fatalf("repeated DelRef u1 = (%v, %v)", removed, err)
+	}
+	if data, err := s.Download(ctx, "cas-1"); err != nil || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("object lost while still referenced: %q, %v", data, err)
+	}
+
+	// Draining the last token deletes the object atomically.
+	if removed, err := s.DelRef(ctx, "cas-1", "u2"); err != nil || !removed {
+		t.Fatalf("final DelRef = (%v, %v), want removed", removed, err)
+	}
+	if _, err := s.Download(ctx, "cas-1"); !errors.Is(err, csp.ErrNotFound) {
+		t.Fatalf("object survived refcount zero: err = %v", err)
+	}
+	if got := b.RefTokens("cas-1"); len(got) != 0 {
+		t.Fatalf("tokens survived object deletion: %v", got)
+	}
+	if removed, err := s.DelRef(ctx, "cas-1", "u2"); !errors.Is(err, csp.ErrNotFound) || removed {
+		t.Fatalf("DelRef on missing object = (%v, %v)", removed, err)
+	}
+}
+
+func TestRefStoreGatingAndDurability(t *testing.T) {
+	b := NewBackend("d", csp.IDKeyed, 0)
+	s := authedStore(t, b)
+	ctx := context.Background()
+
+	if _, err := s.PutRef(ctx, "cas-2", "u1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.SetAvailable(false)
+	if err := s.AddRef(ctx, "cas-2", "u2"); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("AddRef while down err = %v", err)
+	}
+	if _, err := s.DelRef(ctx, "cas-2", "u1"); !errors.Is(err, csp.ErrUnavailable) {
+		t.Fatalf("DelRef while down err = %v", err)
+	}
+	// Tokens are durable state: they survive the restart.
+	b.SetAvailable(true)
+	if refs, err := s.Refs(ctx, "cas-2"); err != nil || !reflect.DeepEqual(refs, []string{"u1"}) {
+		t.Fatalf("Refs after restart = %v, %v", refs, err)
+	}
+
+	// Plain Delete (the 5-call fallback) bypasses refcounts and clears
+	// the token set with the object.
+	if err := s.Delete(ctx, "cas-2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RefTokens("cas-2"); len(got) != 0 {
+		t.Fatalf("tokens survived plain Delete: %v", got)
+	}
+}
+
+func TestRefStoreCapacity(t *testing.T) {
+	b := NewBackend("d", csp.NameKeyed, 4)
+	s := authedStore(t, b)
+	ctx := context.Background()
+	if _, err := s.PutRef(ctx, "big", "u1", []byte("12345")); !errors.Is(err, csp.ErrOverCapacity) {
+		t.Fatalf("PutRef over capacity err = %v", err)
+	}
+	// A dedup hit must not be charged against capacity.
+	if _, err := s.PutRef(ctx, "fit", "u1", []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if created, err := s.PutRef(ctx, "fit", "u2", []byte("1234")); err != nil || created {
+		t.Fatalf("hit on full store = (%v, %v)", created, err)
+	}
+}
+
+// Two uploaders racing PutRef on the same name must never create a
+// duplicate object (even on id-keyed providers) and must both end up
+// referenced — the delete-racing-upload safety argument rests on this
+// atomicity.
+func TestRefStorePutRefRace(t *testing.T) {
+	b := NewBackend("d", csp.IDKeyed, 0)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	createdCount := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		tok := string(rune('a' + i))
+		s := authedStore(t, b)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			created, err := s.PutRef(ctx, "cas-race", tok, []byte("same bytes"))
+			if err != nil {
+				t.Error(err)
+			}
+			createdCount <- created
+		}()
+	}
+	wg.Wait()
+	close(createdCount)
+	n := 0
+	for c := range createdCount {
+		if c {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("object created %d times, want exactly 1", n)
+	}
+	if d := b.DuplicateCount("cas-race"); d != 1 {
+		t.Fatalf("duplicate objects under CAS name: %d", d)
+	}
+	if got := b.RefTokens("cas-race"); len(got) != 8 {
+		t.Fatalf("RefTokens = %v, want 8 tokens", got)
+	}
+}

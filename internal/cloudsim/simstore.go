@@ -174,4 +174,59 @@ func (s *SimStore) Delete(ctx context.Context, name string) error {
 	return s.backend.delete(name)
 }
 
-var _ csp.Store = (*SimStore)(nil)
+// PutRef implements csp.RefStore. A dedup hit (object already present)
+// costs only the control round trip; only a created object pays the
+// payload transfer.
+func (s *SimStore) PutRef(ctx context.Context, name, ref string, data []byte) (bool, error) {
+	if err := s.session(ctx); err != nil {
+		return false, err
+	}
+	created, err := s.backend.putRef(name, ref, data, s.clock())
+	if err != nil || !created {
+		cerr := s.charge(0, netsim.Up, true)
+		if err == nil {
+			err = cerr
+		}
+		return created, err
+	}
+	return true, s.charge(int64(len(data)), netsim.Up, false)
+}
+
+// AddRef implements csp.RefStore: the batched existence probe of the dedup
+// upload path — one RTT, no payload.
+func (s *SimStore) AddRef(ctx context.Context, name, ref string) error {
+	if err := s.session(ctx); err != nil {
+		return err
+	}
+	if err := s.charge(0, netsim.Up, true); err != nil {
+		return err
+	}
+	return s.backend.addRef(name, ref)
+}
+
+// DelRef implements csp.RefStore.
+func (s *SimStore) DelRef(ctx context.Context, name, ref string) (bool, error) {
+	if err := s.session(ctx); err != nil {
+		return false, err
+	}
+	if err := s.charge(0, netsim.Up, true); err != nil {
+		return false, err
+	}
+	return s.backend.delRef(name, ref)
+}
+
+// Refs implements csp.RefStore.
+func (s *SimStore) Refs(ctx context.Context, name string) ([]string, error) {
+	if err := s.session(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.charge(0, netsim.Down, true); err != nil {
+		return nil, err
+	}
+	return s.backend.refList(name)
+}
+
+var (
+	_ csp.Store    = (*SimStore)(nil)
+	_ csp.RefStore = (*SimStore)(nil)
+)

@@ -74,6 +74,21 @@ type Config struct {
 	// metadata CSPs. Default 2.
 	MetaT int
 
+	// DedupMode enables cross-user convergent dedup: dispersal matrices are
+	// derived from chunk content (keyed by DedupSecret), shares are named by
+	// content address, and uploads of shares the CSP already holds are
+	// skipped via a reference probe. Equal chunks from different clients
+	// sharing the same DedupSecret produce byte-identical share objects.
+	// Off by default: convergent keys trade the paper's per-user matrix
+	// secrecy for dedup, and confirm-a-chunk attacks become possible for
+	// anyone holding the deployment secret.
+	DedupMode bool
+	// DedupSecret is the per-deployment secret keying the convergent key
+	// derivation. Required when DedupMode is set; all clients that should
+	// dedup against each other must share it. It is deliberately distinct
+	// from Key: per-user keys still protect metadata and legacy shares.
+	DedupSecret string
+
 	// Chunking configures content-defined chunking.
 	Chunking chunker.Config
 
@@ -157,6 +172,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MetaT == 0 {
 		c.MetaT = 2
 	}
+	if c.DedupMode && c.DedupSecret == "" {
+		return c, errors.New("cyrus: DedupMode requires Config.DedupSecret")
+	}
 	if c.Selector == nil {
 		c.Selector = selector.Optimized{}
 	}
@@ -189,6 +207,7 @@ type FileInfo struct {
 type Client struct {
 	cfg     Config
 	coder   *erasure.Coder
+	conv    *erasure.ConvergentCoder // nil unless DedupSecret configured
 	chunk   *chunker.Chunker
 	ring    *hashring.Ring
 	tree    *metadata.Tree
@@ -204,10 +223,11 @@ type Client struct {
 	log     *slog.Logger  // nil = disabled
 	obs     *obs.Observer // nil = disabled
 
-	mu      sync.Mutex
-	stores  map[string]csp.Store
-	removed map[string]bool // removed or failed CSPs: no uploads go there
-	cspSeq  int64           // highest CSP-list sequence seen or published
+	mu       sync.Mutex
+	stores   map[string]csp.Store
+	removed  map[string]bool // removed or failed CSPs: no uploads go there
+	cspSeq   int64           // highest CSP-list sequence seen or published
+	syncFull bool            // last Sync saw the complete recoverable state
 
 	// Accounted data-plane payload bytes currently resident (plaintext
 	// chunk buffers in the streaming window, plus whole-file buffers on the
@@ -247,6 +267,12 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		obs:     full.Obs,
 		stores:  make(map[string]csp.Store),
 		removed: make(map[string]bool),
+	}
+	if full.DedupSecret != "" {
+		// Built whenever the secret is present — not only in DedupMode — so
+		// a client with dedup switched off can still read (and GC) CAS
+		// shares written by its dedup-enabled peers.
+		c.conv = erasure.NewConvergentCoder(full.DedupSecret)
 	}
 	c.codec = newCodecPool(full.CodecWorkers, c.obs)
 	// All provider I/O dispatches through one engine: bounded in-flight
@@ -410,6 +436,40 @@ func (c *Client) shareName(chunkID string, index, t int) string {
 	return SharePrefix + hex.EncodeToString(h.Sum(nil))
 }
 
+// shareNameFor returns the object name for one share of the chunk,
+// dispatching on the chunk's addressing mode: content-addressed names for
+// CAS chunks (dedup mode), key-derived names otherwise.
+func (c *Client) shareNameFor(ref metadata.ChunkRef, index int) (string, error) {
+	if !ref.CAS {
+		return c.shareName(ref.ID, index, ref.T), nil
+	}
+	if c.conv == nil {
+		return "", fmt.Errorf("cyrus: chunk %s is content-addressed but no DedupSecret is configured", ref.ID)
+	}
+	return casShareName(c.conv.Tag(ref.ID), index, ref.T), nil
+}
+
+// coderFor returns the erasure coder matching the chunk's addressing mode:
+// the content-derived convergent coder for CAS chunks, the per-user coder
+// otherwise.
+func (c *Client) coderFor(ref metadata.ChunkRef) (*erasure.Coder, error) {
+	if !ref.CAS {
+		return c.coder, nil
+	}
+	if c.conv == nil {
+		return nil, fmt.Errorf("cyrus: chunk %s is content-addressed but no DedupSecret is configured", ref.ID)
+	}
+	return c.conv.For(ref.ID), nil
+}
+
+// refToken is this user's reference token on content-addressed share
+// objects: one token per user key, so a CAS object's token set counts the
+// users referencing it. Not version-scoped — share upload happens before
+// the referencing version's ID exists.
+func (c *Client) refToken() string {
+	return c.keyHash[:16]
+}
+
 // Inspection hooks. The chaos harness (internal/harness) audits provider
 // state from outside the client, which requires recomputing the key-derived
 // object names and knowing the configured quorums. These accessors expose
@@ -423,10 +483,22 @@ func (c *Client) ID() string { return c.cfg.ClientID }
 func (c *Client) MetaQuorum() int { return c.cfg.MetaT }
 
 // ShareObjectName returns the provider object name under which share
-// `index` of the given chunk is stored at privacy level t.
+// `index` of the given chunk is stored at privacy level t, following the
+// client's addressing mode: content-addressed names in dedup mode,
+// key-derived names otherwise.
 func (c *Client) ShareObjectName(chunkID string, index, t int) string {
+	if c.cfg.DedupMode && c.conv != nil {
+		return casShareName(c.conv.Tag(chunkID), index, t)
+	}
 	return c.shareName(chunkID, index, t)
 }
+
+// DedupEnabled reports whether this client writes in convergent dedup mode.
+func (c *Client) DedupEnabled() bool { return c.cfg.DedupMode }
+
+// RefToken exposes the user-scoped reference token this client stamps on
+// content-addressed share objects (for oracles auditing provider refcounts).
+func (c *Client) RefToken() string { return c.refToken() }
 
 // MetaShareObjectName returns the provider object name of one metadata
 // share of the given version.

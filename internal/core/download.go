@@ -86,6 +86,17 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 	chunkStart := c.rt.Now()
 	ctx, chunkSpan := c.obs.Trace(op.Context(), "chunk.gather")
 	defer func() { chunkSpan.End(err) }()
+	// CAS chunks live under content-addressed names and decode with the
+	// content-derived coder; coderFor fails fast when the deployment secret
+	// is missing, so shareNameFor below cannot.
+	coder, err := c.coderFor(ref)
+	if err != nil {
+		return nil, err
+	}
+	shareObj := func(idx int) string {
+		name, _ := c.shareNameFor(ref, idx)
+		return name
+	}
 	// Index each CSP's share index.
 	idxOf := make(map[string]int, len(locations))
 	for idx, cspName := range locations {
@@ -124,7 +135,7 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 				if !ok {
 					return 0, errProviderVanished(cspName)
 				}
-				data, err := store.Download(actx, c.shareName(ref.ID, idx, ref.T))
+				data, err := store.Download(actx, shareObj(idx))
 				if err == nil {
 					mu.Lock()
 					got = append(got, erasure.Share{Index: idx, Data: data})
@@ -184,7 +195,7 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 	// the share downloads of sibling chunks still in flight.
 	var data []byte
 	c.codec.run("decode", ref.Size, func() {
-		data, err = c.coder.Decode(shares, erasure.MaxN)
+		data, err = coder.Decode(shares, erasure.MaxN)
 		if err == nil {
 			if got := metadata.HashData(data); got != ref.ID {
 				err = fmt.Errorf("%w: chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
@@ -210,6 +221,14 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 // content hash. Identified-corrupt shares are re-written with correct
 // bytes (self-healing) on a best-effort basis.
 func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file string, ref metadata.ChunkRef, locations map[int]string, have []erasure.Share) ([]byte, error) {
+	coder, err := c.coderFor(ref)
+	if err != nil {
+		return nil, err
+	}
+	shareObj := func(idx int) string {
+		name, _ := c.shareNameFor(ref, idx)
+		return name
+	}
 	seen := make(map[int]bool, len(have))
 	for _, s := range have {
 		seen[s.Index] = true
@@ -229,7 +248,7 @@ func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file str
 				if !ok {
 					return 0, errProviderVanished(cspName)
 				}
-				d, err := store.Download(actx, c.shareName(ref.ID, idx, ref.T))
+				d, err := store.Download(actx, shareObj(idx))
 				if err == nil {
 					data = d
 				}
@@ -244,7 +263,7 @@ func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file str
 		}
 		all = append(all, erasure.Share{Index: idx, Data: data})
 	}
-	data, corrupt, err := c.coder.DecodeCorrecting(all, erasure.MaxN)
+	data, corrupt, err := coder.DecodeCorrecting(all, erasure.MaxN)
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk %s uncorrectable: %v", ErrDamaged, ref.ID[:8], err)
 	}
@@ -252,9 +271,13 @@ func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file str
 		return nil, fmt.Errorf("%w: corrected chunk decodes to %s, expected %s", ErrDamaged, got[:8], ref.ID[:8])
 	}
 	// Self-heal: overwrite the corrupt share objects with correct bytes.
+	// Deliberately a plain Upload even for CAS objects: PutRef would see
+	// the (corrupt) object exists and skip the payload, while an overwrite
+	// replaces the bytes and leaves the provider's reference tokens — which
+	// are independent of object content — untouched.
 	if len(corrupt) > 0 {
 		c.logf("corrected corrupt shares", "chunk", ref.ID[:8], "indices", fmt.Sprint(corrupt))
-		if good, err := c.coder.Encode(data, ref.T, ref.N); err == nil {
+		if good, err := coder.Encode(data, ref.T, ref.N); err == nil {
 			defer erasure.ReleaseShares(good)
 			for _, idx := range corrupt {
 				cspName, ok := locations[idx]
@@ -270,7 +293,7 @@ func (c *Client) gatherCorrecting(op *transfer.Op, ctx context.Context, file str
 						if !ok {
 							return 0, errProviderVanished(cspName)
 						}
-						return good[idx].Size(), store.Upload(actx, c.shareName(ref.ID, idx, ref.T), good[idx].Data)
+						return good[idx].Size(), store.Upload(actx, shareObj(idx), good[idx].Data)
 					},
 				})
 			}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/csp"
 	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/transfer"
@@ -98,12 +99,35 @@ type GCStats struct {
 	Shares  int   // share objects deleted
 	Bytes   int64 // approximate bytes reclaimed (share payloads)
 	Skipped int   // shares that could not be deleted (provider unreachable)
+	Derefs  int   // CAS reference tokens released without deleting the object
 }
 
 // GC deletes the share objects of chunks no version in the metadata tree
 // references — orphans left by interrupted uploads or pruned histories.
 // Chunks referenced by any version, including deleted files' old versions
 // (which remain restorable), are never touched.
+//
+// Content-addressed shares (dedup mode) may be referenced by other users,
+// so GC never deletes them directly: it releases this user's reference
+// token (csp.RefStore.DelRef) and the provider removes the object only
+// when the last token drains. On providers without reference support CAS
+// shares are left alone entirely (conservatively counted as Skipped).
+// After the orphan pass, a reconciliation sweep replays any interrupted
+// refcount update against raw provider listings: this user's token is
+// re-asserted on every CAS object a tree version still references, and
+// released from every one none does — including shares of uploads that
+// crashed before their metadata landed, which no table entry records.
+// GC must not run concurrently with this user's own uploads: the sweep
+// would release tokens of chunks whose metadata is still in flight.
+//
+// The sweep releases tokens by comparing raw listings against the local
+// tree, so it only runs when the pre-GC sync achieved a full view (every
+// active provider listed, no availability failures): a stale tree would
+// release the token of a sibling device's freshly published chunks.
+// Record-level unreadables — foreign users' records in a shared
+// deployment — do not block the sweep: they can never decode, and their
+// owners' tokens are not this client's to touch. The orphan pass, which
+// only frees chunks this client's own table knows, runs regardless.
 func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 	ctx, sp := c.obs.StartOp(ctx, "gc")
 	defer func() { sp.End(err) }()
@@ -133,28 +157,64 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 	// the collection (its shares count as Skipped, not retried N more times).
 	op := c.engine.Begin(ctx)
 	defer op.Finish()
+	handled := make(map[string]bool) // CAS object names the orphan pass released
 	for _, info := range orphans {
+		ref := metadata.ChunkRef{ID: info.ID, Size: info.Size, T: info.T, N: info.N, CAS: info.CAS}
+		if info.CAS && c.conv == nil {
+			// Content-addressed names are unrecoverable without the
+			// deployment secret; leave the entry for a properly configured
+			// client to collect.
+			stats.Skipped += len(info.Shares)
+			continue
+		}
 		stats.Chunks++
 		shareSize := erasure.ShareSize(info.Size, info.T)
 		for idx, cspName := range info.Shares {
 			idx, cspName := idx, cspName
-			if _, ok := c.store(cspName); !ok {
+			store, ok := c.store(cspName)
+			if !ok {
 				stats.Skipped++
 				continue
 			}
+			rs, hasRefs := store.(csp.RefStore)
+			if info.CAS && !hasRefs {
+				// No refcounts there: deleting could destroy another user's
+				// only copy. Leave the object.
+				stats.Skipped++
+				continue
+			}
+			name, nerr := c.shareNameFor(ref, idx)
+			if nerr != nil {
+				stats.Skipped++
+				continue
+			}
+			removed := true
+			kind := opDelete
+			if info.CAS {
+				kind = opRef
+				handled[cspName+"|"+name] = true
+			}
 			err := op.Do(ctx, transfer.Attempt{
 				CSP:  cspName,
-				Kind: opDelete,
+				Kind: kind,
 				Run: func(actx context.Context) (int64, error) {
-					store, ok := c.store(cspName)
-					if !ok {
+					if _, ok := c.store(cspName); !ok {
 						return 0, errProviderVanished(cspName)
 					}
-					return 0, store.Delete(actx, c.shareName(info.ID, idx, info.T))
+					if info.CAS {
+						r, err := rs.DelRef(actx, name, c.refToken())
+						removed = r
+						return 0, err
+					}
+					return 0, store.Delete(actx, name)
 				},
 			})
 			if err != nil && !errIsNotFound(err) {
 				stats.Skipped++
+				continue
+			}
+			if !removed {
+				stats.Derefs++
 				continue
 			}
 			stats.Shares++
@@ -162,7 +222,131 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 		}
 		c.table.Drop(info.ID)
 	}
+	if c.conv != nil {
+		if c.syncFullView() {
+			c.gcReconcileCAS(op, ctx, referenced, handled, &stats)
+		} else {
+			c.logf("skipping CAS reconciliation sweep: last sync saw a partial view")
+		}
+	}
 	return stats, nil
+}
+
+// gcReconcileCAS replays the refcount protocol against raw provider state.
+// Crash-safety of the dedup GC rests here: any interleaving of a crash
+// with an upload or a collection leaves the provider-side token sets in a
+// state this sweep repairs — a token this user should hold (chunk still
+// referenced) is re-asserted, a token it should not (no referencing
+// version, including uploads whose metadata never landed and thus appear
+// in no table entry) is released. Only this user's own token is ever
+// touched, so concurrent GCs by different users cannot fight.
+func (c *Client) gcReconcileCAS(op *transfer.Op, ctx context.Context, referenced, handled map[string]bool, stats *GCStats) {
+	refTags := make(map[string]bool)
+	sizeOfTag := make(map[string]int64)
+	for id := range referenced {
+		if info, ok := c.table.Lookup(id); ok && info.CAS {
+			tag := c.conv.Tag(id)
+			refTags[tag] = true
+			sizeOfTag[tag] = erasure.ShareSize(info.Size, info.T)
+		}
+	}
+	token := c.refToken()
+
+	type action struct {
+		cspName string
+		rs      csp.RefStore
+		name    string
+		keep    bool // referenced: assert our token; else release it
+	}
+	var asserts, releases []action
+	for _, cspName := range c.CSPs() {
+		store, ok := c.store(cspName)
+		if !ok {
+			continue
+		}
+		rs, ok := store.(csp.RefStore)
+		if !ok {
+			continue // no reference support: nothing to reconcile
+		}
+		cspName := cspName
+		var infos []csp.ObjectInfo
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  cspName,
+			Kind: opList,
+			Run: func(actx context.Context) (int64, error) {
+				out, err := store.List(actx, CASPrefix)
+				if err == nil {
+					infos = out
+				}
+				return 0, err
+			},
+		})
+		if err != nil {
+			continue
+		}
+		for _, info := range infos {
+			tag, _, _, ok := parseCASShareName(info.Name)
+			if !ok || handled[cspName+"|"+info.Name] {
+				continue
+			}
+			a := action{cspName: cspName, rs: rs, name: info.Name, keep: refTags[tag]}
+			if a.keep {
+				asserts = append(asserts, a)
+			} else {
+				if _, ok := sizeOfTag[tag]; !ok {
+					sizeOfTag[tag] = info.Size
+				}
+				releases = append(releases, a)
+			}
+		}
+	}
+
+	// Assert before releasing: a referenced object must carry this user's
+	// token before any release could drain the object's token set.
+	assertAtts := make([]transfer.Attempt, len(asserts))
+	for i, a := range asserts {
+		a := a
+		assertAtts[i] = transfer.Attempt{
+			CSP:  a.cspName,
+			Kind: opRef,
+			Run: func(actx context.Context) (int64, error) {
+				err := a.rs.AddRef(actx, a.name, token)
+				if errIsNotFound(err) {
+					err = nil // deleted since the listing; nothing to assert on
+				}
+				return 0, err
+			},
+		}
+	}
+	op.Batch(ctx, assertAtts)
+
+	removed := make([]bool, len(releases))
+	releaseAtts := make([]transfer.Attempt, len(releases))
+	for i, a := range releases {
+		i, a := i, a
+		releaseAtts[i] = transfer.Attempt{
+			CSP:  a.cspName,
+			Kind: opRef,
+			Run: func(actx context.Context) (int64, error) {
+				r, err := a.rs.DelRef(actx, a.name, token)
+				removed[i] = r
+				return 0, err
+			},
+		}
+	}
+	for i, err := range op.Batch(ctx, releaseAtts) {
+		if err != nil && !errIsNotFound(err) {
+			stats.Skipped++
+			continue
+		}
+		if removed[i] {
+			stats.Shares++
+			tag, _, _, _ := parseCASShareName(releases[i].name)
+			stats.Bytes += sizeOfTag[tag]
+		} else if err == nil {
+			stats.Derefs++
+		}
+	}
 }
 
 func max64(a, b int64) int64 {

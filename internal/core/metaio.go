@@ -132,8 +132,11 @@ func (c *Client) uploadMeta(op *transfer.Op, m *metadata.FileMeta) error {
 // listMetaShares lists the metadata prefix on every reachable provider and
 // returns versionID -> share index -> providers holding that share, plus
 // the non-share objects under the prefix (the CSP status list) as
-// object name -> providers listing it.
-func (c *Client) listMetaShares(op *transfer.Op, ctx context.Context) (map[string]map[int][]string, map[string][]string, error) {
+// object name -> providers listing it. complete reports whether every
+// active provider answered the listing: metadata lands with a quorum, not
+// on all providers, so only a listing that covered the full active set is
+// guaranteed to surface every recoverable record.
+func (c *Client) listMetaShares(op *transfer.Op, ctx context.Context) (_ map[string]map[int][]string, _ map[string][]string, complete bool, err error) {
 	c.mu.Lock()
 	var names []string
 	for name := range c.stores {
@@ -177,12 +180,14 @@ func (c *Client) listMetaShares(op *transfer.Op, ctx context.Context) (map[strin
 
 	out := make(map[string]map[int][]string)
 	extras := make(map[string][]string)
+	listed := make(map[string]bool)
 	reachable := 0
 	for _, r := range results {
 		if r.csp == "" || r.err != nil {
 			continue
 		}
 		reachable++
+		listed[r.csp] = true
 		for _, info := range r.infos {
 			vid, idx, ok := parseMetaShareName(info.Name)
 			if !ok {
@@ -196,9 +201,16 @@ func (c *Client) listMetaShares(op *transfer.Op, ctx context.Context) (map[strin
 		}
 	}
 	if reachable == 0 {
-		return nil, nil, fmt.Errorf("%w: no provider reachable for metadata listing", csp.ErrUnavailable)
+		return nil, nil, false, fmt.Errorf("%w: no provider reachable for metadata listing", csp.ErrUnavailable)
 	}
-	return out, extras, nil
+	complete = true
+	for _, name := range c.CSPs() {
+		if !listed[name] {
+			complete = false
+			break
+		}
+	}
+	return out, extras, complete, nil
 }
 
 // fetchMeta downloads and decodes one metadata record given its share
@@ -293,8 +305,15 @@ func (c *Client) fetchMeta(op *transfer.Op, ctx context.Context, vid string, loc
 			ErrDamaged, vid, len(shares), c.cfg.MetaT, lastErr)
 	}
 	return nil, fmt.Errorf("%w: metadata %s unreadable from %d shares (last error: %w)",
-		ErrDamaged, vid, len(shares), lastErr)
+		errUnreadableRecord, vid, len(shares), lastErr)
 }
+
+// errUnreadableRecord marks a metadata record that was fetched with quorum
+// but does not decode to its version — a foreign user's record (different
+// key) or one rotted beyond the correcting bound. Unlike an availability
+// failure it is a property of the record, not of the sync: no retry will
+// change it, and Sync treats it as a complete view of everything readable.
+var errUnreadableRecord = fmt.Errorf("%w: record unreadable", ErrDamaged)
 
 // absorb inserts a fetched record into the local replica, updating the
 // chunk table exactly once per new record.
@@ -307,7 +326,10 @@ func (c *Client) absorb(m *metadata.FileMeta) error {
 		return nil
 	}
 	for _, chunk := range m.Chunks {
-		c.table.AddRef(chunk, m.SharesOf(chunk.ID))
+		// Record the referencing version, so the chunk table's Referencers
+		// sets stay the ground truth the dedup GC reconciles provider-side
+		// reference tokens against.
+		c.table.AddVersionRef(chunk, m.SharesOf(chunk.ID), m.VersionID())
 	}
 	return nil
 }

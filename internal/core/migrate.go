@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/csp"
 	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/transfer"
@@ -98,16 +99,27 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 	var mu sync.Mutex
 	op.Each(len(jobs), func(k int) {
 		j := jobs[k]
+		// CAS chunks re-encode with the content-derived coder and keep their
+		// content-addressed name at the new location (the name encodes no
+		// provider). coderFor only fails when the deployment secret is
+		// missing, in which case the chunk simply is not migrated.
+		coder, cerr := c.coderFor(j.ref)
+		if cerr != nil {
+			return
+		}
+		name, nerr := c.shareNameFor(j.ref, j.index)
+		if nerr != nil {
+			return
+		}
 		var shares []erasure.Share
 		var err error
 		c.codec.run("encode", int64(len(chunkData[j.ref.ID])), func() {
-			shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, j.ref.N), chunkData[j.ref.ID], j.ref.T, j.ref.N)
+			shares, err = coder.EncodeTo(make([]erasure.Share, 0, j.ref.N), chunkData[j.ref.ID], j.ref.T, j.ref.N)
 		})
 		if err != nil {
 			return
 		}
 		defer erasure.ReleaseShares(shares)
-		name := c.shareName(j.ref.ID, j.index, j.ref.T)
 		err = op.Do(ctx, transfer.Attempt{
 			CSP:  j.target,
 			Kind: opUpload,
@@ -115,6 +127,16 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 				store, ok := c.store(j.target)
 				if !ok {
 					return shares[j.index].Size(), errProviderVanished(j.target)
+				}
+				if j.ref.CAS {
+					if rs, ok := store.(csp.RefStore); ok {
+						// Register our reference token at the new location so
+						// the refcounted GC protocol covers the migrated copy;
+						// if another user already moved this share here, the
+						// put degrades into a reference add.
+						_, err := rs.PutRef(actx, name, c.refToken(), shares[j.index].Data)
+						return shares[j.index].Size(), err
+					}
 				}
 				return shares[j.index].Size(), store.Upload(actx, name, shares[j.index].Data)
 			},
@@ -148,7 +170,11 @@ func (c *Client) holdsAnyShare(ctx context.Context, cspName string, ref metadata
 		return true
 	}
 	for i := 0; i < ref.N; i++ {
-		infos, err := store.List(ctx, c.shareName(ref.ID, i, ref.T))
+		name, nerr := c.shareNameFor(ref, i)
+		if nerr != nil {
+			return true
+		}
+		infos, err := store.List(ctx, name)
 		if err != nil {
 			return true
 		}

@@ -25,6 +25,7 @@ const (
 	opMetaGet  = "meta_get"
 	opList     = "list"
 	opDelete   = "delete"
+	opRef      = "ref" // reference-token ops on content-addressed shares
 )
 
 // observeEvent is the event→metric bridge, subscribed to the client's own

@@ -136,7 +136,7 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 		// Deduplicate exactly as Put: chunks in the global table are
 		// referenced, not uploaded; repeats within the file upload once.
 		if info, ok := c.table.Lookup(id); ok {
-			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N}
+			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N, CAS: info.CAS}
 			meta.Chunks = append(meta.Chunks, ref)
 			if !seenInFile[id] {
 				for idx, cspName := range info.Shares {
@@ -146,7 +146,7 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 			}
 			continue
 		}
-		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n}
+		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n, CAS: c.cfg.DedupMode}
 		meta.Chunks = append(meta.Chunks, ref)
 		if seenInFile[id] {
 			continue

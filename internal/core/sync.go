@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,19 +18,30 @@ import (
 // Sync returns the number of newly absorbed records. Individual record
 // failures do not abort the sync; the first such error is returned
 // alongside the count.
+//
+// Sync also records whether it achieved a *full view*: every active
+// provider answered the metadata listing, and every failure (if any) was a
+// record-level unreadable — a record fetched with quorum that does not
+// decode, i.e. a foreign user's record in a shared deployment or one
+// rotted beyond the correcting bound. A full view means the local tree now
+// references everything this user can ever read, which is the safety
+// precondition for GC's reference-token reconciliation sweep. Availability
+// failures (providers down, shares unfetchable) leave the view partial.
 func (c *Client) Sync(ctx context.Context) (n int, err error) {
 	ctx, sp := c.obs.StartOp(ctx, "sync")
 	defer func() { sp.End(err) }()
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
+	full := false
+	defer func() { c.setSyncFullView(full) }()
 	// One engine operation spans the listing and every record fetch, so
 	// a provider that times out once is skipped by all later contacts of
 	// the same sync. Individual record failures are tolerated (no Fail):
 	// the sync absorbs what it can and reports the first error alongside.
 	op := c.engine.Begin(ctx)
 	defer op.Finish()
-	locs, extras, err := c.listMetaShares(op, ctx)
+	locs, extras, complete, err := c.listMetaShares(op, ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -41,12 +53,14 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 	}
 	missing := c.tree.Missing(vids)
 	if len(missing) == 0 {
+		full = complete
 		return 0, nil
 	}
 
 	var mu sync.Mutex
 	absorbed := 0
 	var firstErr error
+	unreadableOnly := true
 	op.Each(len(missing), func(i int) {
 		vid := missing[i]
 		m, err := c.fetchMeta(op, ctx, vid, locs[vid])
@@ -56,14 +70,39 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			// Prefer reporting an availability failure over an unreadable
+			// record: the former is actionable and transient, and its
+			// absence is what distinguishes a full view.
+			if errors.Is(err, errUnreadableRecord) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				unreadableOnly = false
+				if firstErr == nil || errors.Is(firstErr, errUnreadableRecord) {
+					firstErr = err
+				}
 			}
 			return
 		}
 		absorbed++
 	})
+	full = complete && unreadableOnly
 	return absorbed, firstErr
+}
+
+// setSyncFullView / syncFullView track whether the most recent Sync saw
+// the complete recoverable state (see Sync's doc comment). Consumed by GC.
+func (c *Client) setSyncFullView(v bool) {
+	c.mu.Lock()
+	c.syncFull = v
+	c.mu.Unlock()
+}
+
+func (c *Client) syncFullView() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncFull
 }
 
 // syncBestEffort runs Sync for the call sites that tolerate staleness

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/csp"
 	"repro/internal/erasure"
 	"repro/internal/metadata"
 	"repro/internal/transfer"
@@ -46,10 +47,16 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 	// Erasure-encode on the codec pool: the CPU work of this chunk runs in
 	// a bounded slot, overlapping the network transfers of sibling chunks.
 	// Shares use pooled buffers, returned once every upload has finished
-	// (op.Each joins before this function returns on every path).
+	// (op.Each joins before this function returns on every path). CAS
+	// chunks encode under the content-derived convergent coder, so every
+	// client sharing the deployment secret produces byte-identical shares.
+	coder, err := c.coderFor(ref)
+	if err != nil {
+		return nil, err
+	}
 	var shares []erasure.Share
 	c.codec.run("encode", int64(len(data)), func() {
-		shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, ref.N), data, ref.T, ref.N)
+		shares, err = coder.EncodeTo(make([]erasure.Share, 0, ref.N), data, ref.T, ref.N)
 	})
 	if err != nil {
 		return nil, err
@@ -73,7 +80,16 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 	}
 
 	op.Each(ref.N, func(i int) {
-		shareObj := c.shareName(ref.ID, i, ref.T)
+		shareObj, nerr := c.shareNameFor(ref, i)
+		if nerr != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = nerr
+			}
+			mu.Unlock()
+			op.Fail(nerr)
+			return
+		}
 		cur := prefs[i]
 		for {
 			if cerr := ctxErr(ctx); cerr != nil {
@@ -92,6 +108,9 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 					store, ok := c.store(target)
 					if !ok {
 						return shares[i].Size(), errProviderVanished(target)
+					}
+					if ref.CAS {
+						return c.putCASShare(actx, target, store, shareObj, shares[i].Data)
 					}
 					return shares[i].Size(), store.Upload(actx, shareObj, shares[i].Data)
 				},
@@ -131,6 +150,46 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 	}
 	c.events.emit(Event{Type: EvChunkComplete, File: file, ChunkID: ref.ID, Duration: c.rt.Now().Sub(chunkStart)})
 	return locs, nil
+}
+
+// putCASShare stores one content-addressed share, skipping the payload
+// transfer when the provider already holds the object. The protocol is
+// probe-then-put: AddRef stamps this user's reference token on an existing
+// object — a dedup hit costs one round trip and zero payload bytes — and
+// on ErrNotFound, PutRef creates object and token in one atomic provider
+// operation (if a concurrent uploader of the same chunk wins the creation
+// race, our PutRef degrades into a reference add server-side; if a
+// concurrent delete drains the last token between our probe and put,
+// PutRef recreates the object — no interleaving loses a referenced share).
+// Providers without reference support fall back to a plain upload: names
+// still converge (re-uploads are idempotent overwrites of identical
+// bytes), but no refcounts exist there, so GC stays conservative.
+func (c *Client) putCASShare(ctx context.Context, cspName string, store csp.Store, name string, data []byte) (int64, error) {
+	rs, ok := store.(csp.RefStore)
+	if !ok {
+		return int64(len(data)), store.Upload(ctx, name, data)
+	}
+	token := c.refToken()
+	err := rs.AddRef(ctx, name, token)
+	if err == nil {
+		c.obs.DedupHit(cspName, int64(len(data)))
+		return 0, nil
+	}
+	if !errIsNotFound(err) {
+		return 0, err
+	}
+	created, err := rs.PutRef(ctx, name, token, data)
+	if err != nil {
+		return int64(len(data)), err
+	}
+	if !created {
+		// Lost the creation race: the payload shipped but the provider
+		// already held the object, so the bytes were redundant.
+		c.obs.DedupHit(cspName, int64(len(data)))
+		return 0, nil
+	}
+	c.obs.DedupMiss(cspName)
+	return int64(len(data)), nil
 }
 
 // placementOrder returns every active CSP in ring order starting at the

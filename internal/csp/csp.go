@@ -81,6 +81,36 @@ type StreamDownloader interface {
 	DownloadTo(ctx context.Context, name string, w io.Writer) (int64, error)
 }
 
+// RefStore is an optional Store capability for content-addressed dedup:
+// server-side reference tokens on objects, with atomic
+// create-if-absent-and-reference and delete-on-last-release semantics.
+// Real providers expose equivalents (S3 conditional PUT + tagging, GCS
+// generation preconditions); the simulation implements it directly.
+//
+// Tokens are opaque strings scoped by the caller (CYRUS uses one token per
+// user per object). All four calls are atomic with respect to each other
+// and to the base Store calls. Providers without RefStore still work in
+// dedup mode — clients fall back to plain Upload and garbage collection is
+// conservative there (it never removes an object it cannot refcount).
+type RefStore interface {
+	// PutRef stores data under name if no object exists there, and
+	// registers ref on the object either way. Returns created=false when
+	// the object already existed (the dedup hit: no payload stored).
+	PutRef(ctx context.Context, name, ref string, data []byte) (created bool, err error)
+	// AddRef registers ref on an existing object; ErrNotFound if absent.
+	// It doubles as the existence probe: success means the object is held
+	// and now referenced, so no upload is needed.
+	AddRef(ctx context.Context, name, ref string) error
+	// DelRef removes ref from the object and deletes the object when its
+	// last token drains. Returns removed=true when the object was deleted.
+	// Removing a token that is not registered is a no-op, so releases are
+	// idempotent; ErrNotFound if the object does not exist.
+	DelRef(ctx context.Context, name, ref string) (removed bool, err error)
+	// Refs returns the object's registered tokens, sorted; ErrNotFound if
+	// the object does not exist.
+	Refs(ctx context.Context, name string) ([]string, error)
+}
+
 // UploadFrom streams r into the store, using its StreamUploader fast path
 // when present and buffering through memory otherwise.
 func UploadFrom(ctx context.Context, s Store, name string, r io.Reader) (int64, error) {

@@ -1,0 +1,104 @@
+// Convergent dispersal (dedup mode). Following CDStore's construction, the
+// dispersal key for a chunk is derived deterministically from the chunk's
+// content hash, keyed by a per-deployment secret: equal chunks produce
+// byte-identical shares regardless of which user encoded them, so a CSP can
+// deduplicate shares by content address. The deployment secret blunts the
+// learn-the-remaining-information side channel — an attacker who knows part
+// of a chunk cannot derive the dispersal matrix for candidate chunks without
+// the secret.
+package erasure
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/hex"
+	"sync"
+)
+
+// Domain-separation labels for the two per-chunk derivations: the dispersal
+// key (selects the Vandermonde evaluation points) and the content-address
+// tag (names the share objects on the CSPs). Deriving them independently
+// means the public object name reveals nothing about the dispersal matrix.
+const (
+	convDispLabel = "cyrus-conv-disp|"
+	convTagLabel  = "cyrus-conv-tag|"
+)
+
+// convCacheLimit bounds the per-chunk coder cache. Coders are cheap to
+// rebuild (one HMAC plus lazily-cached matrices), so a small FIFO keeps the
+// working set of a streaming upload warm without growing with the dataset.
+const convCacheLimit = 256
+
+// ConvergentCoder derives a per-chunk Coder from a deployment-wide secret
+// and the chunk's content hash. All clients configured with the same secret
+// produce byte-identical shares and content tags for equal chunks; clients
+// with different secrets produce unrelated shares.
+//
+// A ConvergentCoder is safe for concurrent use.
+type ConvergentCoder struct {
+	secret []byte
+
+	mu    sync.Mutex
+	cache map[string]*Coder
+	order []string // FIFO eviction queue over cache keys
+}
+
+// NewConvergentCoder builds a convergent coder for the given deployment
+// secret.
+func NewConvergentCoder(secret string) *ConvergentCoder {
+	return &ConvergentCoder{
+		secret: []byte(secret),
+		cache:  make(map[string]*Coder),
+	}
+}
+
+// derive computes HMAC-SHA1(secret, label || chunkID).
+func (cc *ConvergentCoder) derive(label, chunkID string) []byte {
+	mac := hmac.New(sha1.New, cc.secret)
+	mac.Write([]byte(label))
+	mac.Write([]byte(chunkID))
+	return mac.Sum(nil)
+}
+
+// For returns the Coder for a chunk, derived from the chunk's content hash
+// (its ID) under the deployment secret. Repeated calls for the same chunk
+// return the same Coder while it stays in the cache, so its dispersal and
+// inverse matrix caches are reused across encode and decode.
+func (cc *ConvergentCoder) For(chunkID string) *Coder {
+	cc.mu.Lock()
+	if c, ok := cc.cache[chunkID]; ok {
+		cc.mu.Unlock()
+		return c
+	}
+	cc.mu.Unlock()
+
+	// Derive outside the lock; insert-or-reuse under it.
+	c := &Coder{
+		key:       cc.derive(convDispLabel, chunkID),
+		dispCache: make(map[[2]int]*dispEntry),
+		invCache:  make(map[string]*invEntry),
+	}
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if prior, ok := cc.cache[chunkID]; ok {
+		return prior
+	}
+	if len(cc.order) >= convCacheLimit {
+		oldest := cc.order[0]
+		cc.order = cc.order[1:]
+		delete(cc.cache, oldest)
+	}
+	cc.cache[chunkID] = c
+	cc.order = append(cc.order, chunkID)
+	return c
+}
+
+// Tag returns the chunk's content-address tag: the hex HMAC-SHA1 of the
+// chunk ID under the deployment secret, with a label distinct from the
+// dispersal derivation. It is stable across clients sharing the secret and
+// is safe to expose in object names: without the secret it reveals nothing
+// about the chunk, and it is unlinkable to the dispersal key.
+func (cc *ConvergentCoder) Tag(chunkID string) string {
+	return hex.EncodeToString(cc.derive(convTagLabel, chunkID))
+}

@@ -1,0 +1,220 @@
+package erasure
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func chunkIDOf(data []byte) string {
+	sum := sha1.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Convergent determinism: the same chunk under the same deployment secret
+// must yield byte-identical shares from two independently constructed
+// codecs — the property that makes cross-user dedup sound.
+func TestConvergentDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, tc := range []struct{ t, n, size int }{
+		{1, 1, 0}, {1, 3, 1}, {2, 4, 1024}, {3, 6, 4097}, {4, 10, 65536},
+	} {
+		data := make([]byte, tc.size)
+		rng.Read(data)
+		id := chunkIDOf(data)
+
+		ccA := NewConvergentCoder("deployment-secret")
+		ccB := NewConvergentCoder("deployment-secret")
+		sharesA, err := ccA.For(id).Encode(data, tc.t, tc.n)
+		if err != nil {
+			t.Fatalf("(%d,%d): encode A: %v", tc.t, tc.n, err)
+		}
+		sharesB, err := ccB.For(id).Encode(data, tc.t, tc.n)
+		if err != nil {
+			t.Fatalf("(%d,%d): encode B: %v", tc.t, tc.n, err)
+		}
+		for i := range sharesA {
+			if !bytes.Equal(sharesA[i].Data, sharesB[i].Data) {
+				t.Errorf("(%d,%d): share %d differs across independent convergent codecs", tc.t, tc.n, i)
+			}
+		}
+		if ccA.Tag(id) != ccB.Tag(id) {
+			t.Errorf("(%d,%d): tags differ across independent convergent codecs", tc.t, tc.n)
+		}
+
+		// Decode with a third independent codec: convergence must not cost
+		// recoverability.
+		ccC := NewConvergentCoder("deployment-secret")
+		got, err := ccC.For(id).Decode(sharesA[:tc.t], tc.n)
+		if err != nil {
+			t.Fatalf("(%d,%d): decode: %v", tc.t, tc.n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("(%d,%d): decoded chunk differs from input", tc.t, tc.n)
+		}
+		ReleaseShares(sharesA)
+		ReleaseShares(sharesB)
+	}
+}
+
+// Different deployment secrets must yield different shares and different
+// content tags for the same chunk — the side-channel defense: without the
+// secret, an attacker cannot compute the share bytes (or even the object
+// name) of a candidate chunk.
+func TestConvergentSecretSeparation(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	id := chunkIDOf(data)
+
+	ccA := NewConvergentCoder("secret-a")
+	ccB := NewConvergentCoder("secret-b")
+	sharesA, err := ccA.For(id).Encode(data, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharesB, err := ccB.For(id).Encode(data, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range sharesA {
+		if bytes.Equal(sharesA[i].Data, sharesB[i].Data) {
+			same++
+		}
+	}
+	if same == len(sharesA) {
+		t.Error("all shares identical under different deployment secrets")
+	}
+	if ccA.Tag(id) == ccB.Tag(id) {
+		t.Error("content tags identical under different deployment secrets")
+	}
+
+	// And the wrong secret must not decode to the right bytes undetected:
+	// with surplus shares the verification pass rejects.
+	if got, err := ccB.For(id).Decode(sharesA, 4); err == nil && bytes.Equal(got, data) {
+		t.Error("wrong deployment secret decoded the chunk")
+	}
+	ReleaseShares(sharesA)
+	ReleaseShares(sharesB)
+}
+
+// The dispersal key and the content tag are derived with separate labels:
+// the public object name must be unlinkable to the matrix derivation.
+func TestConvergentTagDomainSeparation(t *testing.T) {
+	cc := NewConvergentCoder("s")
+	id := chunkIDOf([]byte("x"))
+	if cc.Tag(id) == hex.EncodeToString(cc.derive(convDispLabel, id)) {
+		t.Fatal("tag equals dispersal key derivation")
+	}
+}
+
+// Golden format-stability test: the convergent tag and share layout for a
+// pinned (secret, chunk, t, n) must never change — CAS object names and
+// share bytes are a cross-client wire format; changing them silently would
+// orphan every deduplicated object written by earlier builds.
+func TestConvergentGolden(t *testing.T) {
+	data := []byte("cyrus convergent golden chunk v1")
+	id := chunkIDOf(data)
+	cc := NewConvergentCoder("golden-deployment-secret")
+
+	const wantTag = "9a3aed1b299759974c7e4fec7d2cdb971af62c06"
+	if got := cc.Tag(id); got != wantTag {
+		t.Errorf("tag drifted: got %s want %s", got, wantTag)
+	}
+
+	shares, err := cc.For(id).Encode(data, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseShares(shares)
+	// Share layout invariants (the dedup wire format): 11-byte header
+	// [version=1, t, index, be64 dataLen] followed by ceil(len/t) payload
+	// bytes, identical across builds.
+	for i, s := range shares {
+		if len(s.Data) != int(ShareSize(int64(len(data)), 2)) {
+			t.Fatalf("share %d: size %d, want %d", i, len(s.Data), ShareSize(int64(len(data)), 2))
+		}
+		if s.Data[0] != 1 || s.Data[1] != 2 || s.Data[2] != byte(i) {
+			t.Fatalf("share %d: header %v drifted", i, s.Data[:3])
+		}
+	}
+	want := []string{
+		"88696882dd17651f5f7dbbc557fb7540e93012e7",
+		"ff055713ee5c571f95dd65d600cc5ce4c08baeec",
+		"5262596b4efcae1f863c5dc78e3500f6f6c94256",
+		"119f35c1091a4c4c6701e164a38b04a329bcd7ad",
+	}
+	for i, s := range shares {
+		sum := sha1.Sum(s.Data)
+		if got := hex.EncodeToString(sum[:]); got != want[i] {
+			t.Errorf("share %d bytes drifted: sha1 %s want %s", i, got, want[i])
+		}
+	}
+}
+
+// The per-chunk coder cache must evict under pressure without affecting
+// correctness: a re-derived coder is byte-compatible with the evicted one.
+func TestConvergentCacheEviction(t *testing.T) {
+	cc := NewConvergentCoder("evict")
+	data := []byte("stable chunk")
+	id := chunkIDOf(data)
+	shares, err := cc.For(id).Encode(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseShares(shares)
+
+	for i := 0; i < convCacheLimit+16; i++ {
+		cc.For(fmt.Sprintf("filler-%d", i))
+	}
+	if len(cc.cache) > convCacheLimit {
+		t.Fatalf("cache grew to %d entries, limit %d", len(cc.cache), convCacheLimit)
+	}
+	again, err := cc.For(id).Encode(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseShares(again)
+	for i := range shares {
+		if !bytes.Equal(shares[i].Data, again[i].Data) {
+			t.Fatalf("share %d differs after cache eviction", i)
+		}
+	}
+}
+
+// Fuzz convergent determinism across arbitrary chunk contents: two
+// independent codecs agree byte-for-byte and the shares decode back.
+func FuzzConvergentDeterminism(f *testing.F) {
+	f.Add([]byte("seed"), uint8(2), uint8(4))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 1000), uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, tb, nb uint8) {
+		tt := int(tb%8) + 1
+		n := tt + int(nb%8)
+		id := chunkIDOf(data)
+		a, err := NewConvergentCoder("fuzz-secret").For(id).Encode(data, tt, n)
+		if err != nil {
+			t.Fatalf("encode a: %v", err)
+		}
+		defer ReleaseShares(a)
+		b, err := NewConvergentCoder("fuzz-secret").For(id).Encode(data, tt, n)
+		if err != nil {
+			t.Fatalf("encode b: %v", err)
+		}
+		defer ReleaseShares(b)
+		for i := range a {
+			if !bytes.Equal(a[i].Data, b[i].Data) {
+				t.Fatalf("share %d diverges", i)
+			}
+		}
+		got, err := NewConvergentCoder("fuzz-secret").For(id).Decode(a, n)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

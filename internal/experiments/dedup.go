@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+)
+
+// DedupConfig parameterizes the convergent-dedup experiment (BENCH id
+// "6"): two users with distinct keys and one deployment secret upload
+// datasets at scripted overlap ratios, and the experiment measures the raw
+// bytes left on the CSPs against the no-dedup baseline — the storage-cost
+// half of the CDStore-style convergent dispersal tradeoff.
+type DedupConfig struct {
+	Seed      int64
+	Files     int // files per user (default 12)
+	FileBytes int // bytes per file (default 32 KiB)
+}
+
+func (c *DedupConfig) defaults() {
+	if c.Files == 0 {
+		c.Files = 12
+	}
+	if c.FileBytes == 0 {
+		c.FileBytes = 32 << 10
+	}
+}
+
+// DedupPoint is one measured (t, n, overlap) configuration.
+type DedupPoint struct {
+	T, N         int
+	Overlap      float64
+	CASBytes     int64   // raw content-addressed bytes on the CSPs, both users
+	SingleUser   int64   // same measurement after user 0 alone
+	Standalone   int64   // sum of each user's footprint in isolation (no dedup)
+	DedupRatio   float64 // 1 − CASBytes/Standalone
+	VsSingleUser float64 // CASBytes / SingleUser
+}
+
+// DedupResult carries the sweep (BENCH_6.json).
+type DedupResult struct {
+	Report Report
+	Points []DedupPoint
+}
+
+const dedupBenchSecret = "bench-deployment-secret"
+
+// dedupUniverse is one isolated set of simulated providers.
+type dedupUniverse struct {
+	backends map[string]*cloudsim.Backend
+	names    []string
+}
+
+func newDedupUniverse(providers int) *dedupUniverse {
+	u := &dedupUniverse{backends: make(map[string]*cloudsim.Backend)}
+	for i := 0; i < providers; i++ {
+		name := fmt.Sprintf("csp%c", 'a'+i)
+		u.backends[name] = cloudsim.NewBackend(name, csp.NameKeyed, 0)
+		u.names = append(u.names, name)
+	}
+	return u
+}
+
+func (u *dedupUniverse) client(userKey, id string, t, n int) (*core.Client, error) {
+	cfg := core.Config{
+		ClientID:    id,
+		Key:         userKey,
+		T:           t,
+		N:           n,
+		MetaT:       2,
+		DedupMode:   true,
+		DedupSecret: dedupBenchSecret,
+	}
+	var stores []csp.Store
+	for _, name := range u.names {
+		s := cloudsim.NewSimStore(u.backends[name])
+		if err := s.Authenticate(context.Background(), csp.Credentials{Token: "bench"}); err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	return core.New(cfg, stores)
+}
+
+// casBytes sums the content-addressed payload bytes across all providers.
+func (u *dedupUniverse) casBytes() int64 {
+	var total int64
+	for _, name := range u.names {
+		b := u.backends[name]
+		for _, obj := range b.ObjectNames(core.CASPrefix) {
+			data, _ := b.PeekObject(obj)
+			total += int64(len(data))
+		}
+	}
+	return total
+}
+
+// dedupDatasets builds the two users' file sets: a shared pool identical
+// for both (the overlap fraction) plus private remainders.
+func dedupDatasets(cfg DedupConfig, overlap float64) (perUser [2][][]byte) {
+	shared := int(float64(cfg.Files)*overlap + 0.5)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := make([][]byte, shared)
+	for i := range pool {
+		pool[i] = make([]byte, cfg.FileBytes)
+		rng.Read(pool[i])
+	}
+	for user := 0; user < 2; user++ {
+		files := append([][]byte(nil), pool...)
+		priv := rand.New(rand.NewSource(cfg.Seed + 7_919*int64(user+1)))
+		for i := shared; i < cfg.Files; i++ {
+			data := make([]byte, cfg.FileBytes)
+			priv.Read(data)
+			files = append(files, data)
+		}
+		perUser[user] = files
+	}
+	return perUser
+}
+
+// uploadDataset puts every file of one user's dataset.
+func uploadDataset(c *core.Client, user int, files [][]byte) error {
+	for i, data := range files {
+		if err := c.Put(context.Background(), fmt.Sprintf("u%d/f%d", user, i), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dedup sweeps overlap ratios at (t,n) = (2,4) and (3,6). For each point
+// it measures three universes: user 0 alone (the single-user footprint),
+// both users into shared providers (the dedup measurement), and user 1
+// alone (completing the no-dedup baseline).
+func Dedup(cfg DedupConfig) (DedupResult, error) {
+	cfg.defaults()
+	var res DedupResult
+	res.Report = Report{
+		ID:      "6",
+		Title:   "convergent dedup: raw CSP bytes vs overlap, two users",
+		Columns: []string{"(t,n)", "overlap", "CAS bytes", "single user", "no-dedup", "dedup ratio", "vs single"},
+	}
+	for _, tn := range [][2]int{{2, 4}, {3, 6}} {
+		t, n := tn[0], tn[1]
+		providers := n + 1
+		for _, overlap := range []float64{0, 0.3, 0.6, 0.9} {
+			datasets := dedupDatasets(cfg, overlap)
+
+			both := newDedupUniverse(providers)
+			u0, err := both.client("user0-key", "u0", t, n)
+			if err != nil {
+				return res, err
+			}
+			if err := uploadDataset(u0, 0, datasets[0]); err != nil {
+				return res, err
+			}
+			single := both.casBytes()
+			u1, err := both.client("user1-key", "u1", t, n)
+			if err != nil {
+				return res, err
+			}
+			if err := uploadDataset(u1, 1, datasets[1]); err != nil {
+				return res, err
+			}
+			cas := both.casBytes()
+
+			alone := newDedupUniverse(providers)
+			s1, err := alone.client("user1-key", "u1", t, n)
+			if err != nil {
+				return res, err
+			}
+			if err := uploadDataset(s1, 1, datasets[1]); err != nil {
+				return res, err
+			}
+			standalone := single + alone.casBytes()
+
+			p := DedupPoint{
+				T: t, N: n, Overlap: overlap,
+				CASBytes:   cas,
+				SingleUser: single,
+				Standalone: standalone,
+			}
+			if standalone > 0 {
+				p.DedupRatio = 1 - float64(cas)/float64(standalone)
+			}
+			if single > 0 {
+				p.VsSingleUser = float64(cas) / float64(single)
+			}
+			res.Points = append(res.Points, p)
+			res.Report.Rows = append(res.Report.Rows, []string{
+				fmt.Sprintf("(%d,%d)", t, n),
+				fmt.Sprintf("%.0f%%", 100*overlap),
+				fmt.Sprintf("%d", cas),
+				fmt.Sprintf("%d", single),
+				fmt.Sprintf("%d", standalone),
+				fmt.Sprintf("%.3f", p.DedupRatio),
+				fmt.Sprintf("%.3f", p.VsSingleUser),
+			})
+		}
+	}
+	res.Report.Notes = append(res.Report.Notes,
+		"dedup ratio = 1 - CAS/no-dedup; at 90% overlap 'vs single' must stay within 1.15 (the PR-6 acceptance bound)",
+		"identical chunks converge to one share object per (provider, index); second user's uploads land as reference tokens")
+	return res, nil
+}

@@ -486,3 +486,34 @@ func TestPipelineStreamingBounds(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Report.Rows))
 	}
 }
+
+func TestDedupSweep(t *testing.T) {
+	// Small files keep the sweep quick; the acceptance bars are size-free
+	// (ratios of measured CSP bytes).
+	res, err := Dedup(DedupConfig{Seed: 7, Files: 10, FileBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 || len(res.Report.Rows) != 8 {
+		t.Fatalf("points = %d rows = %d, want 8 each", len(res.Points), len(res.Report.Rows))
+	}
+	for _, p := range res.Points {
+		// Two users, so the dedup ratio must track overlap/2 (each shared
+		// byte is stored once instead of twice).
+		want := p.Overlap / 2
+		if diff := p.DedupRatio - want; diff < -0.06 || diff > 0.06 {
+			t.Errorf("(%d,%d) overlap %.0f%%: dedup ratio %.3f, want %.3f +- 0.06",
+				p.T, p.N, 100*p.Overlap, p.DedupRatio, want)
+		}
+		if p.Overlap == 0 && p.CASBytes != p.Standalone {
+			t.Errorf("(%d,%d) 0%% overlap: CAS %d != no-dedup baseline %d",
+				p.T, p.N, p.CASBytes, p.Standalone)
+		}
+		// The PR acceptance bar: at 90% overlap the two-user footprint
+		// stays within 1.15x of a single user's.
+		if p.Overlap >= 0.9 && p.VsSingleUser > 1.15 {
+			t.Errorf("(%d,%d) 90%% overlap: %.3fx single-user footprint exceeds 1.15x",
+				p.T, p.N, p.VsSingleUser)
+		}
+	}
+}

@@ -109,6 +109,13 @@ type Options struct {
 	// read-guarantee oracles are unchanged: both planes must satisfy the
 	// same invariants under the same faults.
 	Streaming bool
+
+	// Dedup runs every client in convergent dedup mode (content-addressed
+	// share objects, refcounted GC) with a run-wide deployment secret. All
+	// invariants are checked unchanged — shared shares must not weaken
+	// durability, placement, or t-privacy — and the expected share bytes
+	// are recomputed with the content-derived coders.
+	Dedup bool
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +153,9 @@ var chunkingConfig = chunker.Config{AverageSize: 1024, MinSize: 256, MaxSize: 40
 
 // sharedKey is the user key all clients of a run share.
 const sharedKey = "harness-shared-user-key"
+
+// harnessDedupSecret is the deployment secret of dedup-mode runs.
+const harnessDedupSecret = "harness-deployment-secret"
 
 // AckedWrite is one acknowledged Put: the durability oracle.
 type AckedWrite struct {
@@ -201,7 +211,8 @@ type Harness struct {
 	clients  []*core.Client
 	chunk    *chunker.Chunker
 	coder    *erasure.Coder
-	obs      *obs.Observer // shared by all workload clients
+	conv     *erasure.ConvergentCoder // nil unless Dedup
+	obs      *obs.Observer            // shared by all workload clients
 
 	acked      []AckedWrite
 	ackedByVID map[string][]byte
@@ -231,6 +242,9 @@ func New(opts Options) (*Harness, error) {
 		corrupted:  make(map[string]bool),
 		coder:      erasure.NewCoder(sharedKey),
 		obs:        obs.NewObserver(),
+	}
+	if opts.Dedup {
+		h.conv = erasure.NewConvergentCoder(harnessDedupSecret)
 	}
 	ch, err := chunker.New(chunkingConfig)
 	if err != nil {
@@ -315,6 +329,10 @@ func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, e
 		ClusterOf: h.clusters,
 		Obs:       o,
 		Transfer:  h.opts.Transfer,
+	}
+	if h.opts.Dedup {
+		cfg.DedupMode = true
+		cfg.DedupSecret = harnessDedupSecret
 	}
 	if node != "" {
 		cfg.Runtime = h.net

@@ -184,6 +184,26 @@ func TestScenarios(t *testing.T) {
 			},
 		},
 		{
+			// Convergent dedup mode under crash-and-restart chaos plus
+			// blind-sync windows: content-addressed shares and refcounted
+			// GC must uphold every invariant the legacy namespace does.
+			// The workload's random GC ops land inside and outside the
+			// outage windows, exercising the partial-view sweep gate.
+			name: "dedup-crash-gc",
+			opts: Options{
+				Dedup:   true,
+				Clients: 3,
+				Schedule: Schedule{
+					{At: 20, Act: Crash, CSP: "cspb"},
+					{At: 45, Act: BlindSync},
+					{At: 60, Act: Restart, CSP: "cspb"},
+					{At: 80, Act: Checkpoint},
+					{At: 100, Act: Crash, CSP: "cspd"},
+					{At: 130, Act: Restart, CSP: "cspd"},
+				},
+			},
+		},
+		{
 			// Virtual time: each client reaches the providers over its own
 			// netsim links; mid-run one provider's links collapse to 5% of
 			// their bandwidth, then recover.

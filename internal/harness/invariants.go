@@ -144,7 +144,14 @@ func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
 			if ref, ok := st.chunkRefs[id]; ok {
 				t, n, referenced = ref.T, ref.N, true
 			}
-			shares, err := h.coder.Encode(chunk.Data, t, n)
+			// Dedup runs disperse with the content-derived coder, so the
+			// expected bytes come from it too (the names below already do:
+			// the naming client is in dedup mode whenever the run is).
+			coder := h.coder
+			if h.conv != nil {
+				coder = h.conv.For(id)
+			}
+			shares, err := coder.Encode(chunk.Data, t, n)
 			if err != nil {
 				continue
 			}

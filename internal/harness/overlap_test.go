@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/csp"
+	"repro/internal/metadata"
+)
+
+// TestMultiClientOverlap is the cross-user dedup acceptance test: users
+// with distinct keys concurrently upload datasets at scripted overlap
+// ratios, and the oracles verify the dedup ratio tracks the script while
+// every durability, privacy, placement, and refcount invariant holds.
+func TestMultiClientOverlap(t *testing.T) {
+	seed := baseSeed(t)
+	cases := []struct {
+		name  string
+		users int
+		ratio float64
+	}{
+		{"overlap-0", 2, 0},
+		{"overlap-30", 3, 0.3},
+		{"overlap-90", 2, 0.9},
+	}
+	for i, tc := range cases {
+		tc := tc
+		i := i
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			w, err := newOverlapWorld(OverlapOptions{
+				Seed:    seed + int64(i)*271,
+				Users:   tc.users,
+				Overlap: tc.ratio,
+			})
+			if err != nil {
+				t.Fatalf("newOverlapWorld: %v", err)
+			}
+			ctx := context.Background()
+			if err := w.uploadAll(ctx); err != nil {
+				t.Fatal(err)
+			}
+			rep := w.checkAll(ctx)
+			t.Logf("users=%d overlap=%.0f%% uniqueChunks=%d totalChunks=%d casBytes=%d expected=%d single=%d ratio=%.3f hits=%d misses=%d saved=%d",
+				tc.users, 100*tc.ratio, rep.UniqueChunks, rep.TotalChunks, rep.CASBytes,
+				rep.ExpectedBytes, rep.SingleUser, rep.DedupRatio(), rep.DedupHits, rep.DedupMisses, rep.DedupSaved)
+			for _, v := range rep.Violations {
+				t.Errorf("[%s] %s", v.Invariant, v.Detail)
+			}
+			// The dedup ratio must track the script: a fraction `ratio` of
+			// each user's bytes is stored once instead of `users` times.
+			wantRatio := tc.ratio * float64(tc.users-1) / float64(tc.users)
+			if got := rep.DedupRatio(); math.Abs(got-wantRatio) > 0.05 {
+				t.Errorf("dedup ratio %.3f, want %.3f +- 0.05 (overlap script %.0f%%)", got, wantRatio, 100*tc.ratio)
+			}
+			if tc.ratio > 0 && rep.DedupHits == 0 {
+				t.Errorf("no dedup hits recorded at %.0f%% overlap", 100*tc.ratio)
+			}
+		})
+	}
+}
+
+// refWorld bundles the chaos test's direct backend access: raw RefStore
+// handles for fabricating the provider-side state of crashed clients.
+type refWorld struct {
+	*overlapWorld
+	stores map[string]csp.RefStore
+}
+
+func newRefWorld(t *testing.T, opts OverlapOptions) *refWorld {
+	t.Helper()
+	w, err := newOverlapWorld(opts)
+	if err != nil {
+		t.Fatalf("newOverlapWorld: %v", err)
+	}
+	rw := &refWorld{overlapWorld: w, stores: make(map[string]csp.RefStore)}
+	for name, b := range w.backends {
+		s := cloudsim.NewSimStore(b)
+		if err := s.Authenticate(context.Background(), csp.Credentials{Token: "chaos"}); err != nil {
+			t.Fatal(err)
+		}
+		rw.stores[name] = s
+	}
+	return rw
+}
+
+// fabricateOrphan reproduces what a client crash mid-upload leaves behind:
+// share objects with the user's reference token on the providers, no
+// metadata record anywhere. Returns the chunk's object names.
+func (rw *refWorld) fabricateOrphan(t *testing.T, u int, data []byte) []string {
+	t.Helper()
+	id := metadata.HashData(data)
+	shares, err := rw.conv.For(id).Encode(data, rw.opts.T, rw.opts.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := rw.users[u].RefToken()
+	names := make([]string, rw.opts.N)
+	for i := 0; i < rw.opts.N; i++ {
+		names[i] = rw.users[0].ShareObjectName(id, i, rw.opts.T)
+		provider := rw.names[i%len(rw.names)]
+		if _, err := rw.stores[provider].PutRef(context.Background(), names[i], token, shares[i].Data); err != nil {
+			t.Fatalf("fabricating orphan share on %s: %v", provider, err)
+		}
+	}
+	return names
+}
+
+// objectHolders returns the providers physically holding an object.
+func (rw *refWorld) objectHolders(name string) []string {
+	var out []string
+	for _, cspName := range rw.names {
+		if _, ok := rw.backends[cspName].PeekObject(name); ok {
+			out = append(out, cspName)
+		}
+	}
+	return out
+}
+
+// tokensEverywhere returns the union of an object's token sets across
+// providers (the chaos cases place each object on one provider only).
+func (rw *refWorld) tokensEverywhere(name string) map[string]bool {
+	out := make(map[string]bool)
+	for _, cspName := range rw.names {
+		for _, tok := range rw.backends[cspName].RefTokens(name) {
+			out[tok] = true
+		}
+	}
+	return out
+}
+
+// seqData builds deterministic single-chunk content (below the chunker's
+// MinSize) distinct per salt.
+func seqData(salt byte, size int) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = salt ^ byte(i*7+13)
+	}
+	return data
+}
+
+// TestRefcountChaos drives the refcount GC protocol through its crash
+// windows: a client dying mid-upload, a GC racing a concurrent upload of
+// the same chunk by another user, and a provider outage splitting a GC in
+// half. The invariant throughout: no share is lost while any user
+// references it, and no share outlives its last reference once a
+// full-view GC has run.
+func TestRefcountChaos(t *testing.T) {
+	t.Parallel()
+	rw := newRefWorld(t, OverlapOptions{Seed: baseSeed(t), Users: 2, Files: 1, FileSize: 200})
+	ctx := context.Background()
+	u0, u1 := rw.users[0], rw.users[1]
+
+	// --- Phase A: client crash mid-upload, replayed by GC. ---
+	// u0 owns `live` (content X). u1 crashed mid-upload of the same X plus
+	// private content Y: tokens landed, metadata never did.
+	liveData := seqData(1, 200)
+	if err := u0.Put(ctx, "live", liveData); err != nil {
+		t.Fatal(err)
+	}
+	liveNames := rw.fabricateOrphan(t, 1, liveData) // u1's token joins u0's objects
+	privNames := rw.fabricateOrphan(t, 1, seqData(2, 210))
+
+	if _, err := u1.GC(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range privNames {
+		if holders := rw.objectHolders(name); len(holders) != 0 {
+			t.Errorf("phase A: u1's private orphan %s survived its refcount draining (on %v)", name, holders)
+		}
+	}
+	for _, name := range liveNames {
+		if holders := rw.objectHolders(name); len(holders) == 0 {
+			t.Errorf("phase A: shared share %s lost while u0 still references it", name)
+		}
+		toks := rw.tokensEverywhere(name)
+		if !toks[u0.RefToken()] || toks[u1.RefToken()] {
+			t.Errorf("phase A: %s tokens %v, want exactly u0's", name, toks)
+		}
+	}
+	if got, _, err := u0.Get(ctx, "live"); err != nil || !bytes.Equal(got, liveData) {
+		t.Fatalf("phase A: u0's live file after u1's GC replay: %v", err)
+	}
+
+	// --- Phase B: GC racing a concurrent upload of the same chunk. ---
+	// u0 holds an orphaned copy of Z (a crashed upload); u1 uploads Z live
+	// while u0's GC releases its token. Backend-atomic reference ops make
+	// every interleaving safe: either u1 references the surviving object,
+	// or it recreates the object after the delete.
+	zData := seqData(3, 220)
+	zNames := rw.fabricateOrphan(t, 0, zData)
+	done := make(chan error, 2)
+	go func() {
+		err := u1.Put(ctx, "z-file", zData)
+		done <- err
+	}()
+	go func() {
+		_, err := u0.GC(ctx)
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _, err := u1.Get(ctx, "z-file"); err != nil || !bytes.Equal(got, zData) {
+		t.Fatalf("phase B: u1's file after racing u0's GC: %v", err)
+	}
+	for _, name := range zNames {
+		if toks := rw.tokensEverywhere(name); !toks[u1.RefToken()] {
+			t.Errorf("phase B: %s lacks u1's token after its acknowledged upload", name)
+		}
+	}
+	// A quiescent GC settles any interleaving-dependent leftovers: u0's
+	// token must now be gone from Z (u0 references nothing of it).
+	if _, err := u0.GC(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range zNames {
+		toks := rw.tokensEverywhere(name)
+		if toks[u0.RefToken()] || !toks[u1.RefToken()] {
+			t.Errorf("phase B: %s tokens %v after quiescent GC, want exactly u1's", name, toks)
+		}
+	}
+
+	// --- Phase C: provider outage splits a GC in half. ---
+	// An orphan of u0's sits on three providers; a previous GC died after
+	// releasing the token on the first (its copy drained away), and now a
+	// second provider is down. The next GC must refuse to sweep off the
+	// partial view; the one after the restart finishes the job.
+	wData := seqData(4, 230)
+	wNames := rw.fabricateOrphan(t, 0, wData)
+	firstHolder := rw.objectHolders(wNames[0])[0]
+	if removed, err := rw.stores[firstHolder].DelRef(ctx, wNames[0], u0.RefToken()); err != nil || !removed {
+		t.Fatalf("simulating half-finished GC: removed=%v err=%v", removed, err)
+	}
+	downProvider := rw.objectHolders(wNames[1])[0]
+	rw.backends[downProvider].SetAvailable(false)
+	if _, err := u0.GC(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range wNames[1:] {
+		if len(rw.objectHolders(name)) == 0 {
+			t.Errorf("phase C: %s released off a partial view (provider %s was down)", name, downProvider)
+		}
+	}
+	rw.backends[downProvider].SetAvailable(true)
+	u0.ProbeFailed(ctx)
+	if _, err := u0.GC(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range wNames {
+		if holders := rw.objectHolders(name); len(holders) != 0 {
+			t.Errorf("phase C: orphan %s survived the full-view replay (on %v)", name, holders)
+		}
+	}
+	if got, _, err := u0.Get(ctx, "live"); err != nil || !bytes.Equal(got, liveData) {
+		t.Fatalf("phase C: u0's live file after all sweeps: %v", err)
+	}
+	if got, _, err := u1.Get(ctx, "z-file"); err != nil || !bytes.Equal(got, zData) {
+		t.Fatalf("phase C: u1's file after all sweeps: %v", err)
+	}
+
+	// Global closing invariant: nothing survives with zero references.
+	rw.checkNoZeroRefObjects()
+	for _, v := range rw.report.Violations {
+		t.Errorf("[%s] %s", v.Invariant, v.Detail)
+	}
+}

@@ -111,7 +111,7 @@ func isMetaShare(obj string) bool {
 }
 
 func isChunkShare(obj string) bool {
-	return strings.HasPrefix(obj, core.SharePrefix)
+	return strings.HasPrefix(obj, core.SharePrefix) || core.IsCASShareObjectName(obj)
 }
 
 func isCSPList(obj string) bool {

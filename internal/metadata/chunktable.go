@@ -21,8 +21,15 @@ type ChunkInfo struct {
 	ID     string
 	Size   int64
 	T, N   int
+	CAS    bool           // shares are content-addressed (dedup mode)
 	Shares map[int]string // share index -> CSP
 	Refs   int            // referencing file versions
+
+	// Referencers is the set of referencing version IDs — the per-share
+	// refcount ground truth the dedup GC reconciles provider-side tokens
+	// against. Entries recorded via plain AddRef (no version known) are
+	// counted in Refs but absent here.
+	Referencers map[string]bool
 }
 
 func (c *ChunkInfo) clone() *ChunkInfo {
@@ -30,6 +37,10 @@ func (c *ChunkInfo) clone() *ChunkInfo {
 	cp.Shares = make(map[int]string, len(c.Shares))
 	for k, v := range c.Shares {
 		cp.Shares[k] = v
+	}
+	cp.Referencers = make(map[string]bool, len(c.Referencers))
+	for v := range c.Referencers {
+		cp.Referencers[v] = true
 	}
 	return &cp
 }
@@ -62,19 +73,55 @@ func (t *ChunkTable) Stored(chunkID string) bool {
 // version. For a new chunk the share locations must be supplied; for an
 // existing one shares may be nil (locations are already known).
 func (t *ChunkTable) AddRef(chunk ChunkRef, shares []ShareLoc) {
+	t.AddVersionRef(chunk, shares, "")
+}
+
+// AddVersionRef is AddRef with the referencing version recorded, feeding
+// the Referencers set the dedup GC uses to reconcile provider-side
+// reference tokens. versionID may be empty when unknown. Re-adding a
+// version already recorded is a no-op for the refcount.
+func (t *ChunkTable) AddVersionRef(chunk ChunkRef, shares []ShareLoc, versionID string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	c, ok := t.chunks[chunk.ID]
 	if !ok {
-		c = &ChunkInfo{ID: chunk.ID, Size: chunk.Size, T: chunk.T, N: chunk.N, Shares: make(map[int]string)}
+		c = &ChunkInfo{
+			ID: chunk.ID, Size: chunk.Size, T: chunk.T, N: chunk.N, CAS: chunk.CAS,
+			Shares:      make(map[int]string),
+			Referencers: make(map[string]bool),
+		}
 		t.chunks[chunk.ID] = c
 	}
+	c.CAS = c.CAS || chunk.CAS
 	for _, s := range shares {
 		if s.ChunkID == chunk.ID {
 			c.Shares[s.Index] = s.CSP
 		}
 	}
+	if versionID != "" {
+		if c.Referencers[versionID] {
+			return
+		}
+		c.Referencers[versionID] = true
+	}
 	c.Refs++
+}
+
+// Referencers returns the version IDs recorded as referencing the chunk,
+// sorted; nil if the chunk is unknown.
+func (t *ChunkTable) Referencers(chunkID string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.chunks[chunkID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(c.Referencers))
+	for v := range c.Referencers {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Release decrements a chunk's reference count; at zero the entry is
@@ -185,7 +232,7 @@ func (t *ChunkTable) Rebuild(records []*FileMeta) {
 	t.mu.Unlock()
 	for _, m := range records {
 		for _, c := range m.Chunks {
-			t.AddRef(c, m.SharesOf(c.ID))
+			t.AddVersionRef(c, m.SharesOf(c.ID), m.VersionID())
 		}
 	}
 }

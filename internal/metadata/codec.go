@@ -19,6 +19,11 @@ import (
 //	          u8 deleted | i64 modified(unixnano) | i64 size |
 //	ChunkMap: u32 count | per chunk: str ID | i64 offset | i64 size |
 //	          u16 t | u16 n |
+//
+// The high bit of the chunk's t field is the CAS flag (content-addressed
+// shares, convergent dedup mode); t itself is bounded by erasure.MaxN=128,
+// so the bit is free and records written by older builds decode with the
+// flag clear.
 //	ShareMap: u32 count | per share: str chunkID | u16 index | str csp
 //
 // Strings are u16 length-prefixed UTF-8.
@@ -31,6 +36,9 @@ var (
 )
 
 const codecVersion = 1
+
+// casFlag marks a content-addressed chunk in the high bit of the encoded t.
+const casFlag = 0x8000
 
 // maxCount bounds repeated sections to keep a corrupt length prefix from
 // allocating unbounded memory.
@@ -61,7 +69,11 @@ func Encode(m *FileMeta) ([]byte, error) {
 		writeString(&b, c.ID)
 		writeInt64(&b, c.Offset)
 		writeInt64(&b, c.Size)
-		writeUint16(&b, uint16(c.T))
+		tv := uint16(c.T)
+		if c.CAS {
+			tv |= casFlag
+		}
+		writeUint16(&b, tv)
 		writeUint16(&b, uint16(c.N))
 	}
 	writeUint32(&b, uint32(len(m.Shares)))
@@ -103,7 +115,9 @@ func Decode(data []byte) (*FileMeta, error) {
 		c.ID = r.str()
 		c.Offset = r.i64()
 		c.Size = r.i64()
-		c.T = int(r.u16())
+		tv := r.u16()
+		c.CAS = tv&casFlag != 0
+		c.T = int(tv &^ casFlag)
 		c.N = int(r.u16())
 		m.Chunks = append(m.Chunks, c)
 	}

@@ -44,6 +44,7 @@ type ChunkRef struct {
 	Offset int64  // position of the chunk in the file
 	Size   int64  // chunk size in bytes
 	T, N   int    // secret-sharing parameters used for this chunk
+	CAS    bool   // shares are content-addressed (convergent dedup mode)
 }
 
 // ShareLoc is one row of the ShareMap: where one share lives.

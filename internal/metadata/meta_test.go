@@ -162,6 +162,44 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// The CAS flag rides the high bit of the encoded t: it must round-trip,
+// leave t intact, and stay invisible to records that never set it (wire
+// compatibility with pre-dedup builds).
+func TestEncodeDecodeCASFlag(t *testing.T) {
+	t.Parallel()
+	m := buildMeta("f", "cas-content", "", "c1", false, t0, 2, 4, 512, 256)
+	m.Chunks[0].CAS = true
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Chunks[0].CAS || got.Chunks[1].CAS {
+		t.Fatalf("CAS flags = %v, %v; want true, false", got.Chunks[0].CAS, got.Chunks[1].CAS)
+	}
+	if got.Chunks[0].T != 2 || got.Chunks[0].N != 4 {
+		t.Fatalf("CAS flag leaked into parameters: t=%d n=%d", got.Chunks[0].T, got.Chunks[0].N)
+	}
+
+	// A record without the flag encodes byte-identically to one whose CAS
+	// fields were never touched — the flag is opt-in on the wire.
+	plain := buildMeta("f", "cas-content", "", "c1", false, t0, 2, 4, 512, 256)
+	enc1, _ := Encode(plain)
+	var zeroed = *got
+	zeroed.Chunks = append([]ChunkRef(nil), got.Chunks...)
+	zeroed.Chunks[0].CAS = false
+	enc2, err := Encode(&zeroed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Fatal("clearing CAS does not restore the pre-dedup encoding")
+	}
+}
+
 func TestEncodeDeterministic(t *testing.T) {
 	t.Parallel()
 	m := buildMeta("f", "v", "", "c", false, t0, 2, 3, 64)

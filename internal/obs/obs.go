@@ -59,6 +59,11 @@ type Observer struct {
 	pipeStalls   *CounterVec
 	pipeBufBytes *GaugeVec
 	pipeBufPeak  *GaugeVec
+
+	// Convergent-dedup instrument families (core's CAS upload path).
+	dedupHits       *CounterVec
+	dedupMisses     *CounterVec
+	dedupBytesSaved *CounterVec
 }
 
 // NewObserver builds an Observer with a fresh registry, scoreboard, and
@@ -97,6 +102,10 @@ func NewObserver() *Observer {
 		pipeStalls:   reg.Counter(MetricPipelineStalls, "Times the streaming pipeline blocked on a full window by direction.", "dir"),
 		pipeBufBytes: reg.Gauge(MetricPipelineBufferBytes, "Accounted data-plane payload bytes currently resident."),
 		pipeBufPeak:  reg.Gauge(MetricPipelineBufferPeak, "High-water accounted data-plane payload bytes."),
+
+		dedupHits:       reg.Counter(MetricDedupHits, "Share uploads avoided because the csp already held the object.", "csp"),
+		dedupMisses:     reg.Counter(MetricDedupMisses, "Content-addressed shares actually stored by csp.", "csp"),
+		dedupBytesSaved: reg.Counter(MetricDedupBytesSaved, "Share payload bytes not uploaded thanks to dedup, by csp.", "csp"),
 	}
 	return o
 }
@@ -372,4 +381,26 @@ func (o *Observer) SpansHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(o.RecentSpans())
 	})
+}
+
+// DedupHit records one content-addressed share the provider already held:
+// the existence probe sufficed and bytesSaved share payload bytes were
+// never uploaded. Nil-safe.
+func (o *Observer) DedupHit(cspName string, bytesSaved int64) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.dedupHits.With(cspName).Inc()
+	if bytesSaved > 0 {
+		o.dedupBytesSaved.With(cspName).Add(bytesSaved)
+	}
+}
+
+// DedupMiss records one content-addressed share that had to be stored.
+// Nil-safe.
+func (o *Observer) DedupMiss(cspName string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.dedupMisses.With(cspName).Inc()
 }

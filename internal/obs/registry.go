@@ -59,6 +59,13 @@ const (
 	MetricPipelineStalls      = "cyrus_pipeline_stalls_total"
 	MetricPipelineBufferBytes = "cyrus_pipeline_buffer_bytes"
 	MetricPipelineBufferPeak  = "cyrus_pipeline_buffer_peak_bytes"
+
+	// Convergent-dedup instrumentation (core's content-addressed upload
+	// path): a hit is a share the provider already held (probe only, no
+	// payload), a miss is a share that had to be stored.
+	MetricDedupHits       = "cyrus_dedup_hits_total"
+	MetricDedupMisses     = "cyrus_dedup_misses_total"
+	MetricDedupBytesSaved = "cyrus_dedup_bytes_saved_total"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.

@@ -666,3 +666,45 @@ func TestEngineRace(t *testing.T) {
 		}
 	}
 }
+
+// Batch returns one error slot per attempt: successes, not-found probes,
+// and skips land in their own slots instead of collapsing to a first
+// error, and a provider-fault failure still feeds the shared failed set
+// so later attempts against that provider are skipped.
+func TestBatchPerAttemptOutcomes(t *testing.T) {
+	e, nw := newSimEngine(Tunables{Attempts: 1}, nil)
+
+	var errs []error
+	nw.Run(func() {
+		op := e.Begin(context.Background())
+		defer op.Finish()
+		op.MarkFailed("cspdown")
+		errs = op.Batch(op.Context(), []Attempt{
+			{CSP: "cspa", Kind: "ref", Run: func(ctx context.Context) (int64, error) { return 0, nil }},
+			{CSP: "cspb", Kind: "ref", Run: func(ctx context.Context) (int64, error) { return 0, csp.ErrNotFound }},
+			{CSP: "cspdown", Kind: "ref", Run: func(ctx context.Context) (int64, error) { return 0, nil }},
+			{CSP: "cspc", Kind: "ref", Run: func(ctx context.Context) (int64, error) { return 0, csp.ErrUnavailable }},
+		})
+		// The fault on cspc marked it failed; a follow-up batch skips it.
+		follow := op.Batch(op.Context(), []Attempt{
+			{CSP: "cspc", Kind: "ref", Run: func(ctx context.Context) (int64, error) { return 0, nil }},
+		})
+		errs = append(errs, follow...)
+	})
+
+	if errs[0] != nil {
+		t.Errorf("slot 0 = %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], csp.ErrNotFound) {
+		t.Errorf("slot 1 = %v, want ErrNotFound", errs[1])
+	}
+	if !errors.Is(errs[2], ErrSkipped) {
+		t.Errorf("slot 2 = %v, want ErrSkipped", errs[2])
+	}
+	if !errors.Is(errs[3], csp.ErrUnavailable) {
+		t.Errorf("slot 3 = %v, want ErrUnavailable", errs[3])
+	}
+	if !errors.Is(errs[4], ErrSkipped) {
+		t.Errorf("slot 4 = %v, want ErrSkipped after provider fault", errs[4])
+	}
+}
