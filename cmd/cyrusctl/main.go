@@ -28,9 +28,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/cyrus"
 )
@@ -66,12 +69,17 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate|stats> ...")
+		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate|stats|flightdump|top> ...")
 	}
 	cmd, rest := rest[0], rest[1:]
 
 	if cmd == "init" {
 		return cmdInit(*cfgPath, rest)
+	}
+	if cmd == "flightdump" && hasFlag(rest, "-url") {
+		// Remote mode needs no config file: the dump comes from a running
+		// server's /debug/flightrecorder endpoint.
+		return cmdFlightdump(context.Background(), nil, rest)
 	}
 	client, err := openClient(*cfgPath)
 	if err != nil {
@@ -107,6 +115,10 @@ func run(args []string) error {
 		return cmdProbe(ctx, client)
 	case "stats":
 		return cmdStats(ctx, client, rest)
+	case "flightdump":
+		return cmdFlightdump(ctx, client, rest)
+	case "top":
+		return cmdTop(ctx, client, rest)
 	case "reinstate":
 		return cmdReinstate(ctx, client, rest)
 	case "rmcsp":
@@ -232,6 +244,126 @@ func cmdStats(ctx context.Context, c *cyrus.Client, args []string) error {
 			r.DownlinkBps, r.UplinkBps, state, r.LastError)
 	}
 	return nil
+}
+
+// hasFlag reports whether args carries the given flag name.
+func hasFlag(args []string, name string) bool {
+	for _, a := range args {
+		if a == name || strings.HasPrefix(a, name+"=") {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdFlightdump captures a flight-recorder dump. With -url it fetches a
+// running server's /debug/flightrecorder (POST forces a fresh dump there);
+// without it, it opens the local cloud, syncs once to generate activity,
+// forces a manual dump, and prints it.
+func cmdFlightdump(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("flightdump", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of a running server (fetches its /debug/flightrecorder)")
+	out := fs.String("o", "", "write the dump to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var data []byte
+	if *url != "" {
+		resp, err := http.Post(strings.TrimSuffix(*url, "/")+"/debug/flightrecorder", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("flightdump: %s returned %s", *url, resp.Status)
+		}
+		if data, err = io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+	} else {
+		o := c.Observer()
+		if o == nil {
+			return fmt.Errorf("flightdump: client has no observer attached")
+		}
+		if _, err := c.Sync(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "flightdump: sync:", err)
+		}
+		dump := o.FlightDump(cyrus.FlightTriggerManual, "cyrusctl")
+		var err error
+		if data, err = json.MarshalIndent(dump, "", "  "); err != nil {
+			return err
+		}
+		data = append(data, '\n')
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("flight dump written to %s (%d bytes)\n", *out, len(data))
+		return nil
+	}
+	_, err := os.Stdout.Write(data)
+	return err
+}
+
+// cmdTop is a live per-CSP load view: every interval it syncs (touching
+// every reachable provider) and redraws a table of in-flight counts, queue
+// depth, latency EWMA, predicted completion time, and the SLO burn
+// counters. -count bounds the iterations (0 = until interrupted).
+func cmdTop(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("count", 0, "iterations before exiting (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := c.Observer()
+	if o == nil {
+		return fmt.Errorf("top: client has no observer attached")
+	}
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(*interval):
+			}
+		}
+		if _, err := c.Sync(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "top: sync:", err)
+		}
+		printTop(o)
+	}
+	return nil
+}
+
+func printTop(o *cyrus.Observer) {
+	fmt.Printf("-- %s --\n", time.Now().Format("15:04:05"))
+	fmt.Printf("%-12s %8s %6s %10s %12s %8s %-6s\n",
+		"CSP", "INFLIGHT", "QUEUE", "EWMA(ms)", "PREDICT(ms)", "SAMPLES", "STATE")
+	health := map[string]cyrus.CSPHealth{}
+	for _, h := range o.Health().Snapshot() {
+		health[h.CSP] = h
+	}
+	for _, l := range o.LoadStats() {
+		state := "up"
+		if health[l.CSP].Down {
+			state = "DOWN"
+		}
+		fmt.Printf("%-12s %8d %6d %10.2f %12.2f %8d %-6s\n",
+			l.CSP, l.Current.InFlight, l.Current.QueueDepth,
+			l.Current.EWMALatencySeconds*1000, l.Current.PredictedSeconds*1000,
+			len(l.Window), state)
+	}
+	s := o.Registry().Snapshot()
+	for _, op := range []string{"put", "get", "sync", "migrate", "gc"} {
+		okP, _ := s.Find(cyrus.MetricSLOOK, map[string]string{"op": op})
+		brP, hasBr := s.Find(cyrus.MetricSLOBreach, map[string]string{"op": op})
+		if okP.Value == 0 && (!hasBr || brP.Value == 0) {
+			continue
+		}
+		fmt.Printf("slo %-8s ok=%.0f breach=%.0f\n", op, okP.Value, brP.Value)
+	}
 }
 
 func cmdReinstate(ctx context.Context, c *cyrus.Client, args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -126,4 +127,39 @@ func TestCLIErrors(t *testing.T) {
 	if err := ctl(t, cfg, "bogus"); err == nil {
 		t.Fatal("unknown command accepted")
 	}
+}
+
+// TestCLIFlightdumpAndTop: the diagnosis commands work against a local
+// cloud — flightdump writes a populated manual dump, top renders one
+// refresh without blocking.
+func TestCLIFlightdumpAndTop(t *testing.T) {
+	cfg, dir := setup(t)
+	src := filepath.Join(dir, "payload.txt")
+	if err := os.WriteFile(src, []byte(strings.Repeat("flight data ", 200)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustCtl(t, cfg, "put", src)
+
+	out := filepath.Join(dir, "dump.json")
+	mustCtl(t, cfg, "flightdump", "-o", out)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Seq    uint64 `json:"seq"`
+		Reason string `json:"reason"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if dump.Seq == 0 || !strings.HasPrefix(dump.Reason, "manual") || len(dump.Events) == 0 {
+		t.Errorf("dump = seq %d reason %q with %d events; want populated manual dump",
+			dump.Seq, dump.Reason, len(dump.Events))
+	}
+
+	mustCtl(t, cfg, "top", "-count", "1", "-interval", "1ms")
 }

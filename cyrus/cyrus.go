@@ -81,6 +81,19 @@ type (
 	CSPHealth = obs.CSPHealth
 	// MetricsSnapshot is a point-in-time copy of an Observer's registry.
 	MetricsSnapshot = obs.Snapshot
+	// ObserverOptions tunes an observer built with NewObserverWith (span
+	// ring size, SLO objectives, flight recorder, load telemetry).
+	ObserverOptions = obs.Options
+	// FlightDump is one flight-recorder snapshot (trigger, event ring,
+	// open spans).
+	FlightDump = obs.FlightDump
+	// FlightEvent is one structured entry in the flight-recorder ring.
+	FlightEvent = obs.FlightEvent
+	// CSPLoad is one provider's load-telemetry view (current sample plus
+	// the retained window).
+	CSPLoad = obs.CSPLoad
+	// LoadSample is one sampled point of a provider's load vector.
+	LoadSample = obs.LoadSample
 
 	// Store is the five-call provider interface (authenticate, list,
 	// upload, download, delete) CYRUS requires of a CSP.
@@ -89,6 +102,15 @@ type (
 	Credentials = csp.Credentials
 	// Profile is a provider descriptor (the paper's Table-2 registry).
 	Profile = csp.Profile
+)
+
+// Flight-recorder trigger reason classes and the SLO metric names surfaced
+// to CLI/tooling consumers.
+const (
+	FlightTriggerManual    = obs.TriggerManual
+	FlightTriggerInvariant = obs.TriggerInvariant
+	MetricSLOOK            = obs.MetricSLOOK
+	MetricSLOBreach        = obs.MetricSLOBreach
 )
 
 // Errors a caller is expected to branch on.
@@ -108,6 +130,11 @@ func New(cfg Config, stores []Store) (*Client, error) {
 // NewObserver builds an empty observability bundle to pass as Config.Obs
 // (and to share with an HTTP server's /metrics endpoint).
 func NewObserver() *Observer { return obs.NewObserver() }
+
+// NewObserverWith builds an observability bundle with explicit options
+// (flight-recorder tuning, SLO objectives, span-ring and load-window
+// sizes).
+func NewObserverWith(opts ObserverOptions) *Observer { return obs.NewObserverWith(opts) }
 
 // NewDirStore returns a provider backed by a local directory — the
 // simplest way to run a real CYRUS cloud without commercial accounts

@@ -145,6 +145,19 @@ type Config struct {
 	// concurrently, so client memory is O(PipelineDepth × MaxSize × n/t)
 	// instead of O(file). Default 4.
 	PipelineDepth int
+
+	// SLOObjectives merges per-op latency objectives into the observer's
+	// SLO tracker (positive sets, negative removes, zero entries are
+	// skipped; obs.DefaultSLOObjectives apply underneath). Only meaningful
+	// when Obs is set.
+	SLOObjectives map[string]time.Duration
+
+	// FlightTriggerMultiple overrides the flight recorder's latency-anomaly
+	// threshold: an operation whose latency exceeds this multiple of its
+	// own EWMA dumps the recorder. 0 keeps the observer's configured value
+	// (default 8); negative disables the latency trigger. Only meaningful
+	// when Obs is set.
+	FlightTriggerMultiple float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -290,6 +303,10 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		// re-deriving timing.
 		c.obs.SetClock(c.rt.Now)
 		c.events.subscribe(c.observeEvent)
+		// Deep-diagnosis knobs. Both are idempotent merges, so sharing one
+		// observer across clients (the chaos harness) stays coherent.
+		c.obs.SetSLOObjectives(full.SLOObjectives)
+		c.obs.Recorder().SetTriggerMultiple(full.FlightTriggerMultiple)
 	}
 	for _, s := range stores {
 		if err := c.AddCSP(s); err != nil {

@@ -98,7 +98,7 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 		p := window[0]
 		window = window[1:]
 		if stallable && !p.done.Load() {
-			c.obs.PipelineStall("put")
+			c.obs.PipelineStall(ctx, "put")
 		}
 		p.g.Wait()
 		c.obs.PipelineInflight("put", len(window))
@@ -417,7 +417,7 @@ func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, leng
 		e := window[0]
 		window = window[1:]
 		if stallable && !e.res.done.Load() {
-			c.obs.PipelineStall("get")
+			c.obs.PipelineStall(ctx, "get")
 		}
 		e.res.g.Wait()
 		if e.res.err != nil {

@@ -116,6 +116,21 @@ type Options struct {
 	// durability, placement, or t-privacy — and the expected share bytes
 	// are recomputed with the content-derived coders.
 	Dedup bool
+
+	// Recorder, when set, tunes the shared observer's flight recorder
+	// (trigger thresholds, ring capacity, dump retention). nil keeps the
+	// observer defaults — the recorder itself is always attached.
+	Recorder *obs.RecorderConfig
+
+	// FailureThreshold overrides every client's provider-failure estimator
+	// window (core default 24h). Chaos scenarios that want csp.down
+	// transitions — and the flight-recorder triggers hanging off them —
+	// within a few virtual seconds must lower it.
+	FailureThreshold time.Duration
+
+	// SLOObjectives overrides per-op latency objectives on the shared
+	// observer (netsim latencies sit far below the WAN defaults).
+	SLOObjectives map[string]time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -188,6 +203,12 @@ type Report struct {
 	// inspector traffic (inspectors carry no observer). Two runs of the same
 	// scenario produce comparable snapshots.
 	Metrics *obs.Snapshot
+
+	// FlightDumps are the flight-recorder dumps retained at the end of the
+	// run: anomaly-triggered dumps from the workload plus one dump per
+	// invariant violation (violate() force-dumps so the event context of a
+	// breach is preserved for post-hoc diagnosis).
+	FlightDumps []obs.FlightDump
 }
 
 // String renders a one-line summary plus any violations.
@@ -241,8 +262,12 @@ func New(opts Options) (*Harness, error) {
 		lastAcked:  make(map[string][]byte),
 		corrupted:  make(map[string]bool),
 		coder:      erasure.NewCoder(sharedKey),
-		obs:        obs.NewObserver(),
 	}
+	oo := obs.Options{SLOObjectives: opts.SLOObjectives}
+	if opts.Recorder != nil {
+		oo.Recorder = *opts.Recorder
+	}
+	h.obs = obs.NewObserverWith(oo)
 	if opts.Dedup {
 		h.conv = erasure.NewConvergentCoder(harnessDedupSecret)
 	}
@@ -320,15 +345,16 @@ func New(opts Options) (*Harness, error) {
 // clients stay out of the workload's metrics).
 func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, error) {
 	cfg := core.Config{
-		ClientID:  id,
-		Key:       sharedKey,
-		T:         h.opts.T,
-		N:         h.opts.N,
-		MetaT:     h.opts.MetaT,
-		Chunking:  chunkingConfig,
-		ClusterOf: h.clusters,
-		Obs:       o,
-		Transfer:  h.opts.Transfer,
+		ClientID:         id,
+		Key:              sharedKey,
+		T:                h.opts.T,
+		N:                h.opts.N,
+		MetaT:            h.opts.MetaT,
+		Chunking:         chunkingConfig,
+		ClusterOf:        h.clusters,
+		Obs:              o,
+		Transfer:         h.opts.Transfer,
+		FailureThreshold: h.opts.FailureThreshold,
 	}
 	if h.opts.Dedup {
 		cfg.DedupMode = true
@@ -383,6 +409,7 @@ func (h *Harness) Run(ctx context.Context) *Report {
 		snap := h.obs.Registry().Snapshot()
 		h.report.Metrics = &snap
 		h.checkpoint(ctx)
+		h.report.FlightDumps = h.obs.FlightDumps()
 	}
 	if h.net != nil {
 		h.net.Run(body)
@@ -392,9 +419,13 @@ func (h *Harness) Run(ctx context.Context) *Report {
 	return &h.report
 }
 
-// violate records one invariant breach.
+// violate records one invariant breach and force-dumps the flight
+// recorder, so the event context leading up to the breach survives for
+// post-hoc diagnosis (CI uploads the dumps as artifacts on failure).
 func (h *Harness) violate(invariant, format string, args ...any) {
-	h.report.Violations = append(h.report.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	detail := fmt.Sprintf(format, args...)
+	h.report.Violations = append(h.report.Violations, Violation{Invariant: invariant, Detail: detail})
+	h.obs.FlightDump(obs.TriggerInvariant, invariant+": "+detail)
 }
 
 // randBytes draws n deterministic pseudo-random bytes.

@@ -2,8 +2,12 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -22,7 +26,9 @@ func baseSeed(t *testing.T) int64 {
 }
 
 // runScenario executes one configured run and fails the test on any
-// invariant violation.
+// invariant violation. When a run fails and CYRUS_FLIGHT_OUT names a
+// directory, the run's flight-recorder dumps are written there — CI
+// uploads them as artifacts so anomalies stay diagnosable post-hoc.
 func runScenario(t *testing.T, opts Options) *Report {
 	t.Helper()
 	h, err := New(opts)
@@ -35,11 +41,43 @@ func runScenario(t *testing.T, opts Options) *Report {
 		for _, v := range rep.Violations {
 			t.Errorf("[%s] %s", v.Invariant, v.Detail)
 		}
+		writeFlightDumps(t, rep)
 	}
 	if rep.Acked == 0 {
 		t.Errorf("no Put was ever acknowledged — the scenario exercised nothing")
 	}
 	return rep
+}
+
+// writeFlightDumps exports a failed run's flight dumps to the directory
+// named by CYRUS_FLIGHT_OUT (no-op when unset).
+func writeFlightDumps(t *testing.T, rep *Report) {
+	t.Helper()
+	dir := os.Getenv("CYRUS_FLIGHT_OUT")
+	if dir == "" || len(rep.FlightDumps) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("flight dumps: mkdir %s: %v", dir, err)
+		return
+	}
+	for _, d := range rep.FlightDumps {
+		data, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			continue
+		}
+		name := fmt.Sprintf("%s-flight-%d.json", sanitizeName(t.Name()), d.Seq)
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			t.Logf("flight dumps: write %s: %v", name, err)
+			continue
+		}
+		t.Logf("flight dump written to %s", filepath.Join(dir, name))
+	}
+}
+
+// sanitizeName flattens a subtest path into a file-name-safe token.
+func sanitizeName(name string) string {
+	return strings.NewReplacer("/", "_", " ", "_").Replace(name)
 }
 
 // TestScenarios is the chaos suite: every named fault pattern must leave

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Load telemetry: per-CSP sampled time-series windows of the signals the
+// load-aware redundancy scheduler (ROADMAP item 5) needs as inputs — queue
+// depth, in-flight attempts, the scoreboard's request-latency EWMA, and a
+// predicted completion time for a newly enqueued request. Following Ghosh's
+// observation that redundancy tuning is only sound when the load vector is
+// actually measured, the tracker samples on the transfer engine's own
+// events (no background goroutine — it stays correct under netsim virtual
+// time) and publishes both live gauges and a bounded per-CSP window through
+// the snapshot API.
+
+// LoadSample is one sampled point of a provider's load vector.
+type LoadSample struct {
+	At                 time.Time `json:"at"`
+	InFlight           int       `json:"in_flight"`
+	QueueDepth         int       `json:"queue_depth"`
+	EWMALatencySeconds float64   `json:"ewma_latency_seconds"`
+	// PredictedSeconds estimates how long a request enqueued now would
+	// take: the latency EWMA stacked behind the requests already in
+	// flight, EWMA × (1 + in-flight).
+	PredictedSeconds float64 `json:"predicted_seconds"`
+}
+
+// CSPLoad is one provider's load view: the most recent sample plus the
+// retained window, oldest first.
+type CSPLoad struct {
+	CSP     string       `json:"csp"`
+	Current LoadSample   `json:"current"`
+	Window  []LoadSample `json:"window,omitempty"`
+}
+
+// LoadConfig tunes the load tracker. Zero values take the defaults.
+type LoadConfig struct {
+	// Window is how many samples are retained per CSP. Default 64.
+	Window int
+	// SampleInterval is the minimum spacing between retained samples per
+	// CSP (event-driven sampling can fire far faster than a window wants).
+	// Default 100ms; negative retains every sample.
+	SampleInterval time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// cspLoadState is one provider's live counters plus its sample ring.
+type cspLoadState struct {
+	inFlight int
+	ring     []LoadSample
+	pos      int
+	full     bool
+	lastAt   time.Time
+	sampled  bool
+}
+
+// loadTracker aggregates the load vector. It is fed from the observer's
+// transfer instrumentation (in-flight and queue-depth gauge updates, and
+// successful provider contacts) and reads the scoreboard for the latency
+// EWMA, never the other way around.
+type loadTracker struct {
+	o   *Observer
+	cfg LoadConfig
+
+	ewmaGauge      *GaugeVec   // cyrus_load_ewma_latency_seconds{csp}
+	predictedGauge *GaugeVec   // cyrus_load_predicted_completion_seconds{csp}
+	samplesTotal   *CounterVec // cyrus_load_samples_total{csp}
+
+	mu    sync.Mutex
+	csps  map[string]*cspLoadState
+	queue int // global queue depth (the engine's admission queue is global)
+}
+
+func newLoadTracker(o *Observer, cfg LoadConfig) *loadTracker {
+	return &loadTracker{
+		o:              o,
+		cfg:            cfg.withDefaults(),
+		ewmaGauge:      o.reg.Gauge(MetricLoadEWMA, "Scoreboard request-latency EWMA by csp, sampled on load events.", "csp"),
+		predictedGauge: o.reg.Gauge(MetricLoadPredicted, "Predicted completion time for a request enqueued now, by csp.", "csp"),
+		samplesTotal:   o.reg.Counter(MetricLoadSamples, "Load samples retained in the telemetry window, by csp.", "csp"),
+		csps:           make(map[string]*cspLoadState),
+	}
+}
+
+func (t *loadTracker) state(cspName string) *cspLoadState {
+	st, ok := t.csps[cspName]
+	if !ok {
+		st = &cspLoadState{}
+		t.csps[cspName] = st
+	}
+	return st
+}
+
+// inFlight folds an in-flight gauge update into the tracker and samples.
+// The transition back to idle bypasses the spacing gate: if the final
+// decrement were dropped, the window's newest sample would report the
+// provider as loaded forever.
+func (t *loadTracker) inFlight(cspName string, n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	st := t.state(cspName)
+	idled := n == 0 && st.inFlight != 0
+	st.inFlight = n
+	t.sampleLocked(cspName, idled)
+	t.mu.Unlock()
+}
+
+// queueDepth folds the engine's global admission-queue depth in.
+func (t *loadTracker) queueDepth(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.queue = n
+	t.mu.Unlock()
+}
+
+// contact samples on a completed provider contact — the moment the
+// scoreboard EWMA just moved.
+func (t *loadTracker) contact(cspName string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sampleLocked(cspName, false)
+	t.mu.Unlock()
+}
+
+// sampleLocked takes one sample for cspName if the spacing gate allows
+// (or unconditionally when forced). Caller holds t.mu. The scoreboard has
+// its own lock and never calls into the tracker, so reading it under t.mu
+// cannot deadlock.
+func (t *loadTracker) sampleLocked(cspName string, force bool) {
+	st := t.state(cspName)
+	now := t.o.now()
+	if !force && st.sampled && t.cfg.SampleInterval > 0 && now.Sub(st.lastAt) < t.cfg.SampleInterval {
+		return
+	}
+	ewma := t.o.health.Latency(cspName).Seconds()
+	s := LoadSample{
+		At:                 now,
+		InFlight:           st.inFlight,
+		QueueDepth:         t.queue,
+		EWMALatencySeconds: ewma,
+		PredictedSeconds:   ewma * float64(1+st.inFlight),
+	}
+	if st.ring == nil {
+		st.ring = make([]LoadSample, t.cfg.Window)
+	}
+	st.ring[st.pos] = s
+	st.pos = (st.pos + 1) % len(st.ring)
+	if st.pos == 0 {
+		st.full = true
+	}
+	st.lastAt, st.sampled = now, true
+	t.ewmaGauge.With(cspName).Set(s.EWMALatencySeconds)
+	t.predictedGauge.With(cspName).Set(s.PredictedSeconds)
+	t.samplesTotal.With(cspName).Inc()
+}
+
+// snapshot returns every provider's load view, sorted by name.
+func (t *loadTracker) snapshot() []CSPLoad {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]CSPLoad, 0, len(t.csps))
+	for name, st := range t.csps {
+		var window []LoadSample
+		if st.ring != nil {
+			if st.full {
+				window = make([]LoadSample, 0, len(st.ring))
+				window = append(window, st.ring[st.pos:]...)
+				window = append(window, st.ring[:st.pos]...)
+			} else {
+				window = append([]LoadSample(nil), st.ring[:st.pos]...)
+			}
+		}
+		cl := CSPLoad{CSP: name, Window: window}
+		if n := len(window); n > 0 {
+			cl.Current = window[n-1]
+		}
+		out = append(out, cl)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].CSP < out[j].CSP })
+	return out
+}
+
+// LoadStats returns the per-CSP load telemetry windows, sorted by provider
+// name — the input vector for the load-aware scheduler. Nil-safe.
+func (o *Observer) LoadStats() []CSPLoad {
+	if o == nil {
+		return nil
+	}
+	return o.load.snapshot()
+}

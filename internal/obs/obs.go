@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,7 +29,13 @@ type Observer struct {
 
 	nextSpanID atomic.Uint64
 	ring       spanRing
+	openSpans  openSpanTable
 	started    time.Time
+
+	// Deep-diagnosis layer: flight recorder, SLO tracker, load telemetry.
+	rec  *FlightRecorder
+	slo  *sloTracker
+	load *loadTracker
 
 	// Pre-registered instrument families (see the Metric* constants).
 	opDur     *HistogramVec
@@ -66,15 +74,38 @@ type Observer struct {
 	dedupBytesSaved *CounterVec
 }
 
+// Options tunes an Observer beyond the defaults. The zero value is valid
+// and equivalent to NewObserver().
+type Options struct {
+	// SpanRing overrides the finished-span ring capacity (default 512).
+	// Open spans are pinned separately and never evicted, so this only
+	// bounds post-hoc history depth.
+	SpanRing int
+	// SLOObjectives merges per-op latency objectives over
+	// DefaultSLOObjectives (positive sets, negative removes, zero skips).
+	SLOObjectives map[string]time.Duration
+	// Recorder tunes the flight recorder (ring capacity, trigger
+	// thresholds, dump retention and directory).
+	Recorder RecorderConfig
+	// Load tunes the per-CSP load-telemetry windows.
+	Load LoadConfig
+}
+
 // NewObserver builds an Observer with a fresh registry, scoreboard, and
 // the real clock (core.New re-points the clock at the client's runtime).
 func NewObserver() *Observer {
+	return NewObserverWith(Options{})
+}
+
+// NewObserverWith builds an Observer with the given options.
+func NewObserverWith(opts Options) *Observer {
 	reg := NewRegistry()
 	o := &Observer{
 		reg:     reg,
 		health:  NewScoreboard(),
 		clock:   time.Now,
 		started: time.Now(),
+		ring:    spanRing{size: opts.SpanRing},
 
 		opDur:     reg.Histogram(MetricOpDuration, "Client operation latency by op.", nil, "op"),
 		opsTotal:  reg.Counter(MetricOpsTotal, "Client operations by op and result.", "op", "result"),
@@ -107,7 +138,48 @@ func NewObserver() *Observer {
 		dedupMisses:     reg.Counter(MetricDedupMisses, "Content-addressed shares actually stored by csp.", "csp"),
 		dedupBytesSaved: reg.Counter(MetricDedupBytesSaved, "Share payload bytes not uploaded thanks to dedup, by csp.", "csp"),
 	}
+	o.rec = newFlightRecorder(o, opts.Recorder)
+	o.slo = newSLOTracker(reg, opts.SLOObjectives)
+	o.load = newLoadTracker(o, opts.Load)
 	return o
+}
+
+// Recorder returns the observer's flight recorder (nil for a nil
+// Observer).
+func (o *Observer) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// FlightDump forces a flight-recorder dump now. reasonClass should be one
+// of the Trigger* constants (TriggerManual for API/CLI callers,
+// TriggerInvariant for the harness); detail is free-form context appended
+// to the dump reason. Nil-safe.
+func (o *Observer) FlightDump(reasonClass, detail string) FlightDump {
+	if o == nil {
+		return FlightDump{}
+	}
+	return o.rec.Dump(reasonClass, detail)
+}
+
+// FlightDumps returns the retained flight-recorder dumps, oldest first.
+// Nil-safe.
+func (o *Observer) FlightDumps() []FlightDump {
+	if o == nil {
+		return nil
+	}
+	return o.rec.Dumps()
+}
+
+// FlightEvents returns the flight recorder's current event ring, oldest
+// first. Nil-safe.
+func (o *Observer) FlightEvents() []FlightEvent {
+	if o == nil {
+		return nil
+	}
+	return o.rec.Events()
 }
 
 // Registry returns the underlying metrics registry (nil for a nil
@@ -179,6 +251,7 @@ func (o *Observer) CSPRequest(cspName string, err error, elapsed time.Duration) 
 	if err == nil {
 		o.cspReqDur.With(cspName).Observe(elapsed.Seconds())
 		o.health.RecordSuccess(cspName, at, elapsed)
+		o.load.contact(cspName)
 		return
 	}
 	o.health.RecordFailure(cspName, at, err)
@@ -196,6 +269,7 @@ func (o *Observer) CSPDownState(cspName string, down bool) {
 	}
 	o.cspDown.With(cspName).Set(v)
 	o.health.SetDown(cspName, down)
+	o.rec.cspTransition(cspName, down)
 }
 
 // CSPBandwidth records the client's current link estimates (bytes/second;
@@ -228,12 +302,14 @@ func (o *Observer) TransferEvent(eventType, cspName, dir string, bytes int64, er
 }
 
 // TransferInFlight records a provider's current in-flight attempt count
-// (the transfer engine's per-CSP gauge). Nil-safe.
+// (the transfer engine's per-CSP gauge) and samples the load-telemetry
+// window. Nil-safe.
 func (o *Observer) TransferInFlight(cspName string, n int) {
 	if o == nil || cspName == "" {
 		return
 	}
 	o.xferInFlight.With(cspName).Set(float64(n))
+	o.load.inFlight(cspName, n)
 }
 
 // TransferInFlightPeak records a provider's high-water in-flight count.
@@ -253,24 +329,60 @@ func (o *Observer) TransferQueueDepth(n int) {
 		return
 	}
 	o.xferQueue.With().Set(float64(n))
+	o.load.queueDepth(n)
 }
 
-// TransferRetry counts one transfer-engine retry. Nil-safe.
-func (o *Observer) TransferRetry(cspName, kind string) {
+// AttemptStart records one transfer-engine attempt starting against a
+// provider in the flight recorder, stamped with the span/trace the context
+// carries. try is 0 for the first attempt. Nil-safe.
+func (o *Observer) AttemptStart(ctx context.Context, cspName, kind string, try int) {
+	if o == nil || cspName == "" {
+		return
+	}
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightAttemptStart, Trace: trace, Span: span, Op: op,
+		Name: kind, CSP: cspName, Detail: "try=" + strconv.Itoa(try)})
+}
+
+// AttemptEnd records one transfer-engine attempt finishing. Nil-safe.
+func (o *Observer) AttemptEnd(ctx context.Context, cspName, kind string, try int, bytes int64, elapsed time.Duration, err error) {
+	if o == nil || cspName == "" {
+		return
+	}
+	span, trace, op := SpanFromContext(ctx)
+	ev := FlightEvent{Kind: FlightAttemptEnd, Trace: trace, Span: span, Op: op,
+		Name: kind, CSP: cspName, Detail: "try=" + strconv.Itoa(try), Bytes: bytes, Duration: elapsed}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	o.rec.record(ev)
+}
+
+// TransferRetry counts one transfer-engine retry and records it in the
+// flight recorder. Nil-safe.
+func (o *Observer) TransferRetry(ctx context.Context, cspName, kind string) {
 	if o == nil || cspName == "" {
 		return
 	}
 	o.xferRetries.With(cspName, kind).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightRetry, Trace: trace, Span: span, Op: op, Name: kind, CSP: cspName})
 }
 
 // TransferHedge counts hedged-download lifecycle points: result is
 // "launched" when a backup lane starts, "win" when a backup's attempt
 // beats the primary. Nil-safe.
-func (o *Observer) TransferHedge(result string) {
+func (o *Observer) TransferHedge(ctx context.Context, result string) {
 	if o == nil || result == "" {
 		return
 	}
 	o.xferHedges.With(result).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	kind := FlightHedgeLaunch
+	if result == "win" {
+		kind = FlightHedgeWin
+	}
+	o.rec.record(FlightEvent{Kind: kind, Trace: trace, Span: span, Op: op, Detail: result})
 }
 
 // CodecWork counts bytes processed by one finished codec-pool job. kind is
@@ -308,12 +420,14 @@ func (o *Observer) PipelineInflight(dir string, n int) {
 }
 
 // PipelineStall counts one scan/write-loop block on a full pipeline window
-// for the given direction. Nil-safe.
-func (o *Observer) PipelineStall(dir string) {
+// for the given direction and records it in the flight recorder. Nil-safe.
+func (o *Observer) PipelineStall(ctx context.Context, dir string) {
 	if o == nil || dir == "" {
 		return
 	}
 	o.pipeStalls.With(dir).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightStall, Trace: trace, Span: span, Op: op, Detail: dir})
 }
 
 // PipelineBufferBytes records the accounted data-plane payload bytes
@@ -380,6 +494,38 @@ func (o *Observer) SpansHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(o.RecentSpans())
+	})
+}
+
+// flightBody is the /debug/flightrecorder JSON shape.
+type flightBody struct {
+	Dumps     []FlightDump  `json:"dumps"`
+	Events    []FlightEvent `json:"events"`
+	OpenSpans []SpanRecord  `json:"open_spans"`
+	Load      []CSPLoad     `json:"load"`
+}
+
+// FlightHandler serves the flight recorder (/debug/flightrecorder): GET
+// returns the retained dumps, the live event ring, the pinned open spans,
+// and the load-telemetry windows; POST forces a manual dump and returns
+// it. Nil-safe: a nil Observer serves 404.
+func (o *Observer) FlightHandler() http.Handler {
+	if o == nil {
+		return http.NotFoundHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost {
+			d := o.FlightDump(TriggerManual, "http")
+			_ = json.NewEncoder(w).Encode(d)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(flightBody{
+			Dumps:     o.FlightDumps(),
+			Events:    o.FlightEvents(),
+			OpenSpans: o.OpenSpans(),
+			Load:      o.LoadStats(),
+		})
 	})
 }
 

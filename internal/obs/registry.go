@@ -66,12 +66,29 @@ const (
 	MetricDedupHits       = "cyrus_dedup_hits_total"
 	MetricDedupMisses     = "cyrus_dedup_misses_total"
 	MetricDedupBytesSaved = "cyrus_dedup_bytes_saved_total"
+
+	// SLO tracking (obs/slo.go): per-op burn counters against the
+	// configured latency objectives.
+	MetricSLOOK        = "cyrus_slo_ok_total"
+	MetricSLOBreach    = "cyrus_slo_breach_total"
+	MetricSLOObjective = "cyrus_slo_objective_seconds"
+
+	// Flight recorder (obs/recorder.go).
+	MetricFlightTriggers = "cyrus_flight_triggers_total"
+
+	// Load telemetry (obs/loadstats.go): the load-aware scheduler's input
+	// vector, sampled on transfer-engine events.
+	MetricLoadEWMA      = "cyrus_load_ewma_latency_seconds"
+	MetricLoadPredicted = "cyrus_load_predicted_completion_seconds"
+	MetricLoadSamples   = "cyrus_load_samples_total"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.
-// They cover everything from sub-millisecond simulated stores to
-// multi-second WAN transfers.
-var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+// The sub-millisecond bounds exist for netsim experiments, where simulated
+// stores complete in tens to hundreds of microseconds and coarser buckets
+// collapse every sample into the first bound, flattening p50/p99; the top
+// end still covers multi-second WAN transfers.
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
 // labelSep joins label values into child-map keys. It cannot occur in
 // provider or operation names.

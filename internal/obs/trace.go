@@ -8,24 +8,36 @@ import (
 
 // Span tracing. Spans are deliberately minimal — a name, a start instant,
 // a duration, a parent — because their consumers are histograms (every
-// span observes cyrus_span_duration_seconds) and a bounded in-memory ring
-// for debugging (/debug/spans), not a distributed trace backend. Durations
-// come from the Observer's clock, which core wires to the client's
-// vclock.Runtime: under netsim the recorded durations are virtual-time
-// durations, exactly what the latency experiments need.
+// span observes cyrus_span_duration_seconds), a bounded in-memory ring for
+// debugging (/debug/spans), and the flight recorder, not a distributed
+// trace backend. Durations come from the Observer's clock, which core
+// wires to the client's vclock.Runtime: under netsim the recorded
+// durations are virtual-time durations, exactly what the latency
+// experiments need.
+//
+// Every span additionally carries a trace ID — the span ID of the
+// top-level operation span it descends from — so the flight recorder can
+// stitch one operation's attempts, retries, and hedges back together
+// after the fact.
 
-// SpanRecord is one finished span in the ring buffer.
+// SpanRecord is one span in the ring buffer or an open-span table entry.
 type SpanRecord struct {
 	ID       uint64        `json:"id"`
 	Parent   uint64        `json:"parent,omitempty"`
+	Trace    uint64        `json:"trace,omitempty"`
 	Name     string        `json:"name"`
+	Op       string        `json:"op,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Err      string        `json:"err,omitempty"`
+	Open     bool          `json:"open,omitempty"`
 }
 
-// spanRingSize bounds the recent-span buffer.
-const spanRingSize = 512
+// defaultSpanRing bounds the recent-span buffer when Options.SpanRing is
+// unset. Long-lived parent spans are no longer at the ring's mercy: open
+// spans live in a separate pinned table until they end (see openSpans), so
+// the ring only ever holds finished spans.
+const defaultSpanRing = 512
 
 // Span is one in-flight operation. A nil *Span is valid and inert, so
 // instrumented code never branches on whether observability is enabled.
@@ -33,9 +45,11 @@ type Span struct {
 	o      *Observer
 	name   string
 	op     string // non-empty for top-level client ops: also feeds op metrics
+	rootOp string // op name of the trace root, inherited by children
 	start  time.Time
 	id     uint64
 	parent uint64
+	trace  uint64
 }
 
 type ctxKey int
@@ -60,6 +74,17 @@ func FromContext(ctx context.Context) *Observer {
 	return o
 }
 
+// SpanFromContext returns the innermost span's ID, its trace ID (the root
+// operation span's ID), and the root operation name, or zeros when the
+// context carries no span. The transfer engine uses it to stamp flight
+// events with the operation they belong to.
+func SpanFromContext(ctx context.Context) (spanID, traceID uint64, op string) {
+	if s, _ := ctx.Value(ctxKeySpan).(*Span); s != nil {
+		return s.id, s.trace, s.rootOp
+	}
+	return 0, 0, ""
+}
+
 // Trace starts a child span of whatever span (and Observer) the context
 // carries: obs.Trace(ctx, "core.Get"). Without an Observer in the context
 // it returns the context unchanged and a nil (inert) span.
@@ -73,8 +98,10 @@ func (o *Observer) Trace(ctx context.Context, name string) (context.Context, *Sp
 }
 
 // StartOp starts a top-level operation span: in addition to the span
-// histogram, ending it observes cyrus_op_duration_seconds{op} and
-// increments cyrus_ops_total{op,result}. Nil-safe.
+// histogram, ending it observes cyrus_op_duration_seconds{op}, increments
+// cyrus_ops_total{op,result}, classifies the latency against the op's SLO
+// objective, and arms the flight recorder's latency-anomaly trigger.
+// Nil-safe.
 func (o *Observer) StartOp(ctx context.Context, op string) (context.Context, *Span) {
 	return o.startSpan(ctx, "core."+op, op)
 }
@@ -83,11 +110,21 @@ func (o *Observer) startSpan(ctx context.Context, name, op string) (context.Cont
 	if o == nil {
 		return ctx, nil
 	}
-	var parent uint64
+	var parent, trace uint64
+	rootOp := op
 	if p, _ := ctx.Value(ctxKeySpan).(*Span); p != nil {
 		parent = p.id
+		if op == "" { // child spans inherit the trace; op spans re-root it
+			trace = p.trace
+			rootOp = p.rootOp
+		}
 	}
-	sp := &Span{o: o, name: name, op: op, start: o.now(), id: o.nextSpanID.Add(1), parent: parent}
+	sp := &Span{o: o, name: name, op: op, rootOp: rootOp, start: o.now(), id: o.nextSpanID.Add(1), parent: parent, trace: trace}
+	if sp.trace == 0 {
+		sp.trace = sp.id // a root (or orphan) span is its own trace
+	}
+	o.openSpans.add(sp)
+	o.rec.record(FlightEvent{Kind: FlightSpanOpen, Trace: sp.trace, Span: sp.id, Op: sp.rootOp, Name: name})
 	ctx = context.WithValue(ctx, ctxKeySpan, sp)
 	if FromContext(ctx) == nil {
 		ctx = WithObserver(ctx, o)
@@ -96,8 +133,10 @@ func (o *Observer) startSpan(ctx context.Context, name, op string) (context.Cont
 }
 
 // End finishes the span: its duration is observed into the span histogram
-// (and the op histogram/counters for StartOp spans) and the record is
-// pushed into the ring. Nil-safe; err may be nil.
+// (and the op histogram/counters/SLO for StartOp spans), the record is
+// pushed into the ring, and the close is folded into the flight recorder
+// (which may fire the latency-anomaly trigger for op spans). Nil-safe; err
+// may be nil.
 func (s *Span) End(err error) {
 	if s == nil {
 		return
@@ -109,12 +148,21 @@ func (s *Span) End(err error) {
 	if s.op != "" {
 		o.opDur.With(s.op).Observe(sec)
 		o.opsTotal.With(s.op, resultLabel(err)).Inc()
+		if o.slo != nil {
+			o.slo.observe(s.op, d)
+		}
 	}
-	rec := SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Duration: d}
+	rec := SpanRecord{ID: s.id, Parent: s.parent, Trace: s.trace, Name: s.name, Op: s.op, Start: s.start, Duration: d}
 	if err != nil {
 		rec.Err = err.Error()
 	}
+	o.openSpans.remove(s.id)
 	o.pushSpan(rec)
+	ev := FlightEvent{Kind: FlightSpanClose, Trace: s.trace, Span: s.id, Op: s.rootOp, Name: s.name, Duration: d}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	o.rec.spanClosed(ev, s.op != "")
 }
 
 func resultLabel(err error) string {
@@ -124,9 +172,67 @@ func resultLabel(err error) string {
 	return "ok"
 }
 
+// openSpanTable pins in-flight spans so long-lived parents (streaming
+// Put/Get) stay visible however many children churn through the finished
+// ring. The table has its own lock and never calls into the recorder or
+// the ring, so there is no lock ordering with either.
+type openSpanTable struct {
+	mu    sync.Mutex
+	spans map[uint64]*Span
+}
+
+func (t *openSpanTable) add(s *Span) {
+	t.mu.Lock()
+	if t.spans == nil {
+		t.spans = make(map[uint64]*Span)
+	}
+	t.spans[s.id] = s
+	t.mu.Unlock()
+}
+
+func (t *openSpanTable) remove(id uint64) {
+	t.mu.Lock()
+	delete(t.spans, id)
+	t.mu.Unlock()
+}
+
+// snapshot returns the open spans as records, with Duration = elapsed so
+// far and Open = true, sorted oldest-start first by span ID.
+func (t *openSpanTable) snapshot(now time.Time) []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, SpanRecord{
+			ID: s.id, Parent: s.parent, Trace: s.trace, Name: s.name, Op: s.op,
+			Start: s.start, Duration: now.Sub(s.start), Open: true,
+		})
+	}
+	t.mu.Unlock()
+	sortSpanRecords(out)
+	return out
+}
+
+func sortSpanRecords(recs []SpanRecord) {
+	for i := 1; i < len(recs); i++ { // insertion sort: tables are small
+		for j := i; j > 0 && recs[j].ID < recs[j-1].ID; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// OpenSpans returns the currently open (pinned) spans, oldest first, with
+// Duration = elapsed so far. Nil-safe.
+func (o *Observer) OpenSpans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	return o.openSpans.snapshot(o.now())
+}
+
 // spanRing is the bounded buffer of recently finished spans.
 type spanRing struct {
 	mu   sync.Mutex
+	size int
 	recs []SpanRecord
 	pos  int
 	full bool
@@ -136,7 +242,10 @@ func (r *spanRing) push(rec SpanRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.recs == nil {
-		r.recs = make([]SpanRecord, spanRingSize)
+		if r.size <= 0 {
+			r.size = defaultSpanRing
+		}
+		r.recs = make([]SpanRecord, r.size)
 	}
 	r.recs[r.pos] = rec
 	r.pos = (r.pos + 1) % len(r.recs)

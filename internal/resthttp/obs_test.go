@@ -120,6 +120,44 @@ func TestObservabilityEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
 	}
+
+	// /debug/flightrecorder — GET returns the recorder state with the ops
+	// above in the event ring; POST forces a manual dump.
+	flightURL := strings.TrimSuffix(metricsURL, "/metrics") + "/debug/flightrecorder"
+	resp, err = http.Get(flightURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb struct {
+		Dumps  []obs.FlightDump  `json:"dumps"`
+		Events []obs.FlightEvent `json:"events"`
+		Load   []obs.CSPLoad     `json:"load"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fb)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder status=%d err=%v", resp.StatusCode, err)
+	}
+	if len(fb.Events) == 0 {
+		t.Error("/debug/flightrecorder carries no events after put/get")
+	}
+	if len(fb.Load) == 0 {
+		t.Error("/debug/flightrecorder carries no load telemetry after put/get")
+	}
+	resp, err = http.Post(flightURL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.FlightDump
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/flightrecorder status=%d err=%v", resp.StatusCode, err)
+	}
+	if dump.Seq == 0 || len(dump.Events) == 0 || !strings.HasPrefix(dump.Reason, obs.TriggerManual) {
+		t.Errorf("forced dump = seq %d, %d events, reason %q; want populated manual dump",
+			dump.Seq, len(dump.Events), dump.Reason)
+	}
 }
 
 // TestPprofCmdlineNotServed: the unauthenticated pprof routes must never
@@ -159,6 +197,7 @@ func TestRouteLabelBounded(t *testing.T) {
 		"/metrics":               "/metrics",
 		"/healthz":               "/healthz",
 		"/debug/spans":           "/debug/spans",
+		"/debug/flightrecorder":  "/debug/flightrecorder",
 		"/debug/pprof/heap":      "/debug/pprof/",
 		"/admin/available":       "/admin/available",
 		"/admin/fail":            "/admin/fail",

@@ -85,8 +85,10 @@ func NewStoreServer(store csp.Store, token string) (*Server, error) {
 }
 
 // SetObserver attaches an observability layer: /metrics (Prometheus text),
-// /healthz (scoreboard JSON), /debug/spans, and net/http/pprof under
-// /debug/pprof/, plus per-request HTTP metrics. These endpoints are served
+// /healthz (scoreboard JSON), /debug/spans, /debug/flightrecorder (flight
+// recorder dumps, event ring, open spans, and load telemetry; POST forces
+// a dump), and net/http/pprof under /debug/pprof/, plus per-request HTTP
+// metrics. These endpoints are served
 // without bearer auth — they expose operational state, never object data,
 // and scrapers don't carry tokens. The pprof cmdline endpoint is
 // deliberately NOT registered: it would return the process argv, which can
@@ -109,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.obs.MetricsHandler())
 	mux.Handle("/healthz", s.obs.HealthzHandler())
 	mux.Handle("/debug/spans", s.obs.SpansHandler())
+	mux.Handle("/debug/flightrecorder", s.obs.FlightHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	// No pprof.Cmdline: argv may contain the bearer token, and these
 	// endpoints are unauthenticated. Index serves it a 404.
@@ -143,7 +146,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 func routeLabel(path string) string {
 	switch path {
 	case "/v1/auth", "/v1/objects", "/metrics", "/healthz", "/debug/spans",
-		"/admin/available", "/admin/fail":
+		"/debug/flightrecorder", "/admin/available", "/admin/fail":
 		return path
 	}
 	switch {

@@ -329,10 +329,12 @@ func (e *Engine) do(ctx context.Context, o *Op, a Attempt) error {
 			return err
 		}
 		e.sem.acquire(a.CSP)
-		_, sp := e.obs.Trace(ctx, "csp."+a.Kind)
+		sctx, sp := e.obs.Trace(ctx, "csp."+a.Kind)
+		e.obs.AttemptStart(sctx, a.CSP, a.Kind, try)
 		start := e.rt.Now()
 		bytes, err := a.Run(ctx)
 		elapsed := e.rt.Now().Sub(start)
+		e.obs.AttemptEnd(sctx, a.CSP, a.Kind, try, bytes, elapsed, err)
 		sp.End(err)
 		e.sem.release(a.CSP)
 		if e.report != nil {
@@ -348,7 +350,7 @@ func (e *Engine) do(ctx context.Context, o *Op, a Attempt) error {
 		if !Retryable(err) || try+1 >= e.tun.Attempts || ctx.Err() != nil {
 			break
 		}
-		e.obs.TransferRetry(a.CSP, a.Kind)
+		e.obs.TransferRetry(ctx, a.CSP, a.Kind)
 		e.rt.Sleep(e.backoff(a.CSP, a.Kind, try))
 	}
 	if ProviderFault(lastErr) {
@@ -438,7 +440,7 @@ func (o *Op) Hedged(ctx context.Context, a Attempt, hedgeAfter time.Duration, ne
 					if backup {
 						// Recorded before the latch opens so the caller
 						// observes the win as soon as Hedged returns.
-						e.obs.TransferHedge("win")
+						e.obs.TransferHedge(hctx, "win")
 					}
 					latch.Done()
 				}
@@ -478,7 +480,7 @@ func (o *Op) Hedged(ctx context.Context, a Attempt, hedgeAfter time.Duration, ne
 			if !fire {
 				return
 			}
-			e.obs.TransferHedge("launched")
+			e.obs.TransferHedge(hctx, "launched")
 			lane(nil, true)
 		})
 	}
