@@ -101,6 +101,10 @@ var runners = []runner{
 		res, err := experiments.Dedup(experiments.DedupConfig{Seed: o.seed})
 		return res.Report, err
 	}},
+	{"8", "metadata plane: batched resolve RTs, cold vs warm cache, shard fan-out (scale 1.0 = 100k files)", func(o options) (experiments.Report, error) {
+		res, err := experiments.MetaPlane(experiments.MetaPlaneConfig{Scale: o.scale, Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},

@@ -46,12 +46,17 @@ type cspEntry struct {
 }
 
 type config struct {
-	ClientID string     `json:"client_id"`
-	Key      string     `json:"key"`
-	T        int        `json:"t"`
-	N        int        `json:"n"`
-	CSPToken string     `json:"csp_token,omitempty"` // bearer token for HTTP providers
-	CSPs     []cspEntry `json:"csps"`
+	ClientID string `json:"client_id"`
+	Key      string `json:"key"`
+	T        int    `json:"t"`
+	N        int    `json:"n"`
+	// Metadata-plane knobs (DESIGN.md §11). Zero values keep the paper's
+	// behavior: records on every provider, no cache, no compaction.
+	MetaShards       int        `json:"meta_shards,omitempty"`
+	MetaCacheEntries int        `json:"meta_cache_entries,omitempty"`
+	TreeRetention    int        `json:"tree_retention,omitempty"`
+	CSPToken         string     `json:"csp_token,omitempty"` // bearer token for HTTP providers
+	CSPs             []cspEntry `json:"csps"`
 }
 
 func main() {
@@ -208,7 +213,9 @@ func cmdProbe(ctx context.Context, c *cyrus.Client) error {
 
 // cmdStats syncs once (touching every reachable provider) and dumps the
 // observability scoreboard: per-CSP request counts, latency EWMA, link
-// estimates, and marked-down state. -json adds the full metrics snapshot.
+// estimates, marked-down state, the metadata records the hashring routes to
+// each provider (shard skew), and the metadata cache hit ratio. -json adds
+// the full metrics snapshot.
 func cmdStats(ctx context.Context, c *cyrus.Client, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit JSON (scoreboard plus metrics snapshot)")
@@ -223,26 +230,38 @@ func cmdStats(ctx context.Context, c *cyrus.Client, args []string) error {
 		fmt.Fprintln(os.Stderr, "stats: sync:", err)
 	}
 	rows := o.Health().Snapshot()
+	snap := o.Registry().Snapshot()
+	hits, _ := snap.Find(cyrus.MetricMetaCacheHits, nil)
+	misses, _ := snap.Find(cyrus.MetricMetaCacheMisses, nil)
+	hitRatio := 0.0
+	if total := hits.Value + misses.Value; total > 0 {
+		hitRatio = hits.Value / total
+	}
+	shards := c.MetaShardCounts()
 	if *asJSON {
 		out := struct {
-			CSPs    []cyrus.CSPHealth     `json:"csps"`
-			Metrics cyrus.MetricsSnapshot `json:"metrics"`
-		}{CSPs: rows, Metrics: o.Registry().Snapshot()}
+			CSPs              []cyrus.CSPHealth     `json:"csps"`
+			MetaCacheHitRatio float64               `json:"meta_cache_hit_ratio"`
+			ShardRecords      map[string]int        `json:"shard_records,omitempty"`
+			Metrics           cyrus.MetricsSnapshot `json:"metrics"`
+		}{CSPs: rows, MetaCacheHitRatio: hitRatio, ShardRecords: shards, Metrics: snap}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
-	fmt.Printf("%-12s %6s %6s %10s %12s %12s %-6s %s\n",
-		"CSP", "OK", "FAIL", "LAT(ms)", "DOWN(B/s)", "UP(B/s)", "STATE", "LAST ERROR")
+	fmt.Printf("%-12s %6s %6s %10s %12s %12s %8s %-6s %s\n",
+		"CSP", "OK", "FAIL", "LAT(ms)", "DOWN(B/s)", "UP(B/s)", "RECORDS", "STATE", "LAST ERROR")
 	for _, r := range rows {
 		state := "up"
 		if r.Down {
 			state = "DOWN"
 		}
-		fmt.Printf("%-12s %6d %6d %10.2f %12.0f %12.0f %-6s %s\n",
+		fmt.Printf("%-12s %6d %6d %10.2f %12.0f %12.0f %8d %-6s %s\n",
 			r.CSP, r.Successes, r.Failures, r.LatencyEWMASeconds*1000,
-			r.DownlinkBps, r.UplinkBps, state, r.LastError)
+			r.DownlinkBps, r.UplinkBps, shards[r.CSP], state, r.LastError)
 	}
+	fmt.Printf("metadata cache: %.0f hits, %.0f misses (%.1f%% hit ratio)\n",
+		hits.Value, misses.Value, 100*hitRatio)
 	return nil
 }
 
@@ -380,6 +399,9 @@ func cmdInit(cfgPath string, args []string) error {
 	key := fs.String("key", "", "user key (generated if empty)")
 	client := fs.String("client", "", "client id (hostname if empty)")
 	cspToken := fs.String("csptoken", "", "bearer token for http(s) providers")
+	metaShards := fs.Int("metashards", 0, "providers per metadata record (0 = all providers)")
+	metaCache := fs.Int("metacache", 0, "metadata cache entries (0 = cache disabled)")
+	retention := fs.Int("retention", 0, "resolved conflict branches kept per file (0 = keep all)")
 	var csps multiFlag
 	fs.Var(&csps, "csp", "provider as name=<dir-path or http(s)://url> (repeatable, need at least t)")
 	if err := fs.Parse(args); err != nil {
@@ -388,7 +410,10 @@ func cmdInit(cfgPath string, args []string) error {
 	if len(csps) < *t {
 		return fmt.Errorf("need at least %d -csp entries, got %d", *t, len(csps))
 	}
-	cfg := config{ClientID: *client, Key: *key, T: *t, N: *n, CSPToken: *cspToken}
+	cfg := config{
+		ClientID: *client, Key: *key, T: *t, N: *n, CSPToken: *cspToken,
+		MetaShards: *metaShards, MetaCacheEntries: *metaCache, TreeRetention: *retention,
+	}
 	if cfg.ClientID == "" {
 		host, _ := os.Hostname()
 		cfg.ClientID = host
@@ -462,11 +487,14 @@ func openClient(cfgPath string) (*cyrus.Client, error) {
 		stores = append(stores, s)
 	}
 	return cyrus.New(cyrus.Config{
-		ClientID: cfg.ClientID,
-		Key:      cfg.Key,
-		T:        cfg.T,
-		N:        cfg.N,
-		Obs:      cyrus.NewObserver(),
+		ClientID:         cfg.ClientID,
+		Key:              cfg.Key,
+		T:                cfg.T,
+		N:                cfg.N,
+		MetaShards:       cfg.MetaShards,
+		MetaCacheEntries: cfg.MetaCacheEntries,
+		TreeRetention:    cfg.TreeRetention,
+		Obs:              cyrus.NewObserver(),
 	}, stores)
 }
 

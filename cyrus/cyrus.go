@@ -111,6 +111,9 @@ const (
 	FlightTriggerInvariant = obs.TriggerInvariant
 	MetricSLOOK            = obs.MetricSLOOK
 	MetricSLOBreach        = obs.MetricSLOBreach
+	// Metadata cache counters (hit ratio = hits / (hits + misses)).
+	MetricMetaCacheHits   = obs.MetricMetaCacheHits
+	MetricMetaCacheMisses = obs.MetricMetaCacheMisses
 )
 
 // Errors a caller is expected to branch on.

@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -163,6 +164,34 @@ func (s *SimStore) Download(ctx context.Context, name string) ([]byte, error) {
 	return data, nil
 }
 
+// DownloadBatch implements csp.BatchDownloader: many objects for one
+// control round trip plus the summed payload transfer. Missing objects are
+// omitted from the result; availability failures abort the whole batch
+// (the provider, not an object, is unreachable).
+func (s *SimStore) DownloadBatch(ctx context.Context, names []string) (map[string][]byte, error) {
+	if err := s.session(ctx); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(names))
+	var total int64
+	for _, name := range names {
+		data, err := s.backend.download(name)
+		if err != nil {
+			if errors.Is(err, csp.ErrNotFound) {
+				continue
+			}
+			_ = s.charge(0, netsim.Down, true)
+			return nil, err
+		}
+		out[name] = data
+		total += int64(len(data))
+	}
+	if err := s.charge(total, netsim.Down, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Delete implements csp.Store.
 func (s *SimStore) Delete(ctx context.Context, name string) error {
 	if err := s.session(ctx); err != nil {
@@ -227,6 +256,7 @@ func (s *SimStore) Refs(ctx context.Context, name string) ([]string, error) {
 }
 
 var (
-	_ csp.Store    = (*SimStore)(nil)
-	_ csp.RefStore = (*SimStore)(nil)
+	_ csp.Store           = (*SimStore)(nil)
+	_ csp.RefStore        = (*SimStore)(nil)
+	_ csp.BatchDownloader = (*SimStore)(nil)
 )

@@ -74,6 +74,35 @@ type Config struct {
 	// metadata CSPs. Default 2.
 	MetaT int
 
+	// MetaShards, when positive, routes each file's metadata records to a
+	// hashring-chosen subset of this many providers (keyed on the file
+	// name) instead of every active CSP — the sharded metadata plane that
+	// keeps per-record fan-out constant as providers are added. Must be at
+	// least MetaT. 0 (the default) keeps the paper's all-CSPs placement.
+	// Reads are placement-agnostic either way: records are found through
+	// the metadata listing, so clients with a stale ring still resolve
+	// records placed under older shard sets.
+	MetaShards int
+
+	// MetaCacheEntries / MetaCacheBytes bound the version-aware cache of
+	// decoded metadata records (LRU over (name, versionID), verified by
+	// version-ID hash on every hit). While a file's head is cached, read
+	// operations (Stat, GetTo, GetRange) serve it without a metadata round
+	// trip; entries are invalidated whenever sync, supersede, or delete
+	// absorbs a newer record for the name. Both zero (the default)
+	// disables the cache; a zero entry or byte bound alone means
+	// "unbounded in that dimension".
+	MetaCacheEntries int
+	MetaCacheBytes   int64
+
+	// TreeRetention, when positive, compacts resolved conflict history
+	// after every full-view sync: dead branches (every leaf deleted)
+	// beyond this count per file are pruned from the local tree. Pruned
+	// records stay on the providers and other replicas; only local state
+	// shrinks — but their exclusively-referenced chunks become eligible
+	// for an explicit GC. 0 (the default) disables compaction.
+	TreeRetention int
+
 	// DedupMode enables cross-user convergent dedup: dispersal matrices are
 	// derived from chunk content (keyed by DedupSecret), shares are named by
 	// content address, and uploads of shares the CSP already holds are
@@ -185,6 +214,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MetaT == 0 {
 		c.MetaT = 2
 	}
+	if c.MetaShards < 0 {
+		return c, fmt.Errorf("cyrus: MetaShards=%d", c.MetaShards)
+	}
+	if c.MetaShards > 0 && c.MetaShards < c.MetaT {
+		return c, fmt.Errorf("cyrus: MetaShards=%d < MetaT=%d", c.MetaShards, c.MetaT)
+	}
+	if c.MetaCacheEntries < 0 || c.MetaCacheBytes < 0 {
+		return c, fmt.Errorf("cyrus: MetaCacheEntries=%d, MetaCacheBytes=%d", c.MetaCacheEntries, c.MetaCacheBytes)
+	}
+	if c.TreeRetention < 0 {
+		return c, fmt.Errorf("cyrus: TreeRetention=%d", c.TreeRetention)
+	}
 	if c.DedupMode && c.DedupSecret == "" {
 		return c, errors.New("cyrus: DedupMode requires Config.DedupSecret")
 	}
@@ -232,9 +273,15 @@ type Client struct {
 	rt      vclock.Runtime
 	sel     selector.Selector
 	codec   *codecPool
+	mcache  *metaCache // nil = disabled
 	keyHash string
 	log     *slog.Logger  // nil = disabled
 	obs     *obs.Observer // nil = disabled
+
+	// ringEpoch counts ring-membership changes; the chunk table remembers
+	// the epoch metadata placements were last reconciled under, so a sync
+	// after churn knows to re-scatter sharded records (metaio.go).
+	ringEpoch atomic.Uint64
 
 	mu       sync.Mutex
 	stores   map[string]csp.Store
@@ -288,6 +335,13 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 		c.conv = erasure.NewConvergentCoder(full.DedupSecret)
 	}
 	c.codec = newCodecPool(full.CodecWorkers, c.obs)
+	if full.MetaCacheEntries > 0 || full.MetaCacheBytes > 0 {
+		c.mcache = newMetaCache(full.MetaCacheEntries, full.MetaCacheBytes, c.obs)
+		// Invalidation rides the event bus: every absorbed record —
+		// whether from sync, a supersede, or a delete — fires
+		// EvMetaAbsorbed for its file, and the cache drops that name.
+		c.events.subscribe(c.mcache.onEvent)
+	}
 	// All provider I/O dispatches through one engine: bounded in-flight
 	// slots, taxonomy-driven retries on the client's clock, per-operation
 	// failed sets, and hedged gathers (internal/transfer).
@@ -313,6 +367,9 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 			return nil, err
 		}
 	}
+	// The construction-time membership is the baseline epoch: re-placement
+	// only reacts to churn observed after this point.
+	c.table.SetRingEpoch(c.ringEpoch.Load())
 	return c, nil
 }
 
@@ -329,6 +386,7 @@ func (c *Client) AddCSP(s csp.Store) error {
 	if err := c.ring.Add(name); err != nil {
 		return err
 	}
+	c.ringEpoch.Add(1)
 	c.stores[name] = s
 	delete(c.removed, name)
 	return nil
@@ -353,6 +411,7 @@ func (c *Client) RemoveCSP(ctx context.Context, name string) error {
 			c.mu.Unlock()
 			return err
 		}
+		c.ringEpoch.Add(1)
 	}
 	c.mu.Unlock()
 	if !changed {

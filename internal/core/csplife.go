@@ -156,9 +156,11 @@ func (c *Client) applyCSPList(seq int64, removed map[string]bool) {
 		case shouldRemove && !isRemoved:
 			c.removed[name] = true
 			_ = c.ring.Remove(name)
+			c.ringEpoch.Add(1)
 		case !shouldRemove && isRemoved:
 			delete(c.removed, name)
 			_ = c.ring.Add(name)
+			c.ringEpoch.Add(1)
 		}
 	}
 }
@@ -220,6 +222,7 @@ func (c *Client) ReinstateCSP(ctx context.Context, name string) error {
 	if present && wasRemoved {
 		delete(c.removed, name)
 		_ = c.ring.Add(name)
+		c.ringEpoch.Add(1)
 	}
 	c.mu.Unlock()
 	if !present {

@@ -21,10 +21,11 @@ import (
 func (c *Client) Get(ctx context.Context, name string) (_ []byte, _ FileInfo, err error) {
 	ctx, sp := c.obs.StartOp(ctx, "get")
 	defer func() { sp.End(err) }()
-	c.syncBestEffort(ctx) // Algorithm 3 line 2
-	head, conflicted, err := c.tree.Head(name)
+	// Algorithm 3 line 2, short-circuited by a warm cache hit (zero
+	// metadata round trips; see headForRead).
+	head, conflicted, err := c.headForRead(ctx, name)
 	if err != nil {
-		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+		return nil, FileInfo{}, err
 	}
 	info := fileInfo(head, conflicted)
 	if head.File.Deleted {

@@ -23,6 +23,11 @@ const (
 	// itself proceeds on the possibly-stale replica; the event is the only
 	// place the failure surfaces.
 	EvSyncError
+	// EvMetaAbsorbed fires when a metadata record is merged into the local
+	// tree — from a sync, a supersede, or a delete. The metadata cache
+	// subscribes to it: any absorbed record for a name invalidates that
+	// name's cached entries.
+	EvMetaAbsorbed
 )
 
 func (e EventType) String() string {
@@ -41,6 +46,8 @@ func (e EventType) String() string {
 		return "FILE COMPLETE"
 	case EvSyncError:
 		return "SYNC ERROR"
+	case EvMetaAbsorbed:
+		return "META ABSORBED"
 	}
 	return "UNKNOWN"
 }

@@ -26,10 +26,9 @@ import (
 func (c *Client) GetRange(ctx context.Context, name string, offset, length int64) (_ []byte, _ FileInfo, err error) {
 	ctx, sp := c.obs.StartOp(ctx, "get_range")
 	defer func() { sp.End(err) }()
-	c.syncBestEffort(ctx)
-	head, conflicted, err := c.tree.Head(name)
+	head, conflicted, err := c.headForRead(ctx, name)
 	if err != nil {
-		return nil, FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+		return nil, FileInfo{}, err
 	}
 	info := fileInfo(head, conflicted)
 	if head.File.Deleted {

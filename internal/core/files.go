@@ -44,6 +44,19 @@ func (c *Client) Delete(ctx context.Context, name string) (err error) {
 	ctx, sp := c.obs.StartOp(ctx, "delete")
 	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx)
+	return c.deleteLocal(ctx, name)
+}
+
+// DeleteLocal is Delete without the preceding best-effort sync, for callers
+// that just synced and are resolving a whole directory's worth of files
+// (syncdir's batch pass). The deletion marker still uploads normally.
+func (c *Client) DeleteLocal(ctx context.Context, name string) (err error) {
+	ctx, sp := c.obs.StartOp(ctx, "delete")
+	defer func() { sp.End(err) }()
+	return c.deleteLocal(ctx, name)
+}
+
+func (c *Client) deleteLocal(ctx context.Context, name string) error {
 	head, _, err := c.tree.Head(name)
 	if err != nil {
 		return fmt.Errorf("%w: %q", ErrNoSuchFile, name)
@@ -58,6 +71,13 @@ func (c *Client) Delete(ctx context.Context, name string) (err error) {
 // list(s, d). Deleted files are omitted; conflicted files are flagged.
 func (c *Client) List(ctx context.Context, dir string) ([]FileInfo, error) {
 	c.syncBestEffort(ctx)
+	return c.ListLocal(dir)
+}
+
+// ListLocal is List against the local replica only — no sync round trips.
+// Callers that just ran Sync (directory-scale resolution) use it to walk
+// the namespace without re-listing every provider per file.
+func (c *Client) ListLocal(dir string) ([]FileInfo, error) {
 	if dir != "" && !strings.HasSuffix(dir, "/") {
 		dir += "/"
 	}
@@ -79,13 +99,35 @@ func (c *Client) List(ctx context.Context, dir string) ([]FileInfo, error) {
 // Stat returns the head version info of a file without downloading data.
 // Deleted files are reported with Deleted set rather than an error, so
 // callers can distinguish "never existed" from "deleted".
+//
+// While the metadata cache holds the file's live head, Stat serves it
+// directly — zero round trips on a warm hit. The cache is invalidated
+// whenever any record for the name is absorbed, so a cached answer is
+// exactly as fresh as CYRUS's eventual consistency already promises.
 func (c *Client) Stat(ctx context.Context, name string) (FileInfo, error) {
+	if m, ok := c.mcache.head(name); ok {
+		return fileInfo(m, false), nil
+	}
 	c.syncBestEffort(ctx)
+	return c.StatLocal(name)
+}
+
+// StatLocal is Stat against the local replica only — no sync round trips.
+func (c *Client) StatLocal(name string) (FileInfo, error) {
 	head, conflicted, err := c.tree.Head(name)
 	if err != nil {
 		return FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
 	}
+	if !conflicted {
+		c.mcache.storeHead(head)
+	}
 	return fileInfo(head, conflicted), nil
+}
+
+// ConflictsLocal is Conflicts against the local replica only — no sync
+// round trips (sync.go holds the syncing variant).
+func (c *Client) ConflictsLocal() []ConflictInfo {
+	return c.conflictsLocal()
 }
 
 // History returns the version chain of a file, newest first (paper §5.4:

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metadata"
+	"repro/internal/obs"
+)
+
+// metaCache is the version-aware client cache of decoded metadata records
+// (DESIGN.md §11): an LRU keyed by (name, versionID) with a per-name head
+// pointer. While a file's head is cached, the read paths (Stat, GetTo,
+// GetRange) serve it without the best-effort sync — zero metadata round
+// trips on a warm hit. Every hit re-verifies the record's version-ID hash,
+// so a corrupted or aliased entry can never be served; entries are dropped
+// whenever the client absorbs any record for the name (a new version, a
+// supersede, a delete — all of which fire EvMetaAbsorbed on the event bus).
+//
+// The cache trades read freshness for round trips exactly the way CYRUS's
+// eventual consistency already does: a remote update is observed at the
+// next operation that syncs (and invalidates), never half-observed.
+type metaCache struct {
+	mu         sync.Mutex
+	maxEntries int   // 0 = unbounded
+	maxBytes   int64 // 0 = unbounded
+	curBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[metaCacheKey]*list.Element
+	heads      map[string]string // name -> cached head versionID
+	obs        *obs.Observer
+}
+
+type metaCacheKey struct {
+	name string
+	vid  string
+}
+
+type metaCacheEntry struct {
+	key  metaCacheKey
+	m    *metadata.FileMeta
+	size int64
+}
+
+func newMetaCache(maxEntries int, maxBytes int64, o *obs.Observer) *metaCache {
+	return &metaCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[metaCacheKey]*list.Element),
+		heads:      make(map[string]string),
+		obs:        o,
+	}
+}
+
+// metaRecordSize estimates a decoded record's resident footprint for the
+// byte bound (struct shells plus the chunk and share slices; the string
+// fields are shared with the tree's copy and counted once, approximately).
+func metaRecordSize(m *metadata.FileMeta) int64 {
+	return 256 + int64(len(m.File.Name)) + 64*int64(len(m.Chunks)) + 96*int64(len(m.Shares))
+}
+
+// head returns the cached head record for a name. A hit is verified by
+// recomputing the record's version-ID hash against the key; a mismatch
+// (memory corruption, aliasing bug) drops the entry and misses.
+func (mc *metaCache) head(name string) (*metadata.FileMeta, bool) {
+	if mc == nil {
+		return nil, false
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	vid, ok := mc.heads[name]
+	if !ok {
+		mc.obs.MetaCacheMiss()
+		return nil, false
+	}
+	el, ok := mc.items[metaCacheKey{name, vid}]
+	if !ok {
+		delete(mc.heads, name)
+		mc.obs.MetaCacheMiss()
+		return nil, false
+	}
+	e := el.Value.(*metaCacheEntry)
+	if e.m.VersionID() != vid {
+		mc.removeLocked(el)
+		delete(mc.heads, name)
+		mc.obs.MetaCacheMiss()
+		return nil, false
+	}
+	mc.ll.MoveToFront(el)
+	mc.obs.MetaCacheHit()
+	return e.m, true
+}
+
+// storeHead caches a record as its file's current head. Deletion markers
+// are never cached (a deleted head must keep resolving through sync, so a
+// remote recreate is observed). Callers must pass records they will not
+// mutate (tree-owned copies qualify).
+func (mc *metaCache) storeHead(m *metadata.FileMeta) {
+	if mc == nil || m == nil || m.File.Deleted {
+		return
+	}
+	vid := m.VersionID()
+	key := metaCacheKey{m.File.Name, vid}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if el, ok := mc.items[key]; ok {
+		mc.ll.MoveToFront(el)
+		mc.heads[m.File.Name] = vid
+		return
+	}
+	e := &metaCacheEntry{key: key, m: m, size: metaRecordSize(m)}
+	mc.items[key] = mc.ll.PushFront(e)
+	mc.curBytes += e.size
+	mc.heads[m.File.Name] = vid
+	evicted := 0
+	for (mc.maxEntries > 0 && mc.ll.Len() > mc.maxEntries) ||
+		(mc.maxBytes > 0 && mc.curBytes > mc.maxBytes && mc.ll.Len() > 1) {
+		mc.removeLocked(mc.ll.Back())
+		evicted++
+	}
+	mc.obs.MetaCacheEvict(evicted)
+}
+
+// onEvent is the event-bus invalidation hook: any absorbed record for a
+// name makes that name's cached entries suspect, so they are dropped and
+// the next read re-resolves through sync.
+func (mc *metaCache) onEvent(ev Event) {
+	if ev.Type != EvMetaAbsorbed {
+		return
+	}
+	mc.invalidateName(ev.File)
+}
+
+// invalidateName drops every cached entry for a file name.
+func (mc *metaCache) invalidateName(name string) {
+	if mc == nil || name == "" {
+		return
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	dropped := 0
+	for el := mc.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*metaCacheEntry).key.name == name {
+			mc.removeLocked(el)
+			dropped++
+		}
+		el = next
+	}
+	delete(mc.heads, name)
+	mc.obs.MetaCacheInvalidate(dropped)
+}
+
+// removeLocked unlinks one entry; caller holds mc.mu.
+func (mc *metaCache) removeLocked(el *list.Element) {
+	e := el.Value.(*metaCacheEntry)
+	mc.ll.Remove(el)
+	delete(mc.items, e.key)
+	if mc.heads[e.key.name] == e.key.vid {
+		delete(mc.heads, e.key.name)
+	}
+	mc.curBytes -= e.size
+}
+
+// headVersion returns the cached head version ID for a name, if any — the
+// inspection hook the harness's cache-coherence oracle reads.
+func (mc *metaCache) headVersion(name string) (string, bool) {
+	if mc == nil {
+		return "", false
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	vid, ok := mc.heads[name]
+	return vid, ok
+}
+
+// len returns the number of cached records.
+func (mc *metaCache) len() int {
+	if mc == nil {
+		return 0
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.ll.Len()
+}

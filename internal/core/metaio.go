@@ -55,10 +55,31 @@ func ParseMetaShareObjectName(obj string) (versionID string, index int, ok bool)
 	return parseMetaShareName(obj)
 }
 
-// metaTargets returns the metadata CSP set: every active provider, sorted
-// so all clients agree on share indices.
-func (c *Client) metaTargets() []string {
-	return c.CSPs()
+// metaKey is the hashring key for a file's metadata placement. It is
+// distinct from the chunk keyspace (chunks hash content; metadata hashes
+// the name with a domain prefix), so a file's records and its shares land
+// independently.
+func metaKey(fileName string) string { return "cyrus-meta|" + fileName }
+
+// metaTargetsFor returns the providers that receive a file's metadata
+// shares, sorted so every client derives the same share-index assignment.
+// Unsharded (MetaShards == 0), that is every active provider — the paper's
+// footnote-3 placement. Sharded, it is the first MetaShards distinct
+// providers clockwise from the file name's ring position; if the ring
+// cannot yield at least MetaT providers (churn shrank it), placement falls
+// back to the full active set rather than under-replicate.
+func (c *Client) metaTargetsFor(fileName string) []string {
+	active := c.CSPs()
+	m := c.cfg.MetaShards
+	if m <= 0 || m >= len(active) {
+		return active
+	}
+	picked, err := c.ring.SelectN(metaKey(fileName), m)
+	if err != nil || len(picked) < c.cfg.MetaT {
+		return active
+	}
+	sort.Strings(picked)
+	return picked
 }
 
 // uploadMeta scatters one metadata record through the operation's
@@ -74,7 +95,7 @@ func (c *Client) uploadMeta(op *transfer.Op, m *metadata.FileMeta) error {
 	if err != nil {
 		return err
 	}
-	targets := c.metaTargets()
+	targets := c.metaTargetsFor(m.File.Name)
 	if len(targets) == 0 {
 		return fmt.Errorf("%w: no providers for metadata", ErrNotEnoughCSP)
 	}
@@ -229,24 +250,6 @@ func (c *Client) fetchMeta(op *transfer.Op, ctx context.Context, vid string, loc
 	}
 	sort.Ints(idxs)
 
-	decodeVerified := func(shares []erasure.Share) (*metadata.FileMeta, error) {
-		blob, bad, err := c.coder.DecodeCorrecting(shares, erasure.MaxN)
-		if err != nil {
-			return nil, fmt.Errorf("cyrus: decode metadata %s: %w", vid, err)
-		}
-		if len(bad) > 0 {
-			c.logf("corrected corrupt metadata shares", "version", vid, "indices", fmt.Sprint(bad))
-		}
-		m, err := metadata.Decode(blob)
-		if err != nil {
-			return nil, fmt.Errorf("cyrus: parse metadata %s: %w", vid, err)
-		}
-		if m.VersionID() != vid {
-			return nil, fmt.Errorf("%w: metadata %s decodes to version %s", ErrDamaged, vid, m.VersionID())
-		}
-		return m, nil
-	}
-
 	var shares []erasure.Share
 	var lastErr error
 	for _, idx := range idxs {
@@ -291,7 +294,7 @@ func (c *Client) fetchMeta(op *transfer.Op, ctx context.Context, vid string, loc
 		if len(shares) < c.cfg.MetaT {
 			continue
 		}
-		m, err := decodeVerified(shares)
+		m, err := c.decodeMetaVerified(vid, shares)
 		if err == nil {
 			return m, nil
 		}
@@ -306,6 +309,267 @@ func (c *Client) fetchMeta(op *transfer.Op, ctx context.Context, vid string, loc
 	}
 	return nil, fmt.Errorf("%w: metadata %s unreadable from %d shares (last error: %w)",
 		errUnreadableRecord, vid, len(shares), lastErr)
+}
+
+// decodeMetaVerified decodes a record from its shares through the
+// error-correcting decoder and verifies the result hashes to the expected
+// version ID (a corrupt or tampered share otherwise slips through as a
+// consistent-but-wrong record).
+func (c *Client) decodeMetaVerified(vid string, shares []erasure.Share) (*metadata.FileMeta, error) {
+	blob, bad, err := c.coder.DecodeCorrecting(shares, erasure.MaxN)
+	if err != nil {
+		return nil, fmt.Errorf("cyrus: decode metadata %s: %w", vid, err)
+	}
+	if len(bad) > 0 {
+		c.logf("corrected corrupt metadata shares", "version", vid, "indices", fmt.Sprint(bad))
+	}
+	m, err := metadata.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("cyrus: parse metadata %s: %w", vid, err)
+	}
+	if m.VersionID() != vid {
+		return nil, fmt.Errorf("%w: metadata %s decodes to version %s", ErrDamaged, vid, m.VersionID())
+	}
+	return m, nil
+}
+
+// fetchMetaBatch resolves many records in O(providers) round trips instead
+// of O(records): it inverts the listing's (version, index) → providers map
+// into one want-list per provider, fetches each list through a single
+// csp.DownloadBatch attempt on the shared operation (bounded fan-out,
+// shared failed-provider set), and decodes every record that gathered a
+// MetaT quorum. Records the batch pass cannot decode — their providers
+// failed, a share came back corrupt, the quorum fell short — fall back to
+// the per-record fetchMeta, which probes alternates and gathers surplus
+// shares for error correction. Returns the decoded records and the
+// per-version errors of the ones that stayed unreadable.
+func (c *Client) fetchMetaBatch(op *transfer.Op, ctx context.Context, vids []string, locs map[string]map[int][]string) (map[string]*metadata.FileMeta, map[string]error) {
+	// Assignment pass: for each record pick MetaT distinct indices and one
+	// usable provider per index, spreading load by want-list length so one
+	// provider does not serve every record alone.
+	wants := make(map[string][]string)         // provider -> object names
+	wantMeta := make(map[string]map[string]int) // provider -> object -> share index
+	assigned := make(map[string]int)            // vid -> indices assigned
+	for _, vid := range vids {
+		idxs := make([]int, 0, len(locs[vid]))
+		for idx := range locs[vid] {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			if assigned[vid] >= c.cfg.MetaT {
+				break
+			}
+			best := ""
+			for _, provider := range locs[vid][idx] {
+				if _, ok := c.store(provider); !ok || c.est.Down(provider) {
+					continue
+				}
+				if best == "" || len(wants[provider]) < len(wants[best]) {
+					best = provider
+				}
+			}
+			if best == "" {
+				continue
+			}
+			name := metaShareName(vid, idx)
+			wants[best] = append(wants[best], name)
+			if wantMeta[best] == nil {
+				wantMeta[best] = make(map[string]int)
+			}
+			wantMeta[best][name] = idx
+			assigned[vid]++
+		}
+	}
+
+	providers := make([]string, 0, len(wants))
+	for p := range wants {
+		providers = append(providers, p)
+	}
+	sort.Strings(providers)
+
+	// Fetch pass: one batched attempt per provider, all concurrent under
+	// the operation's in-flight caps.
+	var mu sync.Mutex
+	shares := make(map[string][]erasure.Share, len(vids))
+	op.Each(len(providers), func(i int) {
+		provider := providers[i]
+		names := wants[provider]
+		sort.Strings(names)
+		var got map[string][]byte
+		err := op.Do(ctx, transfer.Attempt{
+			CSP:  provider,
+			Kind: opMetaGet,
+			Run: func(actx context.Context) (int64, error) {
+				store, ok := c.store(provider)
+				if !ok {
+					return 0, errProviderVanished(provider)
+				}
+				out, err := csp.DownloadBatch(actx, store, names)
+				var bytes int64
+				for _, d := range out {
+					bytes += int64(len(d))
+				}
+				if err == nil {
+					got = out
+				}
+				return bytes, err
+			},
+			Done: func(aerr error, bytes int64, elapsed time.Duration) {
+				c.events.emit(Event{Type: EvMetaGet, CSP: provider, Bytes: bytes, Duration: elapsed, Err: aerr})
+			},
+		})
+		if err != nil {
+			return
+		}
+		c.obs.MetaBatchFetch(provider)
+		mu.Lock()
+		for name, data := range got {
+			vid, _, ok := parseMetaShareName(name)
+			if !ok {
+				continue
+			}
+			shares[vid] = append(shares[vid], erasure.Share{Index: wantMeta[provider][name], Data: data})
+		}
+		mu.Unlock()
+	})
+
+	// Decode pass; stragglers retry through the per-record path, which
+	// shares this operation's failed set (a provider that just failed its
+	// batch is skipped, not re-probed).
+	out := make(map[string]*metadata.FileMeta, len(vids))
+	errs := make(map[string]error)
+	for _, vid := range vids {
+		ss := shares[vid]
+		if len(ss) >= c.cfg.MetaT {
+			sort.Slice(ss, func(i, j int) bool { return ss[i].Index < ss[j].Index })
+			if m, err := c.decodeMetaVerified(vid, ss); err == nil {
+				out[vid] = m
+				continue
+			}
+		}
+		m, err := c.fetchMeta(op, ctx, vid, locs[vid])
+		if err != nil {
+			errs[vid] = err
+			continue
+		}
+		out[vid] = m
+	}
+	return out, errs
+}
+
+// repairMetaPlacement is the background re-placement path for sharded
+// metadata: records whose current shard set is missing shares are
+// re-scattered to it. Two conditions degrade a placement — ring churn
+// moves a record's shard set, and a provider outage lets uploadMeta ack a
+// record at the t-quorum with fewer than the full shard width of shares —
+// and both heal here. It follows the migrate.go doctrine: the listing (not
+// a probe) identifies holders, new copies are uploaded, and source copies
+// are NEVER deleted, so a client with a stale ring (or a reader mid-walk)
+// still resolves every record where it used to be. Share bytes are
+// index-stable (prefix-stable evaluation points), so re-placing share i on
+// a new provider duplicates, never forks, the share.
+//
+// fullScan recomputes every record's targets (required after ring churn,
+// where a record can hold enough shares on the wrong providers); without
+// it only records with fewer listed share indices than the shard width —
+// the outage-window signature — are examined, keeping the steady-state
+// sync cost independent of namespace size. The return value reports
+// whether every needed re-placement succeeded; callers persist the ring
+// epoch only on a clean pass so a partial repair is retried next sync.
+func (c *Client) repairMetaPlacement(op *transfer.Op, ctx context.Context, locs map[string]map[int][]string, fullScan bool) (healthy bool) {
+	healthy = true
+	width := c.cfg.MetaShards
+	if active := len(c.CSPs()); width > active {
+		width = active
+	}
+	repaired := 0
+	for vid, byIdx := range locs {
+		if !fullScan && len(byIdx) >= width {
+			continue
+		}
+		m, err := c.tree.Get(vid)
+		if err != nil {
+			continue // not ours to re-place (unreadable or foreign record)
+		}
+		targets := c.metaTargetsFor(m.File.Name)
+		var missing []int
+		for i, target := range targets {
+			held := false
+			for _, holder := range byIdx[i] {
+				if holder == target {
+					held = true
+					break
+				}
+			}
+			if !held {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		data, err := metadata.Encode(m)
+		if err != nil {
+			healthy = false
+			continue
+		}
+		t := c.cfg.MetaT
+		if t > len(targets) {
+			t = len(targets)
+		}
+		var shares []erasure.Share
+		c.codec.run("encode", int64(len(data)), func() {
+			shares, err = c.coder.EncodeTo(make([]erasure.Share, 0, len(targets)), data, t, len(targets))
+		})
+		if err != nil {
+			healthy = false
+			continue
+		}
+		for _, i := range missing {
+			i := i
+			target := targets[i]
+			err := op.Do(ctx, transfer.Attempt{
+				CSP:  target,
+				Kind: opMetaPut,
+				Run: func(actx context.Context) (int64, error) {
+					store, ok := c.store(target)
+					if !ok {
+						return 0, errProviderVanished(target)
+					}
+					return shares[i].Size(), store.Upload(actx, metaShareName(vid, i), shares[i].Data)
+				},
+				Done: func(aerr error, bytes int64, elapsed time.Duration) {
+					c.events.emit(Event{Type: EvMetaPut, File: m.File.Name, CSP: target, Bytes: bytes, Duration: elapsed, Err: aerr})
+				},
+			})
+			if err != nil {
+				healthy = false
+			}
+		}
+		erasure.ReleaseShares(shares)
+		repaired++
+	}
+	if repaired > 0 {
+		c.logf("re-placed sharded metadata", "records", repaired)
+	}
+	return healthy
+}
+
+// MetaShardCounts returns, per provider, how many known file names the
+// current ring routes metadata to — the shard-skew view `cyrusctl stats`
+// renders. It also refreshes the cyrus_metashard_records gauge.
+func (c *Client) MetaShardCounts() map[string]int {
+	out := make(map[string]int)
+	for _, name := range c.tree.Names() {
+		for _, target := range c.metaTargetsFor(name) {
+			out[target]++
+		}
+	}
+	for cspName, n := range out {
+		c.obs.MetaShardRecords(cspName, n)
+	}
+	return out
 }
 
 // errUnreadableRecord marks a metadata record that was fetched with quorum
@@ -331,6 +595,9 @@ func (c *Client) absorb(m *metadata.FileMeta) error {
 		// reference tokens against.
 		c.table.AddVersionRef(chunk, m.SharesOf(chunk.ID), m.VersionID())
 	}
+	// Any new record makes the name's cached entries suspect; the cache
+	// subscribes to this event (metacache.go).
+	c.events.emit(Event{Type: EvMetaAbsorbed, File: m.File.Name})
 	return nil
 }
 

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/metadata"
+)
+
+// --- sharded placement -----------------------------------------------------
+
+// With MetaShards set, a file's metadata shares must land exactly on the
+// ring-selected subset — and a fresh client with the same configuration must
+// still recover everything (same key, same ring, same subsets).
+func TestShardedMetaPlacement(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 6)
+	shardCfg := func(cfg *Config) { cfg.MetaShards = 3 }
+	w := env.client("writer", shardCfg)
+
+	files := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("dir/file-%d.dat", i)
+		files[name] = randData(int64(i), 2000+i*37)
+		if err := w.Put(bg, name, files[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name := range files {
+		head, _, err := w.Tree().Head(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vid := head.VersionID()
+		targets := map[string]bool{}
+		for _, p := range w.metaTargetsFor(name) {
+			targets[p] = true
+		}
+		if len(targets) != 3 {
+			t.Fatalf("%s: shard set has %d providers, want 3", name, len(targets))
+		}
+		for _, provider := range env.names {
+			held := len(env.backends[provider].ObjectNames(metadata.MetaPrefix + vid))
+			if targets[provider] && held == 0 {
+				t.Errorf("%s: shard member %s holds no metadata share", name, provider)
+			}
+			if !targets[provider] && held != 0 {
+				t.Errorf("%s: non-member %s holds %d metadata shares", name, provider, held)
+			}
+		}
+	}
+
+	r := env.client("reader", shardCfg)
+	if err := r.Recover(bg); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		got, _, err := r.Get(bg, name)
+		if err != nil {
+			t.Fatalf("Get %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: content mismatch", name)
+		}
+	}
+}
+
+// After ring churn, the next full-view sync re-places sharded metadata onto
+// the new shard sets without deleting the old copies, so a client still
+// running the old ring resolves every record where it used to live.
+func TestShardRepairAfterChurn(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 6)
+	shardCfg := func(cfg *Config) { cfg.MetaShards = 3 }
+	w := env.client("writer", shardCfg)
+
+	files := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		files[name] = randData(int64(100+i), 1500)
+		if err := w.Put(bg, name, files[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Snapshot the pre-churn holdings of the provider about to leave.
+	removed := env.names[0]
+	before := env.backends[removed].ObjectNames(metadata.MetaPrefix)
+
+	if err := w.RemoveCSP(bg, removed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new shard sets must be fully populated...
+	for name := range files {
+		head, _, err := w.Tree().Head(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vid := head.VersionID()
+		for i, provider := range w.metaTargetsFor(name) {
+			obj := fmt.Sprintf("%s%s.s%d", metadata.MetaPrefix, vid, i)
+			if _, ok := env.backends[provider].PeekObject(obj); !ok {
+				t.Errorf("%s: share %d missing on new shard member %s", name, i, provider)
+			}
+		}
+	}
+	// ...and the departed provider's copies untouched (stale-ring readers).
+	after := env.backends[removed].ObjectNames(metadata.MetaPrefix)
+	if len(after) < len(before) {
+		t.Fatalf("repair deleted source copies: %d -> %d objects on %s", len(before), len(after), removed)
+	}
+
+	// A fresh client (which learns the removal from the CSP list mid-sync,
+	// i.e. starts with a stale ring) still reads everything.
+	r := env.client("reader", shardCfg)
+	if err := r.Recover(bg); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		got, _, err := r.Get(bg, name)
+		if err != nil {
+			t.Fatalf("Get %s after churn: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: content mismatch after churn", name)
+		}
+	}
+}
+
+// --- version-aware cache ---------------------------------------------------
+
+// metaCountingStore wraps a SimStore and counts operations by kind. It forwards
+// DownloadBatch so the batched path stays one round trip.
+type metaCountingStore struct {
+	csp.Store
+	lists, downloads, batches *atomic.Int64
+}
+
+func (s *metaCountingStore) List(ctx context.Context, prefix string) ([]csp.ObjectInfo, error) {
+	s.lists.Add(1)
+	return s.Store.List(ctx, prefix)
+}
+
+func (s *metaCountingStore) Download(ctx context.Context, name string) ([]byte, error) {
+	s.downloads.Add(1)
+	return s.Store.Download(ctx, name)
+}
+
+func (s *metaCountingStore) DownloadBatch(ctx context.Context, names []string) (map[string][]byte, error) {
+	s.batches.Add(1)
+	return csp.DownloadBatch(ctx, s.Store, names)
+}
+
+// countingEnv builds one client over counting wrappers plus the shared
+// counters.
+func countingEnv(t *testing.T, env *testEnv, id string, tweak func(*Config)) (*Client, *atomic.Int64, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var lists, downloads, batches atomic.Int64
+	var stores []csp.Store
+	for _, name := range env.names {
+		stores = append(stores, &metaCountingStore{
+			Store: cloudsimStore(t, env, name),
+			lists: &lists, downloads: &downloads, batches: &batches,
+		})
+	}
+	cfg := Config{ClientID: id, Key: "shared-user-key", T: 2, N: 3}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := New(cfg, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &lists, &downloads, &batches
+}
+
+// A warm cache hit serves Stat and Get with ZERO metadata round trips: no
+// listing, no metadata share downloads. This is the acceptance bar for the
+// metadata cache.
+func TestMetaCacheWarmHitZeroMetaRoundTrips(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	c, lists, downloads, _ := countingEnv(t, env, "alice", func(cfg *Config) {
+		cfg.MetaCacheEntries = 64
+	})
+	data := randData(7, 8000)
+	if err := c.Put(bg, "doc", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Put populated the cache (read-your-writes): Stat must do no I/O.
+	lists.Store(0)
+	downloads.Store(0)
+	info, err := c.Stat(bg, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(data)) {
+		t.Fatalf("Stat size = %d", info.Size)
+	}
+	if n := lists.Load() + downloads.Load(); n != 0 {
+		t.Fatalf("warm Stat cost %d round trips, want 0", n)
+	}
+
+	// Get still transfers chunk shares, but no metadata listing.
+	got, _, err := c.Get(bg, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+	if n := lists.Load(); n != 0 {
+		t.Fatalf("warm Get ran %d listings, want 0", n)
+	}
+	if c.MetaCacheLen() == 0 {
+		t.Fatal("cache empty after warm operations")
+	}
+}
+
+// Absorbing any record for a name — here a sibling's new version arriving
+// via Sync — must invalidate the cached head, and the next read must serve
+// the new version.
+func TestMetaCacheInvalidatedByRemoteUpdate(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	cacheCfg := func(cfg *Config) { cfg.MetaCacheEntries = 64 }
+	c1 := env.client("c1", cacheCfg)
+	c2 := env.client("c2", cacheCfg)
+
+	v1 := randData(1, 3000)
+	if err := c1.Put(bg, "shared", v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Stat(bg, "shared"); err != nil { // sync + cache v1
+		t.Fatal(err)
+	}
+	v1id, ok := c2.CachedHeadVersion("shared")
+	if !ok {
+		t.Fatal("v1 not cached after Stat")
+	}
+
+	v2 := randData(2, 3000)
+	if err := c1.Put(bg, "shared", v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before c2 syncs, the cache legitimately serves v1 (CYRUS eventual
+	// consistency: remote updates are seen at the next sync).
+	info, err := c2.Stat(bg, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.VersionID != v1id {
+		t.Fatalf("pre-sync Stat served %s, want cached %s", info.VersionID, v1id)
+	}
+
+	if _, err := c2.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if vid, ok := c2.CachedHeadVersion("shared"); ok && vid == v1id {
+		t.Fatal("absorbing v2 did not invalidate the cached v1 head")
+	}
+	got, info, err := c2.Get(bg, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) || info.VersionID == v1id {
+		t.Fatal("post-sync read did not serve the new version")
+	}
+
+	// Deletion: markers are never cached, so a deleted file keeps resolving
+	// through sync (a remote recreate must be observable).
+	if err := c1.Delete(bg, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.CachedHeadVersion("shared"); ok {
+		t.Fatal("deletion marker cached as a head")
+	}
+	info, err = c2.Stat(bg, "shared")
+	if err != nil || !info.Deleted {
+		t.Fatalf("Stat after delete: info=%+v err=%v", info, err)
+	}
+}
+
+// The cache respects its entry bound via LRU eviction.
+func TestMetaCacheEviction(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	c := env.client("alice", func(cfg *Config) { cfg.MetaCacheEntries = 4 })
+	for i := 0; i < 10; i++ {
+		if err := c.Put(bg, fmt.Sprintf("f%d", i), randData(int64(i), 600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.MetaCacheLen(); n > 4 {
+		t.Fatalf("cache holds %d entries, bound is 4", n)
+	}
+}
+
+// --- batched metadata fetch ------------------------------------------------
+
+// A fresh client's sync over a K-file namespace must resolve all records in
+// O(providers) metadata round trips, not O(K): one listing per provider plus
+// one batched download per provider.
+func TestSyncBatchedRoundTrips(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	w := env.client("writer", nil)
+	const K = 20
+	for i := 0; i < K; i++ {
+		if err := w.Put(bg, fmt.Sprintf("n/%02d", i), randData(int64(i), 1200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, lists, downloads, batches := countingEnv(t, env, "reader", nil)
+	if _, err := r.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Tree().Names()); got != K {
+		t.Fatalf("sync absorbed %d names, want %d", got, K)
+	}
+	// One listing per provider; metadata shares fetched in batches — the
+	// per-record fallback (individual downloads) must not have fired.
+	if n := lists.Load(); n > int64(len(env.names)) {
+		t.Fatalf("sync ran %d listings for %d providers", n, len(env.names))
+	}
+	if n := batches.Load(); n > int64(len(env.names)) {
+		t.Fatalf("sync ran %d batch fetches for %d providers", n, len(env.names))
+	}
+	if n := downloads.Load(); n != 0 {
+		t.Fatalf("sync fell back to %d per-record downloads", n)
+	}
+}
+
+// When a share fetched by the batch pass is corrupt, the record must still
+// resolve through the per-record fallback (surplus shares + error
+// correction), not fail the sync.
+func TestBatchFetchFallsBackOnCorruptShare(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 5)
+	w := env.client("writer", nil)
+	data := randData(3, 4000)
+	if err := w.Put(bg, "doc", data); err != nil {
+		t.Fatal(err)
+	}
+	head, _, err := w.Tree().Head("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid := head.VersionID()
+
+	// Corrupt share index 0 wherever it lives: the batch pass prefers the
+	// lowest indices, so it will fetch the rotten share and fail to decode.
+	obj := fmt.Sprintf("%s%s.s0", metadata.MetaPrefix, vid)
+	corrupted := 0
+	for _, name := range env.names {
+		if env.backends[name].MutateObject(obj, func(d []byte) []byte {
+			d[len(d)/2] ^= 0x5a
+			return d
+		}) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("share .s0 not found on any provider")
+	}
+
+	r := env.client("reader", nil)
+	if _, err := r.Sync(bg); err != nil {
+		t.Fatalf("sync failed despite recoverable corruption: %v", err)
+	}
+	got, _, err := r.Get(bg, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+// MetaShardCounts reflects the ring's routing of known names.
+func TestMetaShardCounts(t *testing.T) {
+	t.Parallel()
+	env := newEnv(t, 6)
+	w := env.client("writer", func(cfg *Config) { cfg.MetaShards = 3 })
+	const K = 30
+	for i := 0; i < K; i++ {
+		if err := w.Put(bg, fmt.Sprintf("s/%02d", i), randData(int64(i), 800)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := w.MetaShardCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != K*3 {
+		t.Fatalf("shard counts sum to %d, want %d names x 3 shards", total, K*3)
+	}
+}

@@ -221,6 +221,9 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 	if err := c.absorb(meta); err != nil {
 		return err
 	}
+	// Read-your-writes: the just-stored version is this client's head until
+	// someone else's record is absorbed (which invalidates the entry).
+	c.mcache.storeHead(meta)
 	c.logf("stored version", "file", name, "version", meta.VersionID()[:8],
 		"bytes", size, "chunks", len(meta.Chunks), "newChunks", len(newPend))
 	c.events.emit(Event{Type: EvFileComplete, File: name, Bytes: size, Duration: c.rt.Now().Sub(opStart)})
@@ -239,10 +242,9 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 func (c *Client) GetTo(ctx context.Context, name string, w io.Writer) (_ FileInfo, err error) {
 	ctx, sp := c.obs.StartOp(ctx, "get")
 	defer func() { sp.End(err) }()
-	c.syncBestEffort(ctx)
-	head, conflicted, err := c.tree.Head(name)
+	head, conflicted, err := c.headForRead(ctx, name)
 	if err != nil {
-		return FileInfo{}, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+		return FileInfo{}, err
 	}
 	info := fileInfo(head, conflicted)
 	if head.File.Deleted {
@@ -273,6 +275,24 @@ func (c *Client) GetVersionTo(ctx context.Context, name, versionID string, w io.
 		return info, err
 	}
 	return info, nil
+}
+
+// headForRead resolves a file's head for the read paths: a cached live
+// head is served with zero metadata round trips; otherwise the best-effort
+// sync runs and the tree's head is returned (and cached if unconflicted).
+func (c *Client) headForRead(ctx context.Context, name string) (*metadata.FileMeta, bool, error) {
+	if m, ok := c.mcache.head(name); ok {
+		return m, false, nil
+	}
+	c.syncBestEffort(ctx)
+	head, conflicted, err := c.tree.Head(name)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+	}
+	if !conflicted {
+		c.mcache.storeHead(head)
+	}
+	return head, conflicted, nil
 }
 
 // chunkState is the per-unique-chunk gather plan: all known share

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/metadata"
 )
@@ -52,23 +51,22 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 		vids = append(vids, vid)
 	}
 	missing := c.tree.Missing(vids)
-	if len(missing) == 0 {
-		full = complete
-		return 0, nil
-	}
 
-	var mu sync.Mutex
+	// Batched resolution: one round trip per provider for the common case,
+	// with per-record fallback inside (see fetchMetaBatch).
 	absorbed := 0
 	var firstErr error
 	unreadableOnly := true
-	op.Each(len(missing), func(i int) {
-		vid := missing[i]
-		m, err := c.fetchMeta(op, ctx, vid, locs[vid])
+	fetched, fetchErrs := c.fetchMetaBatch(op, ctx, missing, locs)
+	for _, vid := range missing {
+		err := fetchErrs[vid]
 		if err == nil {
-			err = c.absorb(m)
+			if m, ok := fetched[vid]; ok {
+				err = c.absorb(m)
+			} else {
+				continue
+			}
 		}
-		mu.Lock()
-		defer mu.Unlock()
 		if err != nil {
 			// Prefer reporting an availability failure over an unreadable
 			// record: the former is actionable and transient, and its
@@ -83,11 +81,37 @@ func (c *Client) Sync(ctx context.Context) (n int, err error) {
 					firstErr = err
 				}
 			}
-			return
+			continue
 		}
 		absorbed++
-	})
+	}
 	full = complete && unreadableOnly
+	if full {
+		// With the complete recoverable state in hand it is safe to run the
+		// maintenance passes: re-place sharded metadata after ring churn
+		// (stale holders keep their copies — see repairMetaPlacement) and
+		// compact resolved version-tree branches. Both are deterministic
+		// over the full record set, so independently syncing clients
+		// converge on the same state.
+		// The repair scan runs on every full view, not just after a ring
+		// epoch change: a record uploaded during a provider outage met its
+		// t-quorum with fewer than MetaShards shares, and only this pass
+		// restores the shard's full replication once the provider returns.
+		// A stale persisted epoch forces the full per-record target scan;
+		// otherwise only under-placed records are examined. The epoch is
+		// persisted only after a clean repair so partial work is retried.
+		if c.cfg.MetaShards > 0 {
+			fullScan := c.table.RingEpoch() < c.ringEpoch.Load()
+			if c.repairMetaPlacement(op, ctx, locs, fullScan) {
+				c.table.SetRingEpoch(c.ringEpoch.Load())
+			}
+		}
+		if c.cfg.TreeRetention > 0 {
+			if pruned := c.tree.Compact(c.cfg.TreeRetention); pruned > 0 {
+				c.logf("compacted version tree", "pruned", pruned)
+			}
+		}
+	}
 	return absorbed, firstErr
 }
 
@@ -132,6 +156,10 @@ func (c *Client) Recover(ctx context.Context) error {
 // Figure 8), after a best-effort sync.
 func (c *Client) Conflicts(ctx context.Context) []ConflictInfo {
 	c.syncBestEffort(ctx)
+	return c.conflictsLocal()
+}
+
+func (c *Client) conflictsLocal() []ConflictInfo {
 	raw := c.tree.Conflicts()
 	out := make([]ConflictInfo, 0, len(raw))
 	for _, cf := range raw {
@@ -190,6 +218,19 @@ func (c *Client) Resolve(ctx context.Context, name, winnerVersionID string) erro
 		}
 	}
 	return nil
+}
+
+// CachedHeadVersion reports the version ID the metadata cache currently
+// holds as a file's head, if any — the inspection hook the harness's
+// cache-coherence oracle compares against the tree's head.
+func (c *Client) CachedHeadVersion(name string) (string, bool) {
+	return c.mcache.headVersion(name)
+}
+
+// MetaCacheLen returns the number of records resident in the metadata
+// cache (0 when the cache is disabled).
+func (c *Client) MetaCacheLen() int {
+	return c.mcache.len()
 }
 
 // supersede appends a deletion marker on top of the given version.

@@ -81,6 +81,39 @@ type StreamDownloader interface {
 	DownloadTo(ctx context.Context, name string, w io.Writer) (int64, error)
 }
 
+// BatchDownloader is an optional Store capability: fetch many objects in
+// one provider round trip. Missing objects are simply absent from the
+// result map — a batch with some unknown names is not an error. Real
+// providers expose equivalents (S3 multi-object GET pipelining, Dropbox
+// batch endpoints); the simulation charges one round-trip latency for the
+// whole batch, which is what makes directory-scale metadata fetches
+// O(CSPs) instead of O(files).
+type BatchDownloader interface {
+	DownloadBatch(ctx context.Context, names []string) (map[string][]byte, error)
+}
+
+// DownloadBatch fetches the named objects, using the store's
+// BatchDownloader fast path when present and falling back to sequential
+// Downloads otherwise. Missing objects are omitted from the result; any
+// other per-object error aborts the batch.
+func DownloadBatch(ctx context.Context, s Store, names []string) (map[string][]byte, error) {
+	if bd, ok := s.(BatchDownloader); ok {
+		return bd.DownloadBatch(ctx, names)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		data, err := s.Download(ctx, name)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out[name] = data
+	}
+	return out, nil
+}
+
 // RefStore is an optional Store capability for content-addressed dedup:
 // server-side reference tokens on objects, with atomic
 // create-if-absent-and-reference and delete-on-last-release semantics.

@@ -517,3 +517,31 @@ func TestDedupSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestMetaPlaneAcceptance(t *testing.T) {
+	// Tiny namespace keeps the test quick; the acceptance bars are
+	// round-trip counts and ratios, independent of namespace size.
+	res, err := MetaPlane(MetaPlaneConfig{Seed: 7, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 200 {
+		t.Fatalf("files = %d, want 200", res.Files)
+	}
+	if res.WarmGetMetaRTs != 0 {
+		t.Errorf("warm Get cost %d metadata round trips, want 0", res.WarmGetMetaRTs)
+	}
+	if res.WarmStatMetaRTs != 0 {
+		t.Errorf("warm Stat pass cost %d metadata round trips, want 0", res.WarmStatMetaRTs)
+	}
+	if res.BatchReduction < 5 {
+		t.Errorf("batch reduction %.1fx, want >= 5x vs the per-record baseline", res.BatchReduction)
+	}
+	if res.PutMetaRTsPerFileSharded >= res.PutMetaRTsPerFileUnsharded {
+		t.Errorf("sharded put fan-out %.1f not below unsharded %.1f",
+			res.PutMetaRTsPerFileSharded, res.PutMetaRTsPerFileUnsharded)
+	}
+	if res.ShardRecordsMin <= 0 || res.ShardRecordsMax < res.ShardRecordsMin {
+		t.Errorf("shard skew min/max = %d/%d", res.ShardRecordsMin, res.ShardRecordsMax)
+	}
+}

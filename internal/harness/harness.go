@@ -117,6 +117,23 @@ type Options struct {
 	// are recomputed with the content-derived coders.
 	Dedup bool
 
+	// MetaShards, when positive, enables hashring-sharded metadata
+	// placement on every client (core.Config.MetaShards). The
+	// meta-replication check is shard-aware for free: metadata shares are
+	// prefix-stable in n, so a shard subset's shares byte-match the full
+	// placement's prefix.
+	MetaShards int
+
+	// MetaCacheEntries / MetaCacheBytes enable the version-aware metadata
+	// cache on every client. The checkpoint adds a cache-coherence oracle:
+	// after quiesce, no client may hold a cached head that differs from its
+	// tree's live head (i.e. no client would serve a superseded version
+	// from cache). TreeRetention is deliberately NOT a harness knob: the
+	// durability oracle re-reads every acknowledged historical version,
+	// which compaction legitimately prunes.
+	MetaCacheEntries int
+	MetaCacheBytes   int64
+
 	// Recorder, when set, tunes the shared observer's flight recorder
 	// (trigger thresholds, ring capacity, dump retention). nil keeps the
 	// observer defaults — the recorder itself is always attached.
@@ -182,7 +199,7 @@ type AckedWrite struct {
 
 // Violation is one invariant breach found by a checkpoint.
 type Violation struct {
-	Invariant string // durability | placement | privacy | meta-replication | garbage | convergence | read
+	Invariant string // durability | placement | privacy | meta-replication | garbage | convergence | read | cache
 	Detail    string
 }
 
@@ -350,6 +367,9 @@ func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, e
 		T:                h.opts.T,
 		N:                h.opts.N,
 		MetaT:            h.opts.MetaT,
+		MetaShards:       h.opts.MetaShards,
+		MetaCacheEntries: h.opts.MetaCacheEntries,
+		MetaCacheBytes:   h.opts.MetaCacheBytes,
 		Chunking:         chunkingConfig,
 		ClusterOf:        h.clusters,
 		Obs:              o,

@@ -242,6 +242,33 @@ func TestScenarios(t *testing.T) {
 			},
 		},
 		{
+			// Sharded metadata plane under CSP churn: three clients route
+			// metadata through a 3-of-6 hashring with the version-aware
+			// cache on, while providers crash, are retired, and rejoin
+			// mid-run. Oracles: per-shard meta-replication (every record
+			// keeps >= MetaT intact shares on its shard), stale-ring
+			// readability (fresh inspectors start on the pre-churn ring and
+			// must still resolve everything), cache coherence (no client
+			// serves a superseded version from cache), and garbage-freedom
+			// (re-placed shares are accounted, nothing referenced is lost).
+			name: "meta-shard-churn",
+			opts: Options{
+				Clients:          3,
+				Providers:        6,
+				MetaShards:       3,
+				MetaCacheEntries: 64,
+				Schedule: Schedule{
+					{At: 25, Act: RemoveCSP, CSP: "cspb", Client: 0},
+					{At: 45, Act: Crash, CSP: "cspe"},
+					{At: 70, Act: Restart, CSP: "cspe"},
+					{At: 80, Act: Checkpoint},
+					{At: 80, Act: ReinstateCSP, CSP: "cspb", Client: 1},
+					{At: 105, Act: RemoveCSP, CSP: "cspd", Client: 2},
+					{At: 130, Act: FailNext, CSP: "cspa", Count: 3},
+				},
+			},
+		},
+		{
 			// Virtual time: each client reaches the providers over its own
 			// netsim links; mid-run one provider's links collapse to 5% of
 			// their bandwidth, then recover.

@@ -18,6 +18,7 @@ import (
 func (h *Harness) checkpoint(ctx context.Context) {
 	h.quiesce(ctx)
 	h.checkConvergence()
+	h.checkCacheCoherence()
 
 	tree := h.clients[0].Tree()
 	records := tree.All()
@@ -82,6 +83,36 @@ func (h *Harness) checkConvergence() {
 			if err0 == nil && h0.VersionID() != hc.VersionID() {
 				h.violate("convergence", "%s and %s disagree on head of %s: %s vs %s",
 					ref.ID(), c.ID(), name, short(h0.VersionID()), short(hc.VersionID()))
+			}
+		}
+	}
+}
+
+// checkCacheCoherence verifies no client would serve a superseded version
+// from its metadata cache. After quiesce every client has absorbed every
+// record (absorbing invalidates the name's cached entries), so whatever
+// survives in a cache must be exactly the tree's live head — a stale or
+// deleted cached head means an invalidation was missed and a read would
+// have served a superseded version.
+func (h *Harness) checkCacheCoherence() {
+	for _, c := range h.clients {
+		for _, name := range c.Tree().Names() {
+			vid, ok := c.CachedHeadVersion(name)
+			if !ok {
+				continue
+			}
+			head, _, err := c.Tree().Head(name)
+			if err != nil {
+				h.violate("cache", "%s caches head %s of %s but the tree has no head", c.ID(), short(vid), name)
+				continue
+			}
+			if head.File.Deleted {
+				h.violate("cache", "%s caches head %s of deleted file %s", c.ID(), short(vid), name)
+				continue
+			}
+			if head.VersionID() != vid {
+				h.violate("cache", "%s caches stale head %s of %s (tree head %s)",
+					c.ID(), short(vid), name, short(head.VersionID()))
 			}
 		}
 	}

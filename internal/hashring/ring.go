@@ -77,7 +77,15 @@ func (r *Ring) Add(node string) error {
 	for i := 0; i < r.replicas; i++ {
 		r.vnodes = append(r.vnodes, vnode{hashKey(fmt.Sprintf("%s#%d", node, i)), node})
 	}
-	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	// Tie-break equal hashes by node name so the vnode order — and hence
+	// SelectN's walk order — is a pure function of membership, not of the
+	// sequence of Add calls that built the ring.
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
 	return nil
 }
 

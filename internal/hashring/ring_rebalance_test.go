@@ -1,0 +1,144 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRebalanceBound pins the guarantee the metadata shard-epoch migration
+// relies on: adding or removing one node changes the primary owner of at
+// most ~2·K/n of K keys, and disturbs the m-replica shard set of at most
+// ~2·K·m/n keys. If this bound regresses, a ring-membership change would
+// force re-placing far more metadata records than the migrate path budgets
+// for.
+func TestRebalanceBound(t *testing.T) {
+	const (
+		keys = 10000
+		m    = 3
+	)
+	nodes := []string{"cspa", "cspb", "cspc", "cspd", "cspe", "cspf", "cspg", "csph"}
+	n := len(nodes)
+	r := ringWith(t, nodes...)
+
+	key := func(i int) string { return fmt.Sprintf("file-%d.dat", i) }
+	primBefore := make([]string, keys)
+	setBefore := make([][]string, keys)
+	for i := 0; i < keys; i++ {
+		p, err := r.Primary(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		primBefore[i] = p
+		s, err := r.SelectN(key(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setBefore[i] = s
+	}
+
+	check := func(label string, bound int, changed int) {
+		t.Helper()
+		if changed > bound {
+			t.Errorf("%s: %d of %d keys changed, bound %d", label, changed, keys, bound)
+		}
+	}
+	countChanged := func() (prim, set int) {
+		t.Helper()
+		for i := 0; i < keys; i++ {
+			p, err := r.Primary(key(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != primBefore[i] {
+				prim++
+			}
+			s, err := r.SelectN(key(i), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range s {
+				if s[j] != setBefore[i][j] {
+					set++
+					break
+				}
+			}
+		}
+		return prim, set
+	}
+
+	if err := r.Add("cspi"); err != nil {
+		t.Fatal(err)
+	}
+	prim, set := countChanged()
+	check("add: primary moves", 2*keys/n, prim)
+	check("add: shard-set disturbance", 2*keys*m/n, set)
+
+	if err := r.Add("cspi"); err == nil {
+		t.Fatal("re-Add did not error")
+	}
+	if err := r.Remove("cspi"); err != nil {
+		t.Fatal(err)
+	}
+	prim, set = countChanged()
+	if prim != 0 || set != 0 {
+		t.Fatalf("add+remove round trip remapped %d primaries, %d shard sets; want 0", prim, set)
+	}
+
+	if err := r.Remove("cspa"); err != nil {
+		t.Fatal(err)
+	}
+	prim, set = countChanged()
+	check("remove: primary moves", 2*keys/n, prim)
+	check("remove: shard-set disturbance", 2*keys*m/n, set)
+}
+
+// TestInsertionOrderIndependence verifies that two rings with the same
+// membership built by different Add sequences produce identical selections.
+// Without the (hash, node) tie-break in Add's sort, equal-hash vnodes would
+// keep insertion order and the rings could disagree.
+func TestInsertionOrderIndependence(t *testing.T) {
+	fwd := ringWith(t, "a", "b", "c", "d", "e")
+	rev := ringWith(t, "e", "d", "c", "b", "a")
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		x, err := fwd.SelectN(k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := rev.SelectN(k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatalf("key %q: forward ring %v, reverse ring %v", k, x, y)
+			}
+		}
+	}
+}
+
+// TestEqualHashTieBreak forces a vnode hash collision (unreachable through
+// SHA-1 alone) and checks Add's re-sort orders the colliding vnodes by node
+// name, making the clockwise walk deterministic.
+func TestEqualHashTieBreak(t *testing.T) {
+	r := New(1)
+	if err := r.Add("z"); err != nil {
+		t.Fatal(err)
+	}
+	// Inject two vnodes sharing a hash, deliberately in reverse name order.
+	r.vnodes = append(r.vnodes, vnode{42, "b"}, vnode{42, "a"})
+	r.nodes["a"], r.nodes["b"] = true, true
+	// Adding another member re-sorts the whole vnode slice.
+	if err := r.Add("y"); err != nil {
+		t.Fatal(err)
+	}
+	var at42 []string
+	for _, v := range r.vnodes {
+		if v.hash == 42 {
+			at42 = append(at42, v.node)
+		}
+	}
+	if len(at42) != 2 || at42[0] != "a" || at42[1] != "b" {
+		t.Fatalf("colliding vnodes ordered %v, want [a b]", at42)
+	}
+}

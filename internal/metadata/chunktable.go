@@ -12,8 +12,9 @@ import (
 // checking whether shares of each chunk are already stored", Algorithm 2)
 // and the lazy-migration path updates it when shares move.
 type ChunkTable struct {
-	mu     sync.RWMutex
-	chunks map[string]*ChunkInfo
+	mu        sync.RWMutex
+	chunks    map[string]*ChunkInfo
+	ringEpoch uint64
 }
 
 // ChunkInfo is the stored state of one unique chunk.
@@ -221,6 +222,25 @@ func (t *ChunkTable) TotalStoredBytes() int64 {
 		total += shareSize * int64(len(c.Shares))
 	}
 	return total
+}
+
+// SetRingEpoch records the hashring membership epoch the table's share and
+// metadata placements were computed under. Sharded metadata placement bumps
+// the epoch on every ring change; a persisted epoch older than the ring's
+// tells the re-placement path which records may sit on stale shard sets.
+func (t *ChunkTable) SetRingEpoch(epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch > t.ringEpoch {
+		t.ringEpoch = epoch
+	}
+}
+
+// RingEpoch returns the last recorded hashring membership epoch.
+func (t *ChunkTable) RingEpoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ringEpoch
 }
 
 // Rebuild reconstructs the table from a set of metadata records (e.g. after

@@ -1,0 +1,165 @@
+package metadata
+
+import (
+	"testing"
+	"time"
+)
+
+// deadBranchTree builds: root v1 -> {v2 (live chain head), loser -> loserDel
+// (deleted)} — a resolved divergent edit whose loser branch is prunable.
+func deadBranchTree(t *testing.T) (*Tree, map[string]string) {
+	t.Helper()
+	tr := NewTree()
+	ids := make(map[string]string)
+	v1 := buildMeta("a.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+	ids["v1"] = mustInsert(t, tr, v1)
+	v2 := buildMeta("a.txt", "v2", ids["v1"], "alice", false, t0.Add(2*time.Hour), 2, 3, 10)
+	ids["v2"] = mustInsert(t, tr, v2)
+	loser := buildMeta("a.txt", "loser", ids["v1"], "bob", false, t0.Add(time.Hour), 2, 3, 10)
+	ids["loser"] = mustInsert(t, tr, loser)
+	loserDel := buildMeta("a.txt", "loser", ids["loser"], "bob", true, t0.Add(3*time.Hour), 2, 3, 10)
+	loserDel.File.ID = loser.File.ID
+	ids["loserDel"] = mustInsert(t, tr, loserDel)
+	return tr, ids
+}
+
+func TestCompactPrunesResolvedBranch(t *testing.T) {
+	t.Parallel()
+	tr, ids := deadBranchTree(t)
+	if got := len(tr.Conflicts()); got != 0 {
+		t.Fatalf("resolved tree reports %d conflicts", got)
+	}
+	if n := tr.Compact(0); n != 2 {
+		t.Fatalf("Compact pruned %d records, want 2", n)
+	}
+	if tr.Has(ids["loser"]) || tr.Has(ids["loserDel"]) {
+		t.Fatal("loser branch still present after Compact")
+	}
+	head, conflicted, err := tr.Head("a.txt")
+	if err != nil || conflicted {
+		t.Fatalf("Head after Compact: %v conflicted=%v", err, conflicted)
+	}
+	if head.VersionID() != ids["v2"] {
+		t.Fatalf("head = %s, want v2", head.VersionID())
+	}
+	if tr.PrunedCount() != 2 {
+		t.Fatalf("PrunedCount = %d", tr.PrunedCount())
+	}
+}
+
+func TestCompactRetentionKeepsRecentBranches(t *testing.T) {
+	t.Parallel()
+	tr, ids := deadBranchTree(t)
+	if n := tr.Compact(1); n != 0 {
+		t.Fatalf("retention 1 pruned %d records from a single dead branch", n)
+	}
+	if !tr.Has(ids["loserDel"]) {
+		t.Fatal("retained branch removed")
+	}
+}
+
+func TestCompactPrunedNotResurrected(t *testing.T) {
+	t.Parallel()
+	tr, ids := deadBranchTree(t)
+	tr.Compact(0)
+	// A later sync lists the pruned records again: Missing must not ask for
+	// them, and Insert must refuse to resurrect them.
+	missing := tr.Missing([]string{ids["loser"], ids["loserDel"], "unseen-vid"})
+	if len(missing) != 1 || missing[0] != "unseen-vid" {
+		t.Fatalf("Missing = %v, want [unseen-vid]", missing)
+	}
+	loser := buildMeta("a.txt", "loser", ids["v1"], "bob", false, t0.Add(time.Hour), 2, 3, 10)
+	added, err := tr.Insert(loser)
+	if err != nil || added {
+		t.Fatalf("Insert of pruned record: added=%v err=%v", added, err)
+	}
+	if tr.Has(ids["loser"]) {
+		t.Fatal("pruned record resurrected")
+	}
+}
+
+func TestCompactKeepsDeletionMarkerOfDeletedFile(t *testing.T) {
+	t.Parallel()
+	tr := NewTree()
+	v1 := buildMeta("gone.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+	id1 := mustInsert(t, tr, v1)
+	del := buildMeta("gone.txt", "v1", id1, "alice", true, t0.Add(time.Hour), 2, 3, 10)
+	del.File.ID = v1.File.ID
+	idDel := mustInsert(t, tr, del)
+
+	if n := tr.Compact(0); n != 0 {
+		t.Fatalf("Compact pruned a fully deleted file's only subtree (%d records)", n)
+	}
+	head, _, err := tr.Head("gone.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !head.File.Deleted || head.VersionID() != idDel {
+		t.Fatalf("deletion marker lost: head = %+v", head.File)
+	}
+}
+
+func TestCompactDeadRootWithLiveSibling(t *testing.T) {
+	t.Parallel()
+	tr := NewTree()
+	// Same-name creation conflict resolved in favor of rootB: rootA's
+	// subtree ends in a deletion marker.
+	rootA := buildMeta("c.txt", "contentA", "", "alice", false, t0, 2, 3, 10)
+	idA := mustInsert(t, tr, rootA)
+	delA := buildMeta("c.txt", "contentA", idA, "alice", true, t0.Add(time.Hour), 2, 3, 10)
+	delA.File.ID = rootA.File.ID
+	mustInsert(t, tr, delA)
+	rootB := buildMeta("c.txt", "contentB", "", "bob", false, t0.Add(2*time.Hour), 2, 3, 10)
+	idB := mustInsert(t, tr, rootB)
+
+	if n := tr.Compact(0); n != 2 {
+		t.Fatalf("Compact pruned %d records, want 2", n)
+	}
+	head, conflicted, err := tr.Head("c.txt")
+	if err != nil || conflicted {
+		t.Fatalf("Head: %v conflicted=%v", err, conflicted)
+	}
+	if head.VersionID() != idB {
+		t.Fatalf("head = %s, want rootB", head.VersionID())
+	}
+}
+
+func TestCompactDeterministicAcrossInsertOrder(t *testing.T) {
+	t.Parallel()
+	build := func(order []int) *Tree {
+		tr := NewTree()
+		v1 := buildMeta("d.txt", "v1", "", "alice", false, t0, 2, 3, 10)
+		id1 := v1.VersionID()
+		recs := []*FileMeta{
+			v1,
+			buildMeta("d.txt", "v2", id1, "alice", false, t0.Add(4*time.Hour), 2, 3, 10),
+			buildMeta("d.txt", "loser1", id1, "bob", false, t0.Add(time.Hour), 2, 3, 10),
+			buildMeta("d.txt", "loser2", id1, "carol", false, t0.Add(2*time.Hour), 2, 3, 10),
+		}
+		l1del := buildMeta("d.txt", "loser1", recs[2].VersionID(), "bob", true, t0.Add(5*time.Hour), 2, 3, 10)
+		l1del.File.ID = recs[2].File.ID
+		l2del := buildMeta("d.txt", "loser2", recs[3].VersionID(), "carol", true, t0.Add(6*time.Hour), 2, 3, 10)
+		l2del.File.ID = recs[3].File.ID
+		recs = append(recs, l1del, l2del)
+		for _, i := range order {
+			mustInsert(t, tr, recs[i])
+		}
+		tr.Compact(1)
+		return tr
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5})
+	b := build([]int{5, 4, 3, 2, 1, 0})
+	av, bv := a.VersionIDs(), b.VersionIDs()
+	if len(av) != len(bv) {
+		t.Fatalf("divergent compaction: %d vs %d records", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("divergent compaction at %d: %s vs %s", i, av[i], bv[i])
+		}
+	}
+	// Retention 1 keeps the most recently modified dead branch (loser2).
+	if len(av) != 4 {
+		t.Fatalf("retention 1 left %d records, want 4", len(av))
+	}
+}

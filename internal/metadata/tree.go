@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Tree is the logical metadata tree (Figure 6): a dummy root whose
@@ -17,6 +18,7 @@ type Tree struct {
 	nodes    map[string]*FileMeta // by VersionID
 	children map[string][]string  // VersionID -> child VersionIDs (sorted)
 	roots    []string             // VersionIDs with PrevID == ""
+	pruned   map[string]bool      // VersionIDs removed by Compact
 }
 
 // NewTree returns an empty tree.
@@ -24,6 +26,7 @@ func NewTree() *Tree {
 	return &Tree{
 		nodes:    make(map[string]*FileMeta),
 		children: make(map[string][]string),
+		pruned:   make(map[string]bool),
 	}
 }
 
@@ -41,6 +44,11 @@ func (t *Tree) Insert(m *FileMeta) (added bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.nodes[id]; ok {
+		return false, nil
+	}
+	if t.pruned[id] {
+		// Compacted away earlier; re-inserting would resurrect a branch
+		// whose structure (children, parent links) is gone.
 		return false, nil
 	}
 	cp := *m
@@ -325,15 +333,143 @@ func (t *Tree) subtreeLiveLocked(id string) bool {
 
 // Missing returns, among the given version IDs, those not yet in the tree —
 // the sync service uses it to decide which metadata objects to download.
+// Versions removed by Compact are not reported: their records still exist
+// on the CSPs, but refetching them would only resurrect pruned history.
 func (t *Tree) Missing(versionIDs []string) []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []string
 	for _, id := range versionIDs {
-		if _, ok := t.nodes[id]; !ok {
+		if _, ok := t.nodes[id]; !ok && !t.pruned[id] {
 			out = append(out, id)
 		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// PrunedCount returns the number of version IDs removed by Compact.
+func (t *Tree) PrunedCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.pruned)
+}
+
+// Compact prunes resolved conflict history. A prunable branch is a maximal
+// dead subtree — a subtree whose every leaf carries a deletion marker —
+// hanging off a node that still has a live descendant, or a dead root
+// subtree whose file name has other root subtrees. Per file name the
+// `retention` most recent dead branches (by latest Modified in the branch,
+// ties broken by branch-root version ID) are kept; a name's only subtree is
+// never pruned, so a fully deleted file keeps its deletion marker and
+// remote replicas still converge on the delete. Pruned IDs are remembered
+// so Insert ignores them and Missing does not ask sync to refetch them.
+// Only local state shrinks — the records on the CSPs are never touched.
+// A negative retention is a no-op. Returns the number of records pruned.
+func (t *Tree) Compact(retention int) int {
+	if retention < 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	type branch struct {
+		rootID string
+		isRoot bool   // branch root is a tree root (PrevID == "")
+		parent string // parent VersionID when !isRoot
+		latest time.Time
+	}
+	byName := make(map[string][]branch)
+
+	rootNames := make(map[string]int)
+	nameLive := make(map[string]bool)
+	for _, id := range t.roots {
+		name := t.nodes[id].File.Name
+		rootNames[name]++
+		if t.subtreeLiveLocked(id) {
+			nameLive[name] = true
+		}
+	}
+
+	add := func(id, parent string, isRoot bool) {
+		ids := t.subtreeIDsLocked(id, nil)
+		var latest time.Time
+		for _, sid := range ids {
+			if m := t.nodes[sid].File.Modified; m.After(latest) {
+				latest = m
+			}
+		}
+		name := t.nodes[id].File.Name
+		byName[name] = append(byName[name], branch{id, isRoot, parent, latest})
+	}
+	var visit func(id string)
+	visit = func(id string) {
+		for _, k := range t.children[id] {
+			if t.subtreeLiveLocked(k) {
+				visit(k)
+			} else {
+				add(k, id, false)
+			}
+		}
+	}
+	for _, r := range t.roots {
+		if t.subtreeLiveLocked(r) {
+			visit(r)
+		} else if rootNames[t.nodes[r].File.Name] > 1 {
+			add(r, "", true)
+		}
+		// A dead root with no same-name sibling is the file's entire
+		// history: keep it so the deletion marker stays visible.
+	}
+
+	pruned := 0
+	for name, branches := range byName {
+		keep := retention
+		if !nameLive[name] && keep == 0 {
+			// Every subtree of this name is dead: keep one branch so the
+			// deletion marker — the record other replicas converge on —
+			// survives compaction.
+			keep = 1
+		}
+		if len(branches) <= keep {
+			continue
+		}
+		sort.Slice(branches, func(i, j int) bool {
+			if !branches[i].latest.Equal(branches[j].latest) {
+				return branches[i].latest.After(branches[j].latest)
+			}
+			return branches[i].rootID > branches[j].rootID
+		})
+		for _, b := range branches[keep:] {
+			for _, id := range t.subtreeIDsLocked(b.rootID, nil) {
+				delete(t.nodes, id)
+				delete(t.children, id)
+				t.pruned[id] = true
+				pruned++
+			}
+			if b.isRoot {
+				t.roots = removeSorted(t.roots, b.rootID)
+			} else {
+				t.children[b.parent] = removeSorted(t.children[b.parent], b.rootID)
+			}
+		}
+	}
+	return pruned
+}
+
+// subtreeIDsLocked appends id and every descendant version ID to out.
+func (t *Tree) subtreeIDsLocked(id string, out []string) []string {
+	out = append(out, id)
+	for _, k := range t.children[id] {
+		out = t.subtreeIDsLocked(k, out)
+	}
+	return out
+}
+
+func removeSorted(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
 }

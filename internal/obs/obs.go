@@ -72,6 +72,15 @@ type Observer struct {
 	dedupHits       *CounterVec
 	dedupMisses     *CounterVec
 	dedupBytesSaved *CounterVec
+
+	// Metadata-plane instrument families (core's record cache and sharded
+	// placement).
+	metaCacheHits    *CounterVec
+	metaCacheMisses  *CounterVec
+	metaCacheEvicts  *CounterVec
+	metaCacheInvalid *CounterVec
+	metaShardRecords *GaugeVec
+	metaBatchFetches *CounterVec
 }
 
 // Options tunes an Observer beyond the defaults. The zero value is valid
@@ -137,6 +146,13 @@ func NewObserverWith(opts Options) *Observer {
 		dedupHits:       reg.Counter(MetricDedupHits, "Share uploads avoided because the csp already held the object.", "csp"),
 		dedupMisses:     reg.Counter(MetricDedupMisses, "Content-addressed shares actually stored by csp.", "csp"),
 		dedupBytesSaved: reg.Counter(MetricDedupBytesSaved, "Share payload bytes not uploaded thanks to dedup, by csp.", "csp"),
+
+		metaCacheHits:    reg.Counter(MetricMetaCacheHits, "Metadata record reads served from the client cache."),
+		metaCacheMisses:  reg.Counter(MetricMetaCacheMisses, "Metadata record reads that had to decode or fetch."),
+		metaCacheEvicts:  reg.Counter(MetricMetaCacheEvictions, "Metadata cache entries evicted by the LRU bound."),
+		metaCacheInvalid: reg.Counter(MetricMetaCacheInvalidations, "Metadata cache entries invalidated by sync, supersede, or delete."),
+		metaShardRecords: reg.Gauge(MetricMetaShardRecords, "Metadata records placed per shard (csp).", "csp"),
+		metaBatchFetches: reg.Counter(MetricMetaBatchFetches, "Batched metadata fetches by csp (one counts a whole batch round trip).", "csp"),
 	}
 	o.rec = newFlightRecorder(o, opts.Recorder)
 	o.slo = newSLOTracker(reg, opts.SLOObjectives)
@@ -549,4 +565,59 @@ func (o *Observer) DedupMiss(cspName string) {
 		return
 	}
 	o.dedupMisses.With(cspName).Inc()
+}
+
+// MetaCacheHit records one metadata read served from the client's decoded
+// record cache. Nil-safe.
+func (o *Observer) MetaCacheHit() {
+	if o == nil {
+		return
+	}
+	o.metaCacheHits.With().Inc()
+}
+
+// MetaCacheMiss records one metadata read the cache could not serve.
+// Nil-safe.
+func (o *Observer) MetaCacheMiss() {
+	if o == nil {
+		return
+	}
+	o.metaCacheMisses.With().Inc()
+}
+
+// MetaCacheEvict counts entries pushed out by the cache's entry or byte
+// bound. Nil-safe.
+func (o *Observer) MetaCacheEvict(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.metaCacheEvicts.With().Add(int64(n))
+}
+
+// MetaCacheInvalidate counts entries dropped because sync, supersede, or
+// delete made them stale. Nil-safe.
+func (o *Observer) MetaCacheInvalidate(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.metaCacheInvalid.With().Add(int64(n))
+}
+
+// MetaShardRecords records how many metadata records this client has placed
+// on (or resolved from) the given shard — the skew view `cyrusctl stats`
+// shows. Nil-safe.
+func (o *Observer) MetaShardRecords(cspName string, n int) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.metaShardRecords.With(cspName).Set(float64(n))
+}
+
+// MetaBatchFetch counts one batched metadata round trip against a provider.
+// Nil-safe.
+func (o *Observer) MetaBatchFetch(cspName string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.metaBatchFetches.With(cspName).Inc()
 }

@@ -67,6 +67,15 @@ const (
 	MetricDedupMisses     = "cyrus_dedup_misses_total"
 	MetricDedupBytesSaved = "cyrus_dedup_bytes_saved_total"
 
+	// Metadata-plane instrumentation (core's version-aware record cache
+	// and sharded placement).
+	MetricMetaCacheHits          = "cyrus_metacache_hits_total"
+	MetricMetaCacheMisses        = "cyrus_metacache_misses_total"
+	MetricMetaCacheEvictions     = "cyrus_metacache_evictions_total"
+	MetricMetaCacheInvalidations = "cyrus_metacache_invalidations_total"
+	MetricMetaShardRecords       = "cyrus_metashard_records"
+	MetricMetaBatchFetches       = "cyrus_metashard_batch_fetches_total"
+
 	// SLO tracking (obs/slo.go): per-op burn counters against the
 	// configured latency objectives.
 	MetricSLOOK        = "cyrus_slo_ok_total"

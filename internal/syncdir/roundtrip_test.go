@@ -1,0 +1,124 @@
+package syncdir
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chunker"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/metadata"
+)
+
+// countingStore wraps a provider store and counts metadata round trips:
+// listings, per-object metadata downloads, and batched fetches. Chunk-share
+// downloads are not counted (they scale with content, not namespace size).
+type countingStore struct {
+	csp.Store
+	lists, metaDownloads, batches *atomic.Int64
+}
+
+func (s *countingStore) List(ctx context.Context, prefix string) ([]csp.ObjectInfo, error) {
+	s.lists.Add(1)
+	return s.Store.List(ctx, prefix)
+}
+
+func (s *countingStore) Download(ctx context.Context, name string) ([]byte, error) {
+	if strings.HasPrefix(name, metadata.MetaPrefix) {
+		s.metaDownloads.Add(1)
+	}
+	return s.Store.Download(ctx, name)
+}
+
+func (s *countingStore) DownloadBatch(ctx context.Context, names []string) (map[string][]byte, error) {
+	s.batches.Add(1)
+	return csp.DownloadBatch(ctx, s.Store, names)
+}
+
+// A sync pass that pulls a K-file namespace must resolve all K records in
+// O(providers) metadata round trips — one listing plus at most one batched
+// fetch per provider — instead of the O(K x providers) a per-file resolution
+// would cost. The bar: at least 5x fewer metadata round trips than the
+// per-file baseline.
+func TestPullPassMetadataRoundTrips(t *testing.T) {
+	w := newWorld(t)
+	_, dirA, syA := w.device("alice")
+	const K = 40
+	for i := 0; i < K; i++ {
+		writeFile(t, dirA, fmt.Sprintf("d%d/f%02d.txt", i%4, i), strings.Repeat("x", 500+i))
+	}
+	if _, err := syA.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob's device over counting wrappers, empty directory: the pass pulls
+	// all K files.
+	var lists, metaDownloads, batches atomic.Int64
+	var stores []csp.Store
+	for _, b := range w.backends {
+		s := cloudsim.NewSimStore(b)
+		if err := s.Authenticate(bg, csp.Credentials{Token: "bob"}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, &countingStore{
+			Store: s, lists: &lists, metaDownloads: &metaDownloads, batches: &batches,
+		})
+	}
+	client, err := core.New(core.Config{
+		ClientID: "bob", Key: "shared", T: 2, N: 3,
+		Chunking: chunker.Config{AverageSize: 1024, MinSize: 256, MaxSize: 4096},
+	}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirB := t.TempDir()
+	syB, err := New(client, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actions, err := syB.Sync(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ops(actions, "download")); got != K {
+		t.Fatalf("pulled %d files, want %d", got, K)
+	}
+
+	providers := int64(len(w.backends))
+	metaRTs := lists.Load() + metaDownloads.Load() + batches.Load()
+	if lists.Load() > providers {
+		t.Errorf("pass ran %d listings for %d providers", lists.Load(), providers)
+	}
+	if batches.Load() > providers {
+		t.Errorf("pass ran %d batched fetches for %d providers", batches.Load(), providers)
+	}
+	if metaDownloads.Load() != 0 {
+		t.Errorf("pass fell back to %d per-record metadata downloads", metaDownloads.Load())
+	}
+	// Per-file baseline: each file resolved by its own sync = one listing
+	// per provider per file.
+	baseline := int64(K) * providers
+	if metaRTs*5 > baseline {
+		t.Fatalf("metadata round trips = %d, want <= baseline(%d)/5", metaRTs, baseline)
+	}
+
+	// A second pass over an unchanged namespace costs only the listings.
+	lists.Store(0)
+	metaDownloads.Store(0)
+	batches.Store(0)
+	actions, err = syB.Sync(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("idle pass acted: %+v", actions)
+	}
+	if n := lists.Load() + metaDownloads.Load() + batches.Load(); n > providers {
+		t.Fatalf("idle pass cost %d metadata round trips for %d providers", n, providers)
+	}
+}

@@ -168,6 +168,18 @@ func (s *Syncer) scan() ([]localFile, error) {
 func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 	var actions []Action
 
+	// One metadata sync serves the whole pass: the batched fetch inside
+	// core.Sync resolves every new record in O(providers) round trips, and
+	// all remote state below is read from the refreshed local replica
+	// (StatLocal/ListLocal/...), not re-synced per file. The sync is
+	// best-effort, like the per-operation syncs it replaces: a pass over a
+	// stale replica is still correct, just less fresh.
+	if _, err := s.client.Sync(ctx); err != nil {
+		// Proceed on the local replica; the client already surfaced the
+		// failure through its event bus.
+		_ = err
+	}
+
 	locals, err := s.scan()
 	if err != nil {
 		return nil, err
@@ -203,7 +215,7 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 		if err != nil {
 			return actions, fmt.Errorf("syncdir: upload %s: %w", lf.rel, err)
 		}
-		st, err := s.client.Stat(ctx, lf.rel)
+		st, err := s.client.StatLocal(lf.rel)
 		if err != nil {
 			return actions, err
 		}
@@ -216,7 +228,7 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 		if present[rel] {
 			continue
 		}
-		if err := s.client.Delete(ctx, rel); err != nil && !errors.Is(err, core.ErrNoSuchFile) {
+		if err := s.client.DeleteLocal(ctx, rel); err != nil && !errors.Is(err, core.ErrNoSuchFile) {
 			return actions, fmt.Errorf("syncdir: delete %s: %w", rel, err)
 		}
 		delete(s.idx.Files, rel)
@@ -224,7 +236,7 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 	}
 
 	// 3. Pull remote changes and deletions.
-	remote, err := s.client.List(ctx, "")
+	remote, err := s.client.ListLocal("")
 	if err != nil {
 		return actions, err
 	}
@@ -235,8 +247,11 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 		if known != nil && known.VersionID == fi.VersionID {
 			continue // up to date
 		}
+		// The listing already pinned the head version, so fetch exactly it
+		// (GetVersionTo does not re-sync; a concurrent newer upload is
+		// picked up by the next pass, as before).
 		hash, info, err := s.downloadLocal(fi.Name, func(w io.Writer) (core.FileInfo, error) {
-			return s.client.GetTo(ctx, fi.Name, w)
+			return s.client.GetVersionTo(ctx, fi.Name, fi.VersionID, w)
 		})
 		if err != nil {
 			return actions, fmt.Errorf("syncdir: download %s: %w", fi.Name, err)
@@ -257,7 +272,7 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 		if remoteNames[rel] {
 			continue
 		}
-		st, err := s.client.Stat(ctx, rel)
+		st, err := s.client.StatLocal(rel)
 		if err == nil && st.Deleted && st.VersionID != known.VersionID {
 			if err := os.Remove(filepath.Join(s.root, filepath.FromSlash(rel))); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return actions, err
@@ -268,8 +283,8 @@ func (s *Syncer) Sync(ctx context.Context) ([]Action, error) {
 	}
 
 	// 4. Materialize and resolve conflicts.
-	for _, cf := range s.client.Conflicts(ctx) {
-		winner, err := s.client.Stat(ctx, cf.Name)
+	for _, cf := range s.client.ConflictsLocal() {
+		winner, err := s.client.StatLocal(cf.Name)
 		if err != nil {
 			continue
 		}

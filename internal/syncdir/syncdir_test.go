@@ -231,15 +231,23 @@ func TestConflictMaterialization(t *testing.T) {
 	}
 	writeFile(t, dirB, "plan.md", "bob's competing plan!")
 	for _, b := range w.backends {
-		// Bob's upload-time metadata listing must fail outright; the
-		// transfer engine retries once per provider, so inject two faults.
-		b.FailNext(2)
+		// Every metadata listing of bob's partitioned pass must fail: the
+		// pass-start sync and the upload-time one, each retried once per
+		// provider — four faults.
+		b.FailNext(4)
 	}
-	// Bob's sync pushes his conflicting creation (step 1, against a stale
-	// replica), then discovers the divergence in its own pull phase and
-	// handles it: winner under the name, loser as a sibling copy, tree
-	// resolved.
+	// Bob's partitioned pass pushes his conflicting creation against a
+	// stale replica. The pass resolves remote state against its starting
+	// snapshot, so the divergence surfaces on the NEXT pass: winner under
+	// the name, loser as a sibling copy, tree resolved.
 	actionsB, err := syB.Sync(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ops(actionsB, "upload"); len(got) != 1 {
+		t.Fatalf("partitioned pass actions = %+v", actionsB)
+	}
+	actionsB, err = syB.Sync(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
