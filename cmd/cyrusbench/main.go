@@ -105,6 +105,12 @@ var runners = []runner{
 		res, err := experiments.MetaPlane(experiments.MetaPlaneConfig{Scale: o.scale, Seed: o.seed})
 		return res.Report, err
 	}},
+	{"9", "load-adaptive redundancy: offered load x hedging policy crossover (fixed 256 KiB files)", func(o options) (experiments.Report, error) {
+		// Deliberately ignores -scale: the crossover acceptance bars are
+		// asserted against the experiment's own defaults.
+		res, err := experiments.LoadSched(experiments.LoadSchedConfig{Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},
@@ -207,6 +213,8 @@ func datasetBytes(id string, opts options) int64 {
 		return 2 * 12 * (32 << 10) * 8 // 2 users x 12 files x 32 KiB, 8 sweep points
 	case "fig19":
 		return 20 << 20
+	case "9":
+		return 48 * (256 << 10) // 48 equal-size 256 KiB files at the default scale
 	}
 	return 0
 }

@@ -14,11 +14,11 @@ import (
 func TestRunnerRegistryIsComplete(t *testing.T) {
 	// Every table/figure in the paper's evaluation plus the ablations, the
 	// transfer-engine benchmark, the compute fast-path benchmark, the
-	// streaming-pipeline benchmark, the convergent-dedup sweep, and the
-	// metadata-plane benchmark.
+	// streaming-pipeline benchmark, the convergent-dedup sweep, the
+	// metadata-plane benchmark, and the load-adaptive redundancy sweep.
 	want := []string{
 		"table1", "table2", "table4", "fig3", "fig12", "fig13",
-		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3", "4", "5", "6", "8",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "3", "4", "5", "6", "8", "9",
 		"ablation-selector", "ablation-chunking", "ablation-ring",
 		"ablation-migration", "ablation-concurrency", "ablation-metadata",
 	}
@@ -122,6 +122,7 @@ func TestDatasetBytes(t *testing.T) {
 		"5":      256 << 20,
 		"6":      2 * 12 * (32 << 10) * 8,
 		"fig19":  20 << 20,
+		"9":      48 * (256 << 10),
 		"table1": 0, // analytic experiment: no payload
 	}
 	for id, want := range cases {

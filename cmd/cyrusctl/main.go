@@ -327,12 +327,16 @@ func cmdFlightdump(ctx context.Context, c *cyrus.Client, args []string) error {
 
 // cmdTop is a live per-CSP load view: every interval it syncs (touching
 // every reachable provider) and redraws a table of in-flight counts, queue
-// depth, latency EWMA, predicted completion time, and the SLO burn
-// counters. -count bounds the iterations (0 = until interrupted).
+// depth, latency EWMA, predicted completion time, the hedge controller's
+// per-provider suppression state, and the SLO burn counters. -count bounds
+// the iterations (0 = until interrupted); -json replaces the table with
+// one JSON document per refresh carrying the full load vector (current
+// sample plus the retained window) for machine consumers.
 func cmdTop(ctx context.Context, c *cyrus.Client, args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	count := fs.Int("count", 0, "iterations before exiting (0 = run until interrupted)")
+	asJSON := fs.Bool("json", false, "emit one JSON document per refresh instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -351,15 +355,31 @@ func cmdTop(ctx context.Context, c *cyrus.Client, args []string) error {
 		if _, err := c.Sync(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "top: sync:", err)
 		}
-		printTop(o)
+		if *asJSON {
+			if err := printTopJSON(c, o); err != nil {
+				return err
+			}
+		} else {
+			printTop(c, o)
+		}
 	}
 	return nil
 }
 
-func printTop(o *cyrus.Observer) {
+// hedgeFlag renders the engine's per-provider hedge gate for the table:
+// "ok" when a hedge would arm, otherwise the suppression reason ("off",
+// "cold", or "load" — the Ghosh-crossover gate).
+func hedgeFlag(state string) string {
+	if state == "" {
+		return "ok"
+	}
+	return state
+}
+
+func printTop(c *cyrus.Client, o *cyrus.Observer) {
 	fmt.Printf("-- %s --\n", time.Now().Format("15:04:05"))
-	fmt.Printf("%-12s %8s %6s %10s %12s %8s %-6s\n",
-		"CSP", "INFLIGHT", "QUEUE", "EWMA(ms)", "PREDICT(ms)", "SAMPLES", "STATE")
+	fmt.Printf("%-12s %8s %6s %10s %12s %8s %-6s %-5s\n",
+		"CSP", "INFLIGHT", "QUEUE", "EWMA(ms)", "PREDICT(ms)", "SAMPLES", "STATE", "HEDGE")
 	health := map[string]cyrus.CSPHealth{}
 	for _, h := range o.Health().Snapshot() {
 		health[h.CSP] = h
@@ -369,10 +389,10 @@ func printTop(o *cyrus.Observer) {
 		if health[l.CSP].Down {
 			state = "DOWN"
 		}
-		fmt.Printf("%-12s %8d %6d %10.2f %12.2f %8d %-6s\n",
+		fmt.Printf("%-12s %8d %6d %10.2f %12.2f %8d %-6s %-5s\n",
 			l.CSP, l.Current.InFlight, l.Current.QueueDepth,
 			l.Current.EWMALatencySeconds*1000, l.Current.PredictedSeconds*1000,
-			len(l.Window), state)
+			len(l.Window), state, hedgeFlag(c.Engine().HedgeState(l.CSP)))
 	}
 	s := o.Registry().Snapshot()
 	for _, op := range []string{"put", "get", "sync", "migrate", "gc"} {
@@ -383,6 +403,42 @@ func printTop(o *cyrus.Observer) {
 		}
 		fmt.Printf("slo %-8s ok=%.0f breach=%.0f\n", op, okP.Value, brP.Value)
 	}
+}
+
+// topCSPJSON is one provider row of the -json output: the observer's full
+// load vector plus scoreboard and hedge-gate state.
+type topCSPJSON struct {
+	cyrus.CSPLoad
+	Down       bool   `json:"down"`
+	HedgeState string `json:"hedge_state"` // "" = a hedge would arm
+}
+
+// topJSON is one -json refresh document.
+type topJSON struct {
+	Time       time.Time    `json:"time"`
+	QueueDepth int          `json:"queue_depth"`
+	CSPs       []topCSPJSON `json:"csps"`
+}
+
+func printTopJSON(c *cyrus.Client, o *cyrus.Observer) error {
+	health := map[string]cyrus.CSPHealth{}
+	for _, h := range o.Health().Snapshot() {
+		health[h.CSP] = h
+	}
+	doc := topJSON{Time: time.Now(), QueueDepth: o.QueueDepthNow()}
+	for _, l := range o.LoadStats() {
+		doc.CSPs = append(doc.CSPs, topCSPJSON{
+			CSPLoad:    l,
+			Down:       health[l.CSP].Down,
+			HedgeState: c.Engine().HedgeState(l.CSP),
+		})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(data))
+	return err
 }
 
 func cmdReinstate(ctx context.Context, c *cyrus.Client, args []string) error {

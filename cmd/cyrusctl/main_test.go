@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -162,4 +163,43 @@ func TestCLIFlightdumpAndTop(t *testing.T) {
 	}
 
 	mustCtl(t, cfg, "top", "-count", "1", "-interval", "1ms")
+
+	// -json replaces the table with one machine-readable document per
+	// refresh: every provider row carries the full load vector plus the
+	// hedge gate's state.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	topErr := ctl(t, cfg, "top", "-count", "1", "-interval", "1ms", "-json")
+	w.Close()
+	os.Stdout = old
+	if topErr != nil {
+		t.Fatalf("top -json: %v", topErr)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		QueueDepth *int `json:"queue_depth"`
+		CSPs       []struct {
+			CSP        string          `json:"csp"`
+			Current    json.RawMessage `json:"current"`
+			HedgeState *string         `json:"hedge_state"`
+		} `json:"csps"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("top -json output is not JSON: %v\n%s", err, raw)
+	}
+	if doc.QueueDepth == nil || len(doc.CSPs) == 0 {
+		t.Fatalf("top -json missing queue depth or provider rows: %s", raw)
+	}
+	for _, c := range doc.CSPs {
+		if c.CSP == "" || len(c.Current) == 0 || c.HedgeState == nil {
+			t.Errorf("top -json row incomplete: %+v", c)
+		}
+	}
 }

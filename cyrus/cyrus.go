@@ -114,6 +114,14 @@ const (
 	// Metadata cache counters (hit ratio = hits / (hits + misses)).
 	MetricMetaCacheHits   = obs.MetricMetaCacheHits
 	MetricMetaCacheMisses = obs.MetricMetaCacheMisses
+	// Load-adaptive redundancy counters: hedge suppression and win/loss
+	// accounting for the adaptive controller, plus race-read fan-out and
+	// cancelled-byte waste.
+	MetricHedgeSuppressed    = obs.MetricHedgeSuppressed
+	MetricHedgeWins          = obs.MetricHedgeWins
+	MetricHedgeLosses        = obs.MetricHedgeLosses
+	MetricRaceLaunched       = obs.MetricRaceLaunched
+	MetricRaceCancelledBytes = obs.MetricRaceCancelledBytes
 )
 
 // Errors a caller is expected to branch on.

@@ -153,6 +153,26 @@ type Config struct {
 	// take the engine's documented defaults.
 	Transfer transfer.Tunables
 
+	// HedgeLoadThreshold is the Ghosh-crossover utilization bound past
+	// which hedges and redundant race lanes are suppressed (see
+	// transfer.Tunables.HedgeLoadThreshold). 0 keeps the engine default
+	// (0.75); negative disables suppression. Shorthand for setting
+	// Transfer.HedgeLoadThreshold.
+	HedgeLoadThreshold float64
+
+	// RaceReads switches chunk gathers from per-source hedging to
+	// k-out-of-n race reads: every picked source starts at once plus up
+	// to RaceReads redundant fallback lanes (launched only while load
+	// permits), and losers are cancelled the moment the decode quorum of
+	// T shares lands. 0 keeps hedged gathers.
+	RaceReads int
+
+	// LoadAwareSelect wraps the configured Selector in
+	// selector.LoadAware: download sources are ranked by predicted
+	// completion time under the live load vector (queue-adjusted), with
+	// the wrapped selector as the zero-load fallback.
+	LoadAwareSelect bool
+
 	// Obs, when set, receives metrics, spans, and per-CSP health from
 	// every operation: op latency histograms, provider request counters,
 	// the event→metric bridge, and the scoreboard. The observer's clock is
@@ -231,6 +251,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Selector == nil {
 		c.Selector = selector.Optimized{}
+	}
+	if c.LoadAwareSelect {
+		c.Selector = selector.LoadAware{Fallback: c.Selector}
+	}
+	if c.RaceReads < 0 {
+		return c, fmt.Errorf("cyrus: RaceReads=%d", c.RaceReads)
+	}
+	if c.HedgeLoadThreshold != 0 {
+		c.Transfer.HedgeLoadThreshold = c.HedgeLoadThreshold
 	}
 	if c.Runtime == nil {
 		c.Runtime = vclock.Real()
@@ -649,11 +678,13 @@ func (c *Client) PipelineDepth() int { return c.cfg.PipelineDepth }
 
 // hedgeAfter predicts how long a share download from the given provider
 // should take — the scoreboard's request-latency EWMA plus the payload
-// over the estimated downlink — and converts it into the hedge trigger
-// delay. Without an Observer there is no latency EWMA, so hedging is off
-// (0) and gathers fall back to plain sequential failover; the obs-less
-// latency experiments are bit-identical to the pre-engine code path.
-func (c *Client) hedgeAfter(cspName string, bytes int64) time.Duration {
+// over the estimated downlink — and converts it into the engine's
+// load-adaptive hedge trigger delay (which may withhold the hedge
+// entirely: cold provider, or load past the Ghosh crossover). Without an
+// Observer there is no latency EWMA, so hedging is off (0) and gathers
+// fall back to plain sequential failover; the obs-less latency
+// experiments are bit-identical to the pre-engine code path.
+func (c *Client) hedgeAfter(ctx context.Context, cspName string, bytes int64) time.Duration {
 	if c.obs == nil {
 		return 0
 	}
@@ -664,7 +695,7 @@ func (c *Client) hedgeAfter(cspName string, bytes int64) time.Duration {
 	if bw := c.bw.estimate(cspName); bw > 0 && bytes > 0 {
 		expected += time.Duration(float64(bytes) / bw * float64(time.Second))
 	}
-	return c.engine.HedgeAfter(expected)
+	return c.engine.HedgeAfter(ctx, cspName, expected)
 }
 
 // Subscribe registers an event handler (asynchronous transfer events,

@@ -80,9 +80,12 @@ func (c *Client) fetchVersion(ctx context.Context, m *metadata.FileMeta) ([]byte
 // gatherChunk downloads t shares of one chunk (preferring the optimizer's
 // pick, falling back to any other stored location on error), decodes, and
 // verifies content. Algorithm 3's Gather. Each picked source runs as a
-// hedged download: when a source exceeds its EWMA-predicted latency, the
+// hedged download: when a source exceeds its load-predicted latency, the
 // engine launches one backup read from the fallback pool and the first
-// success wins.
+// success wins. With Config.RaceReads > 0 the per-source hedges are
+// replaced by one k-out-of-n race: every source plus up to RaceReads
+// redundant fallback lanes start together and losers are cancelled the
+// moment ref.T shares land.
 func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef, locations map[int]string, sources []string) (_ []byte, err error) {
 	chunkStart := c.rt.Now()
 	ctx, chunkSpan := c.obs.Trace(op.Context(), "chunk.gather")
@@ -166,23 +169,50 @@ func (c *Client) gatherChunk(op *transfer.Op, file string, ref metadata.ChunkRef
 		return transfer.Attempt{}, false
 	}
 
-	op.Each(len(primary), func(k int) {
-		src := primary[k]
-		att := attemptFor(src)
-		if op.Failed(src) {
-			var ok bool
-			if att, ok = pullFallback(); !ok {
-				return
+	if r := c.cfg.RaceReads; r > 0 {
+		// Race mode (k-out-of-n reads): all picked sources start at once
+		// plus up to r redundant lanes from the fallback pool, load
+		// permitting. The race resolves when the decode quorum (ref.T
+		// distinct shares) lands and losers are cancelled; a loser's Run
+		// may still append to got afterwards, which is harmless — the
+		// decode below works on a snapshot and tolerates surplus shares.
+		atts := make([]transfer.Attempt, 0, len(primary))
+		for _, src := range primary {
+			att := attemptFor(src)
+			if op.Failed(src) {
+				var ok bool
+				if att, ok = pullFallback(); !ok {
+					continue
+				}
 			}
+			atts = append(atts, att)
 		}
-		if err := op.Hedged(ctx, att, c.hedgeAfter(src, shareBytes), pullFallback); err != nil {
+		if err := op.Race(ctx, atts, ref.T, r, pullFallback); err != nil {
 			mu.Lock()
 			if firstErr == nil && !errors.Is(err, transfer.ErrSkipped) {
 				firstErr = err
 			}
 			mu.Unlock()
 		}
-	})
+	} else {
+		op.Each(len(primary), func(k int) {
+			src := primary[k]
+			att := attemptFor(src)
+			if op.Failed(src) {
+				var ok bool
+				if att, ok = pullFallback(); !ok {
+					return
+				}
+			}
+			if err := op.Hedged(ctx, att, c.hedgeAfter(ctx, src, shareBytes), pullFallback); err != nil {
+				mu.Lock()
+				if firstErr == nil && !errors.Is(err, transfer.ErrSkipped) {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		})
+	}
 
 	mu.Lock()
 	shares := append([]erasure.Share(nil), got...)

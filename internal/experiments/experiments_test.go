@@ -545,3 +545,66 @@ func TestMetaPlaneAcceptance(t *testing.T) {
 		t.Errorf("shard skew min/max = %d/%d", res.ShardRecordsMin, res.ShardRecordsMax)
 	}
 }
+
+func TestLoadSchedCrossover(t *testing.T) {
+	// The acceptance bars for the load-adaptive redundancy loop, asserted
+	// against the same deterministic sweep BENCH_9.json records.
+	res, err := LoadSched(LoadSchedConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 15 { // 5 policies x 3 offered loads
+		t.Fatalf("%d cells, want 15", len(res.Cells))
+	}
+	cell := func(policy string, load int) LoadCell {
+		for _, c := range res.Cells {
+			if c.Policy == policy && c.Load == load {
+				return c
+			}
+		}
+		t.Fatalf("no cell %s@%d", policy, load)
+		return LoadCell{}
+	}
+	const lo, hi = 8, 192
+
+	// Past the crossover the fixed-delay baseline storms: most hedges are
+	// wasted, and the closed loop beats its p99 by at least 20%.
+	sHi, aHi := cell("static", hi), cell("adaptive", hi)
+	if sHi.Hedges == 0 || sHi.Losses <= sHi.Wins {
+		t.Errorf("static@%d did not storm: %d hedges, %d/%d win/loss", hi, sHi.Hedges, sHi.Wins, sHi.Losses)
+	}
+	if aHi.P99 > 0.80*sHi.P99 {
+		t.Errorf("adaptive p99 %.3fs not >=20%% under static %.3fs at %d gets/s", aHi.P99, sHi.P99, hi)
+	}
+	// The loop suppresses instead of hedging into the queue, and tracks
+	// the unhedged baseline.
+	if aHi.Suppressed == 0 {
+		t.Errorf("adaptive@%d suppressed no hedges", hi)
+	}
+	if sHi.Hedges <= aHi.Hedges {
+		t.Errorf("adaptive launched %d hedges at %d gets/s, static only %d", aHi.Hedges, hi, sHi.Hedges)
+	}
+	nHi := cell("nohedge", hi)
+	if aHi.P99 > 1.15*nHi.P99 {
+		t.Errorf("adaptive p99 %.3fs does not track nohedge %.3fs at %d gets/s", aHi.P99, nHi.P99, hi)
+	}
+
+	// Below the crossover hedging is close to free (p50 within 5% of the
+	// fixed-delay policy) and rescues the flapping provider's tail.
+	sLo, aLo, nLo := cell("static", lo), cell("adaptive", lo), cell("nohedge", lo)
+	diff := aLo.P50 - sLo.P50
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05*sLo.P50 {
+		t.Errorf("adaptive p50 %.4fs strays >5%% from static %.4fs at %d gets/s", aLo.P50, sLo.P50, lo)
+	}
+	if aLo.P99 > 1.05*nLo.P99 {
+		t.Errorf("adaptive p99 %.3fs worse than nohedge %.3fs at %d gets/s: hedging rescued nothing", aLo.P99, nLo.P99, lo)
+	}
+
+	// Race reads cancel their losers; the waste is metered.
+	if w := cell("race", lo).RaceWaste; w == 0 {
+		t.Error("race policy reported zero cancelled bytes")
+	}
+}

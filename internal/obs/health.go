@@ -93,6 +93,20 @@ func (s *Scoreboard) Latency(cspName string) time.Duration {
 	return time.Duration(h.LatencyEWMASeconds * float64(time.Second))
 }
 
+// Samples returns how many successful contacts have fed a provider's
+// latency EWMA — the hedge controller's cold-start arming signal (an EWMA
+// built from a handful of samples is too noisy to schedule redundancy
+// against).
+func (s *Scoreboard) Samples(cspName string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.csps[cspName]
+	if !ok {
+		return 0
+	}
+	return h.Successes
+}
+
 // SetDown records the failure estimator's marked-down transition.
 func (s *Scoreboard) SetDown(cspName string, down bool) {
 	s.mu.Lock()

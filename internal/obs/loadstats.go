@@ -201,6 +201,35 @@ func (t *loadTracker) snapshot() []CSPLoad {
 	return out
 }
 
+// current computes a live load sample for one provider from the tracker's
+// instantaneous counters and the scoreboard EWMA — not the last retained
+// window entry, which can lag by up to SampleInterval. The sample is not
+// appended to the window. Returns ok=false for a provider the tracker has
+// never seen.
+func (t *loadTracker) current(cspName string) (LoadSample, bool) {
+	if t == nil {
+		return LoadSample{}, false
+	}
+	t.mu.Lock()
+	st, ok := t.csps[cspName]
+	var inFlight, queue int
+	if ok {
+		inFlight, queue = st.inFlight, t.queue
+	}
+	t.mu.Unlock()
+	if !ok {
+		return LoadSample{}, false
+	}
+	ewma := t.o.health.Latency(cspName).Seconds()
+	return LoadSample{
+		At:                 t.o.now(),
+		InFlight:           inFlight,
+		QueueDepth:         queue,
+		EWMALatencySeconds: ewma,
+		PredictedSeconds:   ewma * float64(1+inFlight),
+	}, true
+}
+
 // LoadStats returns the per-CSP load telemetry windows, sorted by provider
 // name — the input vector for the load-aware scheduler. Nil-safe.
 func (o *Observer) LoadStats() []CSPLoad {
@@ -208,4 +237,26 @@ func (o *Observer) LoadStats() []CSPLoad {
 		return nil
 	}
 	return o.load.snapshot()
+}
+
+// CurrentLoad returns a live load sample for one provider — the scheduler's
+// plan-time view, fresher than the last retained window entry. ok is false
+// for a provider no transfer has touched yet. Nil-safe.
+func (o *Observer) CurrentLoad(cspName string) (LoadSample, bool) {
+	if o == nil || cspName == "" {
+		return LoadSample{}, false
+	}
+	return o.load.current(cspName)
+}
+
+// QueueDepthNow returns the engine admission-queue depth as last recorded
+// — the global half of the load vector, for callers that need it without
+// naming a provider. Nil-safe.
+func (o *Observer) QueueDepthNow() int {
+	if o == nil {
+		return 0
+	}
+	o.load.mu.Lock()
+	defer o.load.mu.Unlock()
+	return o.load.queue
 }

@@ -56,6 +56,14 @@ type Observer struct {
 	xferRetries  *CounterVec
 	xferHedges   *CounterVec
 
+	// Load-adaptive redundancy scheduling (internal/transfer): hedge
+	// suppression + adaptive-controller outcomes, and race-read waste.
+	hedgeSuppressed *CounterVec
+	hedgeWins       *CounterVec
+	hedgeLosses     *CounterVec
+	raceLaunched    *CounterVec
+	raceCancelled   *CounterVec
+
 	// Codec fast-path instrument families (core's CPU worker pool).
 	codecEncode *CounterVec
 	codecDecode *CounterVec
@@ -132,6 +140,12 @@ func NewObserverWith(opts Options) *Observer {
 		xferQueue:    reg.Gauge(MetricTransferQueueDepth, "Attempts waiting for an in-flight slot."),
 		xferRetries:  reg.Counter(MetricTransferRetries, "Transfer-engine retries by csp and kind.", "csp", "kind"),
 		xferHedges:   reg.Counter(MetricTransferHedges, "Hedged downloads by result (launched, win).", "result"),
+
+		hedgeSuppressed: reg.Counter(MetricHedgeSuppressed, "Hedges withheld by the load-adaptive controller, by csp and reason (cold, load).", "csp", "reason"),
+		hedgeWins:       reg.Counter(MetricHedgeWins, "Hedged gathers where the backup lane won, by primary csp.", "csp"),
+		hedgeLosses:     reg.Counter(MetricHedgeLosses, "Hedged gathers where the backup launched but the primary won, by primary csp.", "csp"),
+		raceLaunched:    reg.Counter(MetricRaceLaunched, "Redundant race-read lanes launched, by csp.", "csp"),
+		raceCancelled:   reg.Counter(MetricRaceCancelledBytes, "Payload bytes completed by race-read losers after the race resolved, by csp.", "csp"),
 
 		codecEncode: reg.Counter(MetricCodecEncodeBytes, "Chunk bytes erasure-encoded by the codec pool."),
 		codecDecode: reg.Counter(MetricCodecDecodeBytes, "Chunk bytes erasure-decoded by the codec pool."),
@@ -399,6 +413,61 @@ func (o *Observer) TransferHedge(ctx context.Context, result string) {
 		kind = FlightHedgeWin
 	}
 	o.rec.record(FlightEvent{Kind: kind, Trace: trace, Span: span, Op: op, Detail: result})
+}
+
+// HedgeSuppressed counts one hedge the load-adaptive controller withheld.
+// reason is "cold" (provider not yet armed by enough latency samples) or
+// "load" (the Ghosh crossover: provider or engine past the utilization
+// threshold). Nil-safe.
+func (o *Observer) HedgeSuppressed(ctx context.Context, cspName, reason string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.hedgeSuppressed.With(cspName, reason).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightHedgeDrop, Trace: trace, Span: span, Op: op, CSP: cspName, Detail: reason})
+}
+
+// HedgeOutcome records the resolution of a hedged gather whose backup lane
+// actually launched: win means the backup beat the primary, loss means the
+// redundant request was wasted. Attribution is to the primary provider the
+// hedge deadline was computed for — the adaptive controller tunes that
+// provider's effective hedge multiple from this signal. Nil-safe.
+func (o *Observer) HedgeOutcome(ctx context.Context, cspName string, win bool) {
+	if o == nil || cspName == "" {
+		return
+	}
+	if win {
+		o.hedgeWins.With(cspName).Inc()
+		return // the hedge.win flight event is recorded by TransferHedge
+	}
+	o.hedgeLosses.With(cspName).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightHedgeLoss, Trace: trace, Span: span, Op: op, CSP: cspName})
+}
+
+// RaceLaunched counts one redundant race-read lane starting against a
+// provider. Nil-safe.
+func (o *Observer) RaceLaunched(ctx context.Context, cspName string) {
+	if o == nil || cspName == "" {
+		return
+	}
+	o.raceLaunched.With(cspName).Inc()
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightRaceLaunch, Trace: trace, Span: span, Op: op, CSP: cspName})
+}
+
+// RaceCancelledBytes accounts payload bytes a race-read loser completed
+// after the race had already resolved — pure redundancy waste (netsim and
+// real providers both finish transfers that cancellation could not reach).
+// Nil-safe.
+func (o *Observer) RaceCancelledBytes(ctx context.Context, cspName string, bytes int64) {
+	if o == nil || cspName == "" || bytes <= 0 {
+		return
+	}
+	o.raceCancelled.With(cspName).Add(bytes)
+	span, trace, op := SpanFromContext(ctx)
+	o.rec.record(FlightEvent{Kind: FlightRaceCancel, Trace: trace, Span: span, Op: op, CSP: cspName, Bytes: bytes})
 }
 
 // CodecWork counts bytes processed by one finished codec-pool job. kind is

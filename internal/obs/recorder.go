@@ -35,6 +35,10 @@ const (
 	FlightRetry        = "retry"
 	FlightHedgeLaunch  = "hedge.launch"
 	FlightHedgeWin     = "hedge.win"
+	FlightHedgeLoss    = "hedge.loss"
+	FlightHedgeDrop    = "hedge.suppress"
+	FlightRaceLaunch   = "race.launch"
+	FlightRaceCancel   = "race.cancel"
 	FlightCSPDown      = "csp.down"
 	FlightCSPUp        = "csp.up"
 	FlightStall        = "pipeline.stall"

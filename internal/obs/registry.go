@@ -90,6 +90,15 @@ const (
 	MetricLoadEWMA      = "cyrus_load_ewma_latency_seconds"
 	MetricLoadPredicted = "cyrus_load_predicted_completion_seconds"
 	MetricLoadSamples   = "cyrus_load_samples_total"
+
+	// Load-adaptive redundancy scheduling (internal/transfer): hedge
+	// suppression and win/loss accounting for the adaptive controller,
+	// plus race-read fan-out and cancelled-byte waste.
+	MetricHedgeSuppressed    = "cyrus_hedge_suppressed_total"
+	MetricHedgeWins          = "cyrus_hedge_wins_total"
+	MetricHedgeLosses        = "cyrus_hedge_losses_total"
+	MetricRaceLaunched       = "cyrus_race_launched_total"
+	MetricRaceCancelledBytes = "cyrus_race_cancelled_bytes_total"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.

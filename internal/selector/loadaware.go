@@ -1,0 +1,86 @@
+package selector
+
+import "sort"
+
+// LoadAware ranks download sources by predicted completion time under the
+// live load vector instead of static link bandwidth. Each CSP starts with
+// a virtual finish clock seeded from its predicted backlog
+// (Load.PredictedSeconds — the Ghosh-style EWMA x (1 + in-flight)
+// estimate); chunks are visited largest-share-first and each takes the T
+// sources whose clock-plus-transfer-time is smallest, advancing the
+// winners' clocks by the share's transfer time. The greedy is a list
+// schedule on the queue-adjusted clocks — deterministic (ties break by
+// provider name), O(R·C log C), and clock-free at runtime: every input is
+// part of the Instance, so netsim runs replay identically.
+//
+// With no observed load (nothing in flight or queued), the Fallback
+// selector decides — the bandwidth-only optimum is exactly right for an
+// idle system, and keeping Optimized there preserves the paper's
+// Algorithm 1 behavior as the zero-load special case.
+type LoadAware struct {
+	// Fallback decides when the load vector is absent or shows an idle
+	// system. Default Optimized.
+	Fallback Selector
+}
+
+// Name implements Selector.
+func (LoadAware) Name() string { return "loadaware" }
+
+// Select implements Selector.
+func (s LoadAware) Select(in Instance) (*Assignment, error) {
+	if !in.Load.loaded() {
+		fb := s.Fallback
+		if fb == nil {
+			fb = Optimized{}
+		}
+		return fb.Select(in)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Virtual finish clock per CSP, seeded from the predicted backlog.
+	busy := make(map[string]float64)
+	for _, c := range sortedCSPs(in) {
+		busy[c] = in.Load.PredictedSeconds[c]
+	}
+
+	// Largest shares first: they dominate the makespan, so they deserve
+	// the emptiest clocks. Ties break by ID for determinism.
+	order := make([]int, len(in.Chunks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := in.Chunks[order[a]], in.Chunks[order[b]]
+		if ca.ShareSize != cb.ShareSize {
+			return ca.ShareSize > cb.ShareSize
+		}
+		return ca.ID < cb.ID
+	})
+
+	pick := make(map[string][]string, len(in.Chunks))
+	for _, i := range order {
+		ch := in.Chunks[i]
+		// Rank this chunk's sources by when they would finish its share.
+		cands := append([]string(nil), ch.StoredOn...)
+		xfer := make(map[string]float64, len(cands))
+		for _, c := range cands {
+			xfer[c] = float64(ch.ShareSize) / in.LinkBps[c]
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			fa := busy[cands[a]] + xfer[cands[a]]
+			fb := busy[cands[b]] + xfer[cands[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return cands[a] < cands[b]
+		})
+		chosen := cands[:in.T]
+		for _, c := range chosen {
+			busy[c] += xfer[c]
+		}
+		pick[ch.ID] = append([]string(nil), chosen...)
+	}
+	return finish(in, pick), nil
+}

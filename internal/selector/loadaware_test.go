@@ -1,0 +1,124 @@
+package selector
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLoadAwareZeroLoadFallsBack: with no load vector (or an idle one) the
+// load-aware selector must produce exactly the Fallback's plan — the
+// bandwidth-only optimum is the zero-load special case.
+func TestLoadAwareZeroLoadFallsBack(t *testing.T) {
+	in := makeInstance(20, 2, 2*MB, testbedLinks(), 0)
+	want, err := (Optimized{}).Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, load := range []*LoadVector{
+		nil,
+		{}, // empty vector: nothing in flight, nothing queued
+		{PredictedSeconds: map[string]float64{"fast1": 3}}, // predictions alone are not load
+	} {
+		in.Load = load
+		got, err := LoadAware{}.Select(in)
+		if err != nil {
+			t.Fatalf("load=%+v: %v", load, err)
+		}
+		if !reflect.DeepEqual(got.Pick, want.Pick) {
+			t.Fatalf("load=%+v: plan diverged from Optimized fallback", load)
+		}
+	}
+}
+
+// TestLoadAwareAvoidsBacklog: a fast provider with a deep predicted
+// backlog must lose its picks to idle providers whose clock-plus-transfer
+// finishes sooner.
+func TestLoadAwareAvoidsBacklog(t *testing.T) {
+	in := makeInstance(10, 2, 2*MB, testbedLinks(), 0)
+	in.Load = &LoadVector{
+		PredictedSeconds: map[string]float64{"fast1": 600},
+		InFlight:         map[string]int{"fast1": 12},
+	}
+	a, err := LoadAware{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, a)
+	for id, picks := range a.Pick {
+		for _, c := range picks {
+			if c == "fast1" {
+				t.Fatalf("chunk %s assigned to backlogged fast1", id)
+			}
+		}
+	}
+	// Sanity: with the same instance unloaded, fast1 is a popular pick.
+	in.Load = nil
+	base, err := LoadAware{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := false
+	for _, picks := range base.Pick {
+		for _, c := range picks {
+			used = used || c == "fast1"
+		}
+	}
+	if !used {
+		t.Fatal("unloaded baseline never uses fast1; backlog test proves nothing")
+	}
+}
+
+// TestLoadAwareSpreadsByClock: providers carrying in-flight work (even
+// with equal link speeds) are deprioritized in proportion to their
+// predicted completion, so assignments spread toward the idle ones.
+func TestLoadAwareSpreadsByClock(t *testing.T) {
+	links := map[string]float64{"cspa": 10 * MB, "cspb": 10 * MB, "cspc": 10 * MB}
+	in := makeInstance(6, 1, 1*MB, links, 0)
+	in.Load = &LoadVector{
+		PredictedSeconds: map[string]float64{"cspa": 5, "cspb": 0, "cspc": 0},
+		InFlight:         map[string]int{"cspa": 4},
+	}
+	a, err := LoadAware{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, picks := range a.Pick {
+		for _, c := range picks {
+			counts[c]++
+		}
+	}
+	// 6 shares of 0.1s each against a 5s backlog: cspa should get none,
+	// and the two idle clocks should split the work evenly.
+	if counts["cspa"] != 0 {
+		t.Fatalf("backlogged cspa took %d shares, want 0 (counts %v)", counts["cspa"], counts)
+	}
+	if counts["cspb"] != 3 || counts["cspc"] != 3 {
+		t.Fatalf("idle providers split %v, want 3/3", counts)
+	}
+}
+
+// TestLoadAwareDeterministic: same instance, same plan — the selector
+// runs inside netsim replays.
+func TestLoadAwareDeterministic(t *testing.T) {
+	in := makeInstance(30, 2, 2*MB, testbedLinks(), 0)
+	in.Load = &LoadVector{
+		PredictedSeconds: map[string]float64{"fast1": 2, "slow1": 1},
+		InFlight:         map[string]int{"fast1": 3, "slow1": 1},
+		QueueDepth:       4,
+	}
+	first, err := LoadAware{}.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := LoadAware{}.Select(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Pick, again.Pick) {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+}

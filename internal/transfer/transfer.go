@@ -63,11 +63,37 @@ type Tunables struct {
 	MaxBackoff time.Duration
 	// HedgeMultiple scales the expected attempt latency into the hedge
 	// trigger delay: a backup download launches after
-	// HedgeMultiple x expected. Default 3.
+	// HedgeMultiple x expected. Default 3. Under the load-adaptive
+	// controller this is the starting point the per-CSP effective
+	// multiple is tuned from.
 	HedgeMultiple float64
 	// DisableHedge turns hedged downloads off (the attempt-walk falls
 	// back to sequential failover).
 	DisableHedge bool
+	// HedgeLoadThreshold is the Ghosh-crossover utilization bound: hedges
+	// and redundant race lanes are suppressed once the global admission
+	// queue holds HedgeLoadThreshold x MaxInFlight waiting attempts.
+	// Past that point a redundant request joins the congestion it is
+	// trying to dodge. Default 0.75; negative disables suppression.
+	HedgeLoadThreshold float64
+	// HedgeMinSamples arms hedging against a provider only after this
+	// many successful contacts have fed its latency EWMA — the cold-start
+	// guard: an EWMA seeded from one anomalously fast sample would
+	// otherwise hedge nearly every request. Default 8; negative arms
+	// immediately.
+	HedgeMinSamples int
+	// HedgeStatic restores the open-loop HedgeMultiple x expected
+	// deadline — no load feedback, no cold-start arming, no adaptive
+	// multiple. It is the baseline policy the redundancy experiments
+	// compare the closed loop against.
+	HedgeStatic bool
+	// HedgeFixed, when positive, arms every hedge with this constant
+	// trigger delay — the operator-tuned fixed timeout real deployments
+	// start from. Fully open loop: no expectation model, no load
+	// feedback, no suppression. A delay tuned at low load turns into a
+	// hedge storm when load rises past it, which is exactly what the
+	// redundancy experiments use it to demonstrate.
+	HedgeFixed time.Duration
 }
 
 // hedgeFloor is the minimum hedge delay: below this, scheduling noise
@@ -95,6 +121,12 @@ func (t Tunables) withDefaults() Tunables {
 	}
 	if t.HedgeMultiple == 0 {
 		t.HedgeMultiple = 3
+	}
+	if t.HedgeLoadThreshold == 0 {
+		t.HedgeLoadThreshold = 0.75
+	}
+	if t.HedgeMinSamples == 0 {
+		t.HedgeMinSamples = 8
 	}
 	return t
 }
@@ -126,6 +158,7 @@ type Engine struct {
 	report func(cspName, kind string, err error, bytes int64, elapsed time.Duration)
 	tun    Tunables
 	sem    *semaphore
+	hedge  *hedgeController
 }
 
 // New builds an engine. Config.Runtime is required.
@@ -140,6 +173,7 @@ func New(cfg Config) *Engine {
 		report: cfg.Report,
 		tun:    tun,
 		sem:    newSemaphore(cfg.Runtime, cfg.Obs, tun.MaxInFlight, tun.PerCSP),
+		hedge:  newHedgeController(tun.HedgeMultiple),
 	}
 }
 
@@ -151,19 +185,8 @@ func (e *Engine) Tunables() Tunables { return e.tun }
 // per-CSP cap tests assert on.
 func (e *Engine) PeakInFlight(cspName string) int { return e.sem.peakInFlight(cspName) }
 
-// HedgeAfter converts an expected attempt latency into the hedge trigger
-// delay, or 0 when hedging is off or the expectation is unknown (callers
-// treat 0 as "sequential failover only").
-func (e *Engine) HedgeAfter(expected time.Duration) time.Duration {
-	if e.tun.DisableHedge || expected <= 0 {
-		return 0
-	}
-	d := time.Duration(e.tun.HedgeMultiple * float64(expected))
-	if d < hedgeFloor {
-		d = hedgeFloor
-	}
-	return d
-}
+// HedgeAfter lives in hedge.go: it converts an expected attempt latency
+// into the load-adaptive hedge trigger delay for one provider.
 
 // Attempt is one provider contact. Run performs the I/O and returns the
 // payload byte count (uploads report the intended payload size even on
@@ -397,6 +420,7 @@ func (o *Op) Hedged(ctx context.Context, a Attempt, hedgeAfter time.Duration, ne
 	if e.tun.DisableHedge {
 		hedgeAfter = 0
 	}
+	primaryCSP := a.CSP
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 
@@ -441,6 +465,15 @@ func (o *Op) Hedged(ctx context.Context, a Attempt, hedgeAfter time.Duration, ne
 						// Recorded before the latch opens so the caller
 						// observes the win as soon as Hedged returns.
 						e.obs.TransferHedge(hctx, "win")
+						e.obs.HedgeOutcome(hctx, primaryCSP, true)
+						e.hedge.outcome(primaryCSP, true)
+					} else if launched {
+						// The backup launched but the primary won anyway:
+						// the redundant request was waste. The adaptive
+						// controller stretches this provider's effective
+						// multiple so the next hedge fires later.
+						e.obs.HedgeOutcome(hctx, primaryCSP, false)
+						e.hedge.outcome(primaryCSP, false)
 					}
 					latch.Done()
 				}

@@ -482,7 +482,7 @@ func TestHedgeSequentialFailover(t *testing.T) {
 				},
 			}, true
 		}
-		if err := op.Hedged(op.Context(), bad, e.HedgeAfter(time.Millisecond), next); err != nil {
+		if err := op.Hedged(op.Context(), bad, e.HedgeAfter(op.Context(), "deadcsp", time.Millisecond), next); err != nil {
 			t.Errorf("Hedged: %v", err)
 		}
 	})
@@ -518,20 +518,23 @@ func TestHedgeAllFail(t *testing.T) {
 	})
 }
 
-// TestHedgeAfter converts expected latency into trigger delays.
+// TestHedgeAfter converts expected latency into trigger delays. Without
+// an observer there is no load signal, so the engine takes the open-loop
+// HedgeMultiple path.
 func TestHedgeAfter(t *testing.T) {
+	ctx := context.Background()
 	e, _ := newSimEngine(Tunables{HedgeMultiple: 3}, nil)
-	if got := e.HedgeAfter(0); got != 0 {
+	if got := e.HedgeAfter(ctx, "cspa", 0); got != 0 {
 		t.Errorf("unknown expectation: HedgeAfter(0) = %v, want 0", got)
 	}
-	if got := e.HedgeAfter(100 * time.Millisecond); got != 300*time.Millisecond {
+	if got := e.HedgeAfter(ctx, "cspa", 100*time.Millisecond); got != 300*time.Millisecond {
 		t.Errorf("HedgeAfter(100ms) = %v, want 300ms", got)
 	}
-	if got := e.HedgeAfter(time.Millisecond); got != hedgeFloor {
+	if got := e.HedgeAfter(ctx, "cspa", time.Millisecond); got != hedgeFloor {
 		t.Errorf("HedgeAfter(1ms) = %v, want the %v floor", got, hedgeFloor)
 	}
 	off, _ := newSimEngine(Tunables{DisableHedge: true}, nil)
-	if got := off.HedgeAfter(time.Second); got != 0 {
+	if got := off.HedgeAfter(ctx, "cspa", time.Second); got != 0 {
 		t.Errorf("disabled engine: HedgeAfter = %v, want 0", got)
 	}
 }
