@@ -111,6 +111,10 @@ var runners = []runner{
 		res, err := experiments.LoadSched(experiments.LoadSchedConfig{Seed: o.seed})
 		return res.Report, err
 	}},
+	{"10", "storage classes: cost proxy vs Get p50/p99 across all-hot / 70-30 / all-cold at (2,4) hot vs (3,8) cold", func(o options) (experiments.Report, error) {
+		res, err := experiments.Classes(experiments.ClassesConfig{Seed: o.seed})
+		return res.Report, err
+	}},
 	{"ablation-selector", "Algorithm 1 vs its pieces vs exhaustive", func(o options) (experiments.Report, error) {
 		return experiments.AblationSelector(o.seed)
 	}},
@@ -215,6 +219,8 @@ func datasetBytes(id string, opts options) int64 {
 		return 20 << 20
 	case "9":
 		return 48 * (256 << 10) // 48 equal-size 256 KiB files at the default scale
+	case "10":
+		return 3 * 24 * (256 << 10) // 3 class-mix cells x 24 files x 256 KiB
 	}
 	return 0
 }

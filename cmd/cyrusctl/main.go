@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,12 @@ type config struct {
 	TreeRetention    int        `json:"tree_retention,omitempty"`
 	CSPToken         string     `json:"csp_token,omitempty"` // bearer token for HTTP providers
 	CSPs             []cspEntry `json:"csps"`
+	// Storage-class knobs (DESIGN.md §13). Empty = one implicit class with
+	// the client-wide (t, n). Seed via 'init -class ... -rule ...' or edit
+	// the JSON directly; the spec grammar is documented on the init flags.
+	Classes      []cyrus.StorageClass `json:"classes,omitempty"`
+	ClassRules   []cyrus.ClassRule    `json:"class_rules,omitempty"`
+	DefaultClass string               `json:"default_class,omitempty"`
 }
 
 func main() {
@@ -74,7 +81,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate|stats|flightdump|top> ...")
+		return fmt.Errorf("usage: cyrusctl [-config file] <init|put|get|ls|history|rm|restore|conflicts|resolve|recover|sync|import|gc|probe|rmcsp|reinstate|stats|flightdump|top|classes|reencode> ...")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -126,6 +133,10 @@ func run(args []string) error {
 		return cmdTop(ctx, client, rest)
 	case "reinstate":
 		return cmdReinstate(ctx, client, rest)
+	case "classes":
+		return cmdClasses(ctx, client, rest)
+	case "reencode":
+		return cmdReencode(ctx, client, rest)
 	case "rmcsp":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: rmcsp <provider>")
@@ -460,6 +471,11 @@ func cmdInit(cfgPath string, args []string) error {
 	retention := fs.Int("retention", 0, "resolved conflict branches kept per file (0 = keep all)")
 	var csps multiFlag
 	fs.Var(&csps, "csp", "provider as name=<dir-path or http(s)://url> (repeatable, need at least t)")
+	var classes multiFlag
+	fs.Var(&classes, "class", "storage class as name,key=val,... with keys tier|t|n|epsilon|csps (a+b+c)|metacsps|demote-after (duration)|demote-to (repeatable)")
+	var rules multiFlag
+	fs.Var(&rules, "rule", "class rule as prefix=class (repeatable, longest prefix wins)")
+	defClass := fs.String("defaultclass", "", "class for objects no rule matches (empty = implicit default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -469,6 +485,21 @@ func cmdInit(cfgPath string, args []string) error {
 	cfg := config{
 		ClientID: *client, Key: *key, T: *t, N: *n, CSPToken: *cspToken,
 		MetaShards: *metaShards, MetaCacheEntries: *metaCache, TreeRetention: *retention,
+		DefaultClass: *defClass,
+	}
+	for _, spec := range classes {
+		cls, err := parseClassSpec(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Classes = append(cfg.Classes, cls)
+	}
+	for _, spec := range rules {
+		prefix, class, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rule %q, want prefix=class", spec)
+		}
+		cfg.ClassRules = append(cfg.ClassRules, cyrus.ClassRule{Prefix: prefix, Class: class})
 	}
 	if cfg.ClientID == "" {
 		host, _ := os.Hostname()
@@ -550,15 +581,108 @@ func openClient(cfgPath string) (*cyrus.Client, error) {
 		MetaShards:       cfg.MetaShards,
 		MetaCacheEntries: cfg.MetaCacheEntries,
 		TreeRetention:    cfg.TreeRetention,
+		Classes:          cfg.Classes,
+		ClassRules:       cfg.ClassRules,
+		DefaultClass:     cfg.DefaultClass,
 		Obs:              cyrus.NewObserver(),
 	}, stores)
 }
 
-func cmdPut(ctx context.Context, c *cyrus.Client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: put <file>")
+// cmdClasses syncs once and prints every configured storage class next to
+// its live usage: tier, effective (t, n), CSP subset, lifecycle demotion
+// rule, and the per-class object/byte tallies (which also refresh the
+// cyrus_class_* gauges). -json emits the same as one document.
+func cmdClasses(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("classes", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	f, err := os.Open(args[0])
+	if _, err := c.Sync(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "classes: sync:", err)
+	}
+	pol := c.Policy()
+	usage := c.ClassStats()
+	if *asJSON {
+		out := struct {
+			DefaultClass string                      `json:"default_class,omitempty"`
+			Classes      []cyrus.StorageClass        `json:"classes,omitempty"`
+			Rules        []cyrus.ClassRule           `json:"rules,omitempty"`
+			Usage        map[string]cyrus.ClassUsage `json:"usage"`
+		}{DefaultClass: pol.DefaultClass(), Classes: pol.Classes(), Rules: pol.Rules(), Usage: usage}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("%-12s %-5s %3s %3s %-24s %-20s %8s %12s\n",
+		"CLASS", "TIER", "T", "N", "CSPS", "DEMOTE", "OBJECTS", "BYTES")
+	row := func(name, tier string, t, n int, csps []string, demote string) {
+		u := usage[name]
+		label := name
+		if name == "" {
+			label = "(default)"
+		}
+		cspCol := "(all)"
+		if len(csps) > 0 {
+			cspCol = strings.Join(csps, ",")
+		}
+		fmt.Printf("%-12s %-5s %3d %3d %-24s %-20s %8d %12d\n",
+			label, tier, t, n, cspCol, demote, u.Objects, u.Bytes)
+	}
+	defT, defN := c.Params()
+	row("", cyrus.TierHot, defT, defN, nil, "")
+	for _, cls := range pol.Classes() {
+		t, n := cls.T, cls.N
+		if t == 0 {
+			t = defT
+		}
+		if n == 0 {
+			n = defN
+		}
+		demote := ""
+		if cls.DemoteTo != "" {
+			demote = fmt.Sprintf("%s -> %s", cls.DemoteAfter, cls.DemoteTo)
+		}
+		row(cls.Name, cls.Tier, t, n, cls.CSPs, demote)
+	}
+	if def := pol.DefaultClass(); def != "" {
+		fmt.Printf("default class: %s\n", def)
+	}
+	for _, r := range pol.Rules() {
+		fmt.Printf("rule: %-24s -> %s\n", r.Prefix+"*", r.Class)
+	}
+	return nil
+}
+
+// cmdReencode moves a file's current version into another storage class
+// (the lifecycle migrator's primitive, driven by hand — demote early,
+// promote back, or repack after a class edit).
+func cmdReencode(ctx context.Context, c *cyrus.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: reencode <name> <class>")
+	}
+	changed, err := c.ReencodeClass(ctx, args[0], args[1])
+	if err != nil {
+		return err
+	}
+	if !changed {
+		fmt.Printf("%s is already in class %q\n", args[0], args[1])
+		return nil
+	}
+	fmt.Printf("re-encoded %s into class %q\n", args[0], args[1])
+	return nil
+}
+
+func cmdPut(ctx context.Context, c *cyrus.Client, args []string) error {
+	fs := flag.NewFlagSet("put", flag.ContinueOnError)
+	class := fs.String("class", "", "storage-class override for this write (default: policy resolution)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: put [-class name] <file>")
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -567,10 +691,10 @@ func cmdPut(ctx context.Context, c *cyrus.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	name := filepath.Base(args[0])
+	name := filepath.Base(fs.Arg(0))
 	// Stream the file: client memory stays bounded by the pipeline window
 	// regardless of file size.
-	if err := c.PutReader(ctx, name, f); err != nil {
+	if err := c.PutReaderWith(ctx, name, f, cyrus.PutOptions{Class: *class}); err != nil {
 		return err
 	}
 	fmt.Printf("stored %s (%d bytes)\n", name, st.Size())
@@ -705,6 +829,49 @@ func cmdResolve(ctx context.Context, c *cyrus.Client, args []string) error {
 		return fmt.Errorf("usage: resolve <name> <winner-version-id>")
 	}
 	return c.Resolve(ctx, args[0], args[1])
+}
+
+// parseClassSpec parses one -class value: "name,key=val,..." with keys
+// tier, t, n, epsilon, csps (plus-separated), metacsps, demote-after (a Go
+// duration like 720h), demote-to. Full validation (tier names, demotion
+// targets, CSP membership) happens when the client opens the config.
+func parseClassSpec(spec string) (cyrus.StorageClass, error) {
+	parts := strings.Split(spec, ",")
+	cls := cyrus.StorageClass{Name: parts[0]}
+	if cls.Name == "" || strings.Contains(cls.Name, "=") {
+		return cls, fmt.Errorf("bad -class %q: the first element is the class name", spec)
+	}
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return cls, fmt.Errorf("bad -class element %q in %q, want key=val", p, spec)
+		}
+		var err error
+		switch k {
+		case "tier":
+			cls.Tier = v
+		case "t":
+			cls.T, err = strconv.Atoi(v)
+		case "n":
+			cls.N, err = strconv.Atoi(v)
+		case "epsilon":
+			cls.Epsilon, err = strconv.ParseFloat(v, 64)
+		case "csps":
+			cls.CSPs = strings.Split(v, "+")
+		case "metacsps":
+			cls.MetaCSPs = strings.Split(v, "+")
+		case "demote-after":
+			cls.DemoteAfter, err = time.ParseDuration(v)
+		case "demote-to":
+			cls.DemoteTo = v
+		default:
+			return cls, fmt.Errorf("bad -class key %q in %q", k, spec)
+		}
+		if err != nil {
+			return cls, fmt.Errorf("bad -class value %q=%q in %q: %v", k, v, spec, err)
+		}
+	}
+	return cls, nil
 }
 
 // multiFlag collects repeated flag values.

@@ -34,8 +34,10 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/csp"
+	"repro/internal/lifecycle"
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/resthttp"
 	"repro/internal/syncdir"
 	"repro/internal/topology"
@@ -95,6 +97,31 @@ type (
 	// LoadSample is one sampled point of a provider's load vector.
 	LoadSample = obs.LoadSample
 
+	// StorageClass is one named storage-class definition: a CSP subset,
+	// per-class (t, n) or Epsilon, chunking, tier, and optional lifecycle
+	// demotion rule. Configure via Config.Classes (DESIGN.md §13).
+	StorageClass = policy.Class
+	// ClassRule maps a name-prefix to a storage class (longest prefix
+	// wins); configure via Config.ClassRules.
+	ClassRule = policy.Rule
+	// PutOptions carries per-request write options (e.g. a storage-class
+	// override) for Client.PutWith / Client.PutReaderWith.
+	PutOptions = core.PutOptions
+	// ClassUsage is one class's live object/byte tally from
+	// Client.ClassStats.
+	ClassUsage = core.ClassUsage
+	// LifecycleMigrator demotes idle objects to colder classes in the
+	// background; build one with NewLifecycle.
+	LifecycleMigrator = lifecycle.Migrator
+	// LifecycleConfig tunes a LifecycleMigrator (client, checkpoint state,
+	// worker fan-out).
+	LifecycleConfig = lifecycle.Config
+	// LifecycleJob is one queued demotion.
+	LifecycleJob = lifecycle.Job
+	// LifecycleState is the migrator's crash-safe checkpoint store; use
+	// NewLifecycleFileState for durability across restarts.
+	LifecycleState = lifecycle.State
+
 	// Store is the five-call provider interface (authenticate, list,
 	// upload, download, delete) CYRUS requires of a CSP.
 	Store = csp.Store
@@ -122,6 +149,20 @@ const (
 	MetricHedgeLosses        = obs.MetricHedgeLosses
 	MetricRaceLaunched       = obs.MetricRaceLaunched
 	MetricRaceCancelledBytes = obs.MetricRaceCancelledBytes
+	// Storage-class gauges (per-class live objects/bytes, labeled {class})
+	// and lifecycle-migrator counters.
+	MetricClassBytes          = obs.MetricClassBytes
+	MetricClassObjects        = obs.MetricClassObjects
+	MetricLifecycleMigrations = obs.MetricLifecycleMigrations
+	MetricLifecycleBytes      = obs.MetricLifecycleBytes
+	MetricLifecycleFailures   = obs.MetricLifecycleFailures
+	MetricLifecycleQueueDepth = obs.MetricLifecycleQueueDepth
+)
+
+// Storage-class tiers.
+const (
+	TierHot  = policy.TierHot
+	TierCold = policy.TierCold
 )
 
 // Errors a caller is expected to branch on.
@@ -178,6 +219,21 @@ func InferClusters(providerNames []string) (map[string]string, error) {
 	prober := &topology.SyntheticProber{PlatformOf: csp.PlatformMap()}
 	clusterOf, _, err := topology.InferClusters(prober, providerNames)
 	return clusterOf, err
+}
+
+// NewLifecycle builds a lifecycle migrator over a class-configured client.
+// Call Scan to enqueue idle objects past their class's DemoteAfter age,
+// then Run to drain the queue; both are resumable across crashes when the
+// config carries a durable state (NewLifecycleFileState).
+func NewLifecycle(cfg LifecycleConfig) (*LifecycleMigrator, error) {
+	return lifecycle.New(cfg)
+}
+
+// NewLifecycleFileState opens (or creates) a crash-safe migrator
+// checkpoint file: jobs are persisted before work starts and cleared only
+// after the demotion's new placement is fully published.
+func NewLifecycleFileState(path string) (LifecycleState, error) {
+	return lifecycle.NewFileState(path)
 }
 
 // HashData exposes the content-hash used for file and chunk identities

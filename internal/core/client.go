@@ -31,6 +31,7 @@ import (
 	"repro/internal/hashring"
 	"repro/internal/metadata"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/reliability"
 	"repro/internal/selector"
 	"repro/internal/transfer"
@@ -120,6 +121,19 @@ type Config struct {
 
 	// Chunking configures content-defined chunking.
 	Chunking chunker.Config
+
+	// Classes declares the storage classes available to this client: named
+	// bundles of CSP subset, per-class (t, n)/Epsilon, chunking parameters,
+	// a tier, and an optional lifecycle demotion rule. Empty = no classes;
+	// every object lives in the implicit default class (exactly the
+	// pre-class behavior of the fields above).
+	Classes []policy.Class
+	// ClassRules routes object names to classes by longest-prefix match
+	// (see policy.Engine). Only meaningful alongside Classes.
+	ClassRules []policy.Rule
+	// DefaultClass names the class applied when no rule matches and no
+	// per-request override is given. "" keeps the implicit default class.
+	DefaultClass string
 
 	// ClusterOf maps CSP name -> platform cluster (from
 	// topology.InferClusters); share placement uses at most one CSP per
@@ -288,24 +302,26 @@ type FileInfo struct {
 
 // Client is a CYRUS endpoint. It is safe for concurrent use.
 type Client struct {
-	cfg     Config
-	coder   *erasure.Coder
-	conv    *erasure.ConvergentCoder // nil unless DedupSecret configured
-	chunk   *chunker.Chunker
-	ring    *hashring.Ring
-	tree    *metadata.Tree
-	table   *metadata.ChunkTable
-	est     *reliability.Estimator
-	bw      *bandwidthTracker
-	events  *eventBus
-	engine  *transfer.Engine
-	rt      vclock.Runtime
-	sel     selector.Selector
-	codec   *codecPool
-	mcache  *metaCache // nil = disabled
-	keyHash string
-	log     *slog.Logger  // nil = disabled
-	obs     *obs.Observer // nil = disabled
+	cfg      Config
+	coder    *erasure.Coder
+	conv     *erasure.ConvergentCoder // nil unless DedupSecret configured
+	chunk    *chunker.Chunker
+	pol      *policy.Engine              // class resolution; nil = no classes
+	chunkers map[string]*chunker.Chunker // per-class override chunkers
+	ring     *hashring.Ring
+	tree     *metadata.Tree
+	table    *metadata.ChunkTable
+	est      *reliability.Estimator
+	bw       *bandwidthTracker
+	events   *eventBus
+	engine   *transfer.Engine
+	rt       vclock.Runtime
+	sel      selector.Selector
+	codec    *codecPool
+	mcache   *metaCache // nil = disabled
+	keyHash  string
+	log      *slog.Logger  // nil = disabled
+	obs      *obs.Observer // nil = disabled
 
 	// ringEpoch counts ring-membership changes; the chunk table remembers
 	// the epoch metadata placements were last reconciled under, so a sync
@@ -338,24 +354,47 @@ func New(cfg Config, stores []csp.Store) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := policy.NewEngine(full.Classes, full.ClassRules, full.DefaultClass)
+	if err != nil {
+		return nil, err
+	}
+	if len(full.Classes) == 0 && len(full.ClassRules) == 0 && full.DefaultClass == "" {
+		pol = nil // classless client: resolution short-circuits to ""
+	}
+	// Per-class chunkers are built once: class resolution must be cheap on
+	// the Put hot path, and chunker.New validates the config eagerly so a
+	// bad class fails construction, not the first upload into it.
+	chunkers := make(map[string]*chunker.Chunker)
+	for _, cls := range pol.Classes() {
+		if !cls.HasChunking() {
+			continue
+		}
+		cch, err := chunker.New(cls.Chunking)
+		if err != nil {
+			return nil, fmt.Errorf("cyrus: class %q chunking: %w", cls.Name, err)
+		}
+		chunkers[cls.Name] = cch
+	}
 	sum := sha1.Sum([]byte(full.Key))
 	c := &Client{
-		cfg:     full,
-		coder:   erasure.NewCoder(full.Key),
-		chunk:   ch,
-		ring:    hashring.New(0),
-		tree:    metadata.NewTree(),
-		table:   metadata.NewChunkTable(),
-		est:     reliability.NewEstimator(full.FailureThreshold),
-		bw:      newBandwidthTracker(full.LinkBps),
-		events:  newEventBus(),
-		rt:      full.Runtime,
-		sel:     full.Selector,
-		keyHash: hex.EncodeToString(sum[:]),
-		log:     full.Logger,
-		obs:     full.Obs,
-		stores:  make(map[string]csp.Store),
-		removed: make(map[string]bool),
+		cfg:      full,
+		coder:    erasure.NewCoder(full.Key),
+		chunk:    ch,
+		pol:      pol,
+		chunkers: chunkers,
+		ring:     hashring.New(0),
+		tree:     metadata.NewTree(),
+		table:    metadata.NewChunkTable(),
+		est:      reliability.NewEstimator(full.FailureThreshold),
+		bw:       newBandwidthTracker(full.LinkBps),
+		events:   newEventBus(),
+		rt:       full.Runtime,
+		sel:      full.Selector,
+		keyHash:  hex.EncodeToString(sum[:]),
+		log:      full.Logger,
+		obs:      full.Obs,
+		stores:   make(map[string]csp.Store),
+		removed:  make(map[string]bool),
 	}
 	if full.DedupSecret != "" {
 		// Built whenever the secret is present — not only in DedupMode — so
@@ -586,6 +625,18 @@ func (c *Client) ID() string { return c.cfg.ClientID }
 // MetaQuorum returns MetaT: the number of metadata shares needed (and
 // sufficient) to recover a metadata record.
 func (c *Client) MetaQuorum() int { return c.cfg.MetaT }
+
+// Params reports the client-wide default encoding parameters: the
+// configured T and the n a new chunk would be stored at right now
+// (explicit N, or the epsilon-derived width over the active clusters).
+// Falls back to the raw config when no width is currently achievable.
+func (c *Client) Params() (t, n int) {
+	t, n, err := c.shareParams()
+	if err != nil {
+		return c.cfg.T, c.cfg.N
+	}
+	return t, n
+}
 
 // ShareObjectName returns the provider object name under which share
 // `index` of the given chunk is stored at privacy level t, following the

@@ -132,23 +132,24 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 	defer func() { sp.End(err) }()
 	c.syncBestEffort(ctx)
 
+	// References are per encoding (chunk ID + class): after a lifecycle
+	// demotion both encodings of a chunk coexist, and only the one no
+	// version references — if any — is collectible.
 	referenced := map[string]bool{}
 	for _, m := range c.tree.All() {
 		for _, ref := range m.Chunks {
-			referenced[ref.ID] = true
+			referenced[ref.EncodingKey()] = true
 		}
 	}
 
 	var stats GCStats
-	// The chunk table may know chunks no record references (refs from
+	// The chunk table may know encodings no record references (refs from
 	// absorbed-then-pruned versions, or uploads whose metadata never
 	// landed). Collect those.
 	var orphans []*metadata.ChunkInfo
-	for _, id := range c.table.SharesOnAll() {
-		if !referenced[id] {
-			if info, ok := c.table.Lookup(id); ok {
-				orphans = append(orphans, info)
-			}
+	for _, info := range c.table.Entries() {
+		if !referenced[metadata.EncodingKey(info.ID, info.Class)] {
+			orphans = append(orphans, info)
 		}
 	}
 	// Deletes route through one engine operation: retried per the taxonomy,
@@ -158,7 +159,7 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 	defer op.Finish()
 	handled := make(map[string]bool) // CAS object names the orphan pass released
 	for _, info := range orphans {
-		ref := metadata.ChunkRef{ID: info.ID, Size: info.Size, T: info.T, N: info.N, CAS: info.CAS}
+		ref := metadata.ChunkRef{ID: info.ID, Size: info.Size, T: info.T, N: info.N, CAS: info.CAS, Class: info.Class}
 		if info.CAS && c.conv == nil {
 			// Content-addressed names are unrecoverable without the
 			// deployment secret; leave the entry for a properly configured
@@ -219,7 +220,7 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 			stats.Shares++
 			stats.Bytes += shareSize
 		}
-		c.table.Drop(info.ID)
+		c.table.Drop(metadata.EncodingKey(info.ID, info.Class))
 	}
 	if c.conv != nil {
 		if c.syncFullView() {
@@ -242,9 +243,10 @@ func (c *Client) GC(ctx context.Context) (_ GCStats, err error) {
 func (c *Client) gcReconcileCAS(op *transfer.Op, ctx context.Context, referenced, handled map[string]bool, stats *GCStats) {
 	refTags := make(map[string]bool)
 	sizeOfTag := make(map[string]int64)
-	for id := range referenced {
-		if info, ok := c.table.Lookup(id); ok && info.CAS {
-			tag := c.conv.Tag(id)
+	for key := range referenced {
+		chunkID, class := metadata.SplitEncodingKey(key)
+		if info, ok := c.table.LookupEnc(chunkID, class); ok && info.CAS {
+			tag := c.conv.Tag(chunkID)
 			refTags[tag] = true
 			sizeOfTag[tag] = erasure.ShareSize(info.Size, info.T)
 		}

@@ -67,8 +67,13 @@ func metaKey(fileName string) string { return "cyrus-meta|" + fileName }
 // footnote-3 placement. Sharded, it is the first MetaShards distinct
 // providers clockwise from the file name's ring position; if the ring
 // cannot yield at least MetaT providers (churn shrank it), placement falls
-// back to the full active set rather than under-replicate.
+// back to the full active set rather than under-replicate. A storage class
+// with dedicated MetaCSPs overrides both (metaTargetsForClass, class.go).
 func (c *Client) metaTargetsFor(fileName string) []string {
+	return c.metaTargetsForClass(fileName, c.metaTargetsBase(fileName))
+}
+
+func (c *Client) metaTargetsBase(fileName string) []string {
 	active := c.CSPs()
 	m := c.cfg.MetaShards
 	if m <= 0 || m >= len(active) {
@@ -347,7 +352,7 @@ func (c *Client) fetchMetaBatch(op *transfer.Op, ctx context.Context, vids []str
 	// Assignment pass: for each record pick MetaT distinct indices and one
 	// usable provider per index, spreading load by want-list length so one
 	// provider does not serve every record alone.
-	wants := make(map[string][]string)         // provider -> object names
+	wants := make(map[string][]string)          // provider -> object names
 	wantMeta := make(map[string]map[string]int) // provider -> object -> share index
 	assigned := make(map[string]int)            // vid -> indices assigned
 	for _, vid := range vids {

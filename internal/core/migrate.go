@@ -26,8 +26,12 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 		ref    metadata.ChunkRef
 		index  int
 		target string
+		data   []byte
 	}
 	var jobs []moveJob
+	// The maps are keyed by encoding key (chunk ID + class): mid-demotion
+	// the same chunk content exists under two encodings, and each migrates
+	// independently within its own class's placement preference.
 	for id, ref := range refs {
 		data := chunkData[id]
 		if data == nil {
@@ -57,7 +61,7 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 		// holds any share of the chunk. Without the probe two clients with
 		// stale tables can double-place shares on one platform, silently
 		// breaking t-privacy.
-		prefs, err := c.placementOrder(id)
+		prefs, err := c.placementOrderFor(ref.ID, ref.Class)
 		if err != nil {
 			continue
 		}
@@ -81,7 +85,7 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 				break // nowhere to put it; keep the stale location
 			}
 			holding[target] = true
-			jobs = append(jobs, moveJob{ref: ref, index: idx, target: target})
+			jobs = append(jobs, moveJob{ref: ref, index: idx, target: target, data: data})
 		}
 	}
 	if len(jobs) == 0 {
@@ -113,8 +117,8 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 		}
 		var shares []erasure.Share
 		var err error
-		c.codec.run("encode", int64(len(chunkData[j.ref.ID])), func() {
-			shares, err = coder.EncodeTo(make([]erasure.Share, 0, j.ref.N), chunkData[j.ref.ID], j.ref.T, j.ref.N)
+		c.codec.run("encode", int64(len(j.data)), func() {
+			shares, err = coder.EncodeTo(make([]erasure.Share, 0, j.ref.N), j.data, j.ref.T, j.ref.N)
 		})
 		if err != nil {
 			return
@@ -148,7 +152,7 @@ func (c *Client) migrateStaleShares(ctx context.Context, file string, refs map[s
 			return
 		}
 		mu.Lock()
-		c.table.MoveShare(j.ref.ID, j.index, j.target)
+		c.table.MoveShareEnc(j.ref.ID, j.ref.Class, j.index, j.target)
 		mu.Unlock()
 		c.logf("migrated share", "chunk", j.ref.ID[:8], "index", j.index, "to", j.target)
 		// The source copy is deliberately NOT deleted. Old metadata

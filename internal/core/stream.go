@@ -41,8 +41,20 @@ type putPending struct {
 // after every share landed, so no other client can observe a version whose
 // shares are not fully stored.
 func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err error) {
+	return c.PutReaderWith(ctx, name, r, PutOptions{})
+}
+
+// PutReaderWith is PutReader with per-request options: the object's storage
+// class (override > prefix rule > default) decides the chunker, the
+// per-chunk (t, n), and the CSP subset its shares prefer. The resolved
+// class rides in every ChunkRef of the published version.
+func (c *Client) PutReaderWith(ctx context.Context, name string, r io.Reader, opts PutOptions) (err error) {
 	if name == "" {
 		return fmt.Errorf("cyrus: empty file name")
+	}
+	cls, err := c.pol.Resolve(name, opts.Class)
+	if err != nil {
+		return err
 	}
 	opStart := c.rt.Now()
 	ctx, sp := c.obs.StartOp(ctx, "put")
@@ -59,7 +71,7 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 		oldLive = !head.File.Deleted
 	}
 
-	t, n, err := c.shareParams()
+	t, n, err := c.shareParamsFor(cls)
 	if err != nil {
 		return err
 	}
@@ -79,9 +91,10 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 	defer op.Finish()
 
 	depth := c.cfg.PipelineDepth
-	sc := c.chunk.Scan(r)
+	chnk := c.chunkerFor(cls.Name)
+	sc := chnk.Scan(r)
 	// The scanner's ring buffer is data-plane memory too.
-	ringBytes := int64(c.chunk.Config().MaxSize)
+	ringBytes := int64(chnk.Config().MaxSize)
 	c.acctAdd(ringBytes)
 	defer c.acctSub(ringBytes)
 
@@ -133,10 +146,12 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 		})
 		hsp.End(nil)
 
-		// Deduplicate exactly as Put: chunks in the global table are
-		// referenced, not uploaded; repeats within the file upload once.
-		if info, ok := c.table.Lookup(id); ok {
-			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N, CAS: info.CAS}
+		// Deduplicate exactly as Put, scoped to the class's encoding: a
+		// chunk already stored under this class is referenced, not
+		// uploaded; the same content in another class re-encodes (its (t,
+		// n) and placement differ). Repeats within the file upload once.
+		if info, ok := c.table.LookupEnc(id, cls.Name); ok {
+			ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: info.T, N: info.N, CAS: info.CAS, Class: cls.Name}
 			meta.Chunks = append(meta.Chunks, ref)
 			if !seenInFile[id] {
 				for idx, cspName := range info.Shares {
@@ -146,7 +161,7 @@ func (c *Client) PutReader(ctx context.Context, name string, r io.Reader) (err e
 			}
 			continue
 		}
-		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n, CAS: c.cfg.DedupMode}
+		ref := metadata.ChunkRef{ID: id, Offset: ch.Offset, Size: int64(len(ch.Data)), T: t, N: n, CAS: c.cfg.DedupMode, Class: cls.Name}
 		meta.Chunks = append(meta.Chunks, ref)
 		if seenInFile[id] {
 			continue
@@ -307,15 +322,21 @@ type chunkState struct {
 // locations from the freshest source (global chunk table first, the
 // version's ShareMap as fallback) and the Algorithm-1 download-source
 // selection, grouped by T (dedup across configs can mix privacy levels).
+// Plans — and the returned maps — are keyed by encoding key (chunk ID +
+// class), since mid-demotion the same content legitimately exists under two
+// encodings with different (t, n) and placements. Chunks written under a
+// class with a CSP subset are selected through selector.Restricted, which
+// prefers in-class sources but never drops a chunk below T candidates.
 func (c *Client) planGather(m *metadata.FileMeta, wanted []metadata.ChunkRef) (map[string]*chunkState, map[string][]string, error) {
 	unique := make(map[string]*chunkState)
 	var order []string
 	for _, ref := range wanted {
-		if _, ok := unique[ref.ID]; ok {
+		key := ref.EncodingKey()
+		if _, ok := unique[key]; ok {
 			continue
 		}
 		st := &chunkState{ref: ref, shares: make(map[int]string)}
-		if info, ok := c.table.Lookup(ref.ID); ok {
+		if info, ok := c.table.LookupEnc(ref.ID, ref.Class); ok {
 			for idx, cspName := range info.Shares {
 				st.shares[idx] = cspName
 			}
@@ -336,13 +357,38 @@ func (c *Client) planGather(m *metadata.FileMeta, wanted []metadata.ChunkRef) (m
 			return nil, nil, fmt.Errorf("%w: chunk %s reachable on %d providers, need %d",
 				ErrDamaged, ref.ID[:8], len(st.usable), st.ref.T)
 		}
-		unique[ref.ID] = st
-		order = append(order, ref.ID)
+		unique[key] = st
+		order = append(order, key)
+	}
+
+	// Class read affinity: restrict each classed chunk's candidates to its
+	// class CSP subset when enough of them still hold shares.
+	sel := c.sel
+	if c.pol != nil {
+		allowed := make(map[string]map[string]bool)
+		for _, key := range order {
+			st := unique[key]
+			if st.ref.Class == "" {
+				continue
+			}
+			cls, ok := c.pol.Class(st.ref.Class)
+			if !ok || len(cls.CSPs) == 0 {
+				continue
+			}
+			set := make(map[string]bool, len(cls.CSPs))
+			for _, name := range cls.CSPs {
+				set[name] = true
+			}
+			allowed[key] = set
+		}
+		if len(allowed) > 0 {
+			sel = selector.Restricted{Allowed: allowed, Inner: c.sel}
+		}
 	}
 
 	byT := map[int][]*chunkState{}
-	for _, id := range order {
-		st := unique[id]
+	for _, key := range order {
+		st := unique[key]
 		byT[st.ref.T] = append(byT[st.ref.T], st)
 	}
 	pick := make(map[string][]string)
@@ -350,7 +396,7 @@ func (c *Client) planGather(m *metadata.FileMeta, wanted []metadata.ChunkRef) (m
 		in := selector.Instance{T: t, ClientBps: c.cfg.ClientBps, LinkBps: map[string]float64{}}
 		for _, st := range states {
 			in.Chunks = append(in.Chunks, selector.Chunk{
-				ID:        st.ref.ID,
+				ID:        st.ref.EncodingKey(),
 				ShareSize: erasure.ShareSize(st.ref.Size, st.ref.T),
 				StoredOn:  st.usable,
 			})
@@ -377,7 +423,7 @@ func (c *Client) planGather(m *metadata.FileMeta, wanted []metadata.ChunkRef) (m
 			}
 			in.Load = lv
 		}
-		a, err := c.sel.Select(in)
+		a, err := sel.Select(in)
 		if err != nil {
 			return nil, nil, fmt.Errorf("cyrus: download selection: %w", err)
 		}
@@ -444,7 +490,7 @@ func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, leng
 		res *gatherRes
 	}
 	depth := c.cfg.PipelineDepth
-	live := make(map[string]*gatherRes) // chunk ID -> resident result
+	live := make(map[string]*gatherRes) // encoding key -> resident result
 	var window []occEntry
 	var fileHash = metadata.NewHash()
 	var firstErr error
@@ -482,15 +528,16 @@ func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, leng
 		}
 		e.res.uses--
 		if e.res.uses == 0 {
-			delete(live, e.ref.ID)
+			key := e.ref.EncodingKey()
+			delete(live, key)
 			if full && firstErr == nil {
 				// Lazy migration (paper §5.5) per chunk, while its
 				// plaintext is resident in the window anyway.
-				st := states[e.ref.ID]
+				st := states[key]
 				c.migrateStaleShares(ctx, m.File.Name,
-					map[string]metadata.ChunkRef{e.ref.ID: st.ref},
-					map[string]map[int]string{e.ref.ID: st.shares},
-					map[string][]byte{e.ref.ID: e.res.data})
+					map[string]metadata.ChunkRef{key: st.ref},
+					map[string]map[int]string{key: st.shares},
+					map[string][]byte{key: e.res.data})
 			}
 			c.acctSub(int64(len(e.res.data)))
 			e.res.data = nil
@@ -502,7 +549,8 @@ func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, leng
 		if firstErr != nil {
 			break
 		}
-		res := live[ref.ID]
+		key := ref.EncodingKey()
+		res := live[key]
 		if res == nil {
 			// Admission: at most depth decoded chunks resident.
 			for len(live) >= depth && firstErr == nil {
@@ -511,15 +559,15 @@ func (c *Client) fetchTo(ctx context.Context, m *metadata.FileMeta, offset, leng
 			if firstErr != nil {
 				break
 			}
-			st := states[ref.ID]
+			st := states[key]
 			res = &gatherRes{g: c.rt.NewGroup()}
 			res.g.Add(1)
-			live[ref.ID] = res
+			live[key] = res
 			launched = append(launched, res)
 			c.obs.PipelineInflight("get", len(live))
 			c.rt.Go(func() {
 				defer res.g.Done()
-				data, gerr := c.gatherChunk(op, m.File.Name, st.ref, st.shares, pick[st.ref.ID])
+				data, gerr := c.gatherChunk(op, m.File.Name, st.ref, st.shares, pick[key])
 				if gerr != nil {
 					res.err = gerr
 					op.Fail(gerr)

@@ -36,8 +36,9 @@ func (c *Client) scatterChunk(op *transfer.Op, file string, ref metadata.ChunkRe
 	ctx, chunkSpan := c.obs.Trace(op.Context(), "chunk.scatter")
 	defer func() { chunkSpan.End(err) }()
 	// Full preference order: every eligible CSP, cluster-constrained,
-	// starting at the chunk's ring position.
-	prefs, err := c.placementOrder(ref.ID)
+	// starting at the chunk's ring position; the chunk's class pulls its
+	// CSP subset to the front (placementOrderFor).
+	prefs, err := c.placementOrderFor(ref.ID, ref.Class)
 	if err != nil {
 		return nil, err
 	}

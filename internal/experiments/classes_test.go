@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestClassesFrontier runs a scaled-down BENCH 10 and asserts the
+// acceptance claim: the cold class stores fewer provider-bytes per object
+// than hot at an equal-or-better durability target, and the all-hot mix
+// reads faster than the all-cold mix.
+func TestClassesFrontier(t *testing.T) {
+	res, err := Classes(ClassesConfig{Files: 12, FileBytes: 64 << 10, Passes: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(res.Cells))
+	}
+	hot, mixed, cold := res.Cells[0], res.Cells[1], res.Cells[2]
+	if hot.ColdFiles != 0 || cold.HotFiles != 0 {
+		t.Fatalf("pure cells contaminated: hot=%+v cold=%+v", hot, cold)
+	}
+	if mixed.HotFiles == 0 || mixed.ColdFiles == 0 {
+		t.Fatalf("mixed cell not mixed: %+v", mixed)
+	}
+	if cold.ProviderBytesPerObject >= hot.ProviderBytesPerObject {
+		t.Fatalf("cold stores %.0f B/provider/object, hot %.0f — cold should be cheaper per provider",
+			cold.ProviderBytesPerObject, hot.ProviderBytesPerObject)
+	}
+	// Mixed sits between the pure cells on the per-provider cost axis.
+	if mixed.ProviderBytesPerObject <= cold.ProviderBytesPerObject ||
+		mixed.ProviderBytesPerObject >= hot.ProviderBytesPerObject {
+		t.Fatalf("70-30 cost %.0f not between cold %.0f and hot %.0f",
+			mixed.ProviderBytesPerObject, cold.ProviderBytesPerObject, hot.ProviderBytesPerObject)
+	}
+	if hot.GetP50 <= 0 || cold.GetP50 <= 0 {
+		t.Fatalf("non-positive latencies: hot p50 %v cold p50 %v", hot.GetP50, cold.GetP50)
+	}
+	if hot.GetP50 >= cold.GetP50 {
+		t.Fatalf("hot p50 %.4fs not faster than cold p50 %.4fs — fast-subset pinning not effective",
+			hot.GetP50, cold.GetP50)
+	}
+	if res.Report.ID != "10" || len(res.Report.Rows) != 3 {
+		t.Fatalf("malformed report: %+v", res.Report)
+	}
+}

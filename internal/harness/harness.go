@@ -44,9 +44,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/erasure"
+	"repro/internal/lifecycle"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/transfer"
+	"repro/internal/vclock"
 )
 
 // Options configures one simulation run. Zero values take the documented
@@ -138,6 +141,18 @@ type Options struct {
 	// (trigger thresholds, ring capacity, dump retention). nil keeps the
 	// observer defaults — the recorder itself is always attached.
 	Recorder *obs.RecorderConfig
+
+	// Classes, ClassRules, and DefaultClass configure storage classes on
+	// every client (core.Config pass-through). Class scenarios must give
+	// each class explicit T and N so the invariant checker can recompute
+	// the expected share bytes of every encoding, and schedule Demote
+	// steps to drive the lifecycle migrator. The oracles then tighten:
+	// per-class durability and t-privacy, per-version class consistency
+	// (no torn transitions), and source-encoding survival across
+	// demotions.
+	Classes      []policy.Class
+	ClassRules   []policy.Rule
+	DefaultClass string
 
 	// FailureThreshold overrides every client's provider-failure estimator
 	// window (core default 24h). Chaos scenarios that want csp.down
@@ -259,6 +274,9 @@ type Harness struct {
 	corrupted  map[string]bool   // csp + "/" + object: harness-injected rot
 	sabotaged  bool              // Break* injection already performed
 
+	migrators map[int]*lifecycle.Migrator // lazily built per client index
+	lifeGroup vclock.Group                // joins in-flight Demote runs
+
 	pending []Step // schedule sorted by At
 	report  Report
 }
@@ -279,6 +297,7 @@ func New(opts Options) (*Harness, error) {
 		lastAcked:  make(map[string][]byte),
 		corrupted:  make(map[string]bool),
 		coder:      erasure.NewCoder(sharedKey),
+		migrators:  make(map[int]*lifecycle.Migrator),
 	}
 	oo := obs.Options{SLOObjectives: opts.SLOObjectives}
 	if opts.Recorder != nil {
@@ -375,6 +394,9 @@ func (h *Harness) buildClient(id, node string, o *obs.Observer) (*core.Client, e
 		Obs:              o,
 		Transfer:         h.opts.Transfer,
 		FailureThreshold: h.opts.FailureThreshold,
+		Classes:          h.opts.Classes,
+		ClassRules:       h.opts.ClassRules,
+		DefaultClass:     h.opts.DefaultClass,
 	}
 	if h.opts.Dedup {
 		cfg.DedupMode = true
@@ -415,6 +437,61 @@ func (h *Harness) now() time.Time {
 	return time.Now()
 }
 
+// runtime returns the run's vclock.Runtime: the netsim scheduler when
+// Virtual, the real clock otherwise.
+func (h *Harness) runtime() vclock.Runtime {
+	if h.net != nil {
+		return h.net
+	}
+	return vclock.Real()
+}
+
+// runLifecycle fires one asynchronous scan-and-drain of client #i's
+// lifecycle migrator (the Demote schedule action). The workload keeps
+// running while the demotions are in flight — under netsim virtual time
+// the interleaving with reads and faults is deterministic — and every
+// checkpoint joins outstanding runs before auditing, so the checker never
+// races a half-finished re-encode. The migrator only ever touches the
+// client (which is safe for concurrent use); it must not touch the
+// harness's oracle state from its goroutine.
+func (h *Harness) runLifecycle(ctx context.Context, client int) {
+	if client < 0 || client >= len(h.clients) {
+		return
+	}
+	m := h.migrators[client]
+	if m == nil {
+		var err error
+		m, err = lifecycle.New(lifecycle.Config{
+			Client:  h.clients[client],
+			Workers: 1,
+			Runtime: h.runtime(),
+		})
+		if err != nil {
+			h.violate("read", "building lifecycle migrator for client %d: %v", client, err)
+			return
+		}
+		h.migrators[client] = m
+	}
+	if h.lifeGroup == nil {
+		h.lifeGroup = h.runtime().NewGroup()
+	}
+	h.lifeGroup.Add(1)
+	h.runtime().Go(func() {
+		defer h.lifeGroup.Done()
+		if _, err := m.Scan(ctx); err != nil {
+			return
+		}
+		m.Run(ctx)
+	})
+}
+
+// joinLifecycle blocks until every in-flight Demote run has finished.
+func (h *Harness) joinLifecycle() {
+	if h.lifeGroup != nil {
+		h.lifeGroup.Wait()
+	}
+}
+
 // Run executes the workload under the schedule, finishes with a quiescent
 // checkpoint, and returns the report. It may be called once.
 func (h *Harness) Run(ctx context.Context) *Report {
@@ -426,6 +503,7 @@ func (h *Harness) Run(ctx context.Context) *Report {
 			h.report.Ops++
 		}
 		h.applySchedule(ctx, h.opts.Ops, next)
+		h.joinLifecycle()
 		snap := h.obs.Registry().Snapshot()
 		h.report.Metrics = &snap
 		h.checkpoint(ctx)

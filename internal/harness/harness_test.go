@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/policy"
 )
 
 // baseSeed returns the seed for this test process. The CI matrix and the
@@ -265,6 +268,44 @@ func TestScenarios(t *testing.T) {
 					{At: 80, Act: ReinstateCSP, CSP: "cspb", Client: 1},
 					{At: 105, Act: RemoveCSP, CSP: "cspd", Client: 2},
 					{At: 130, Act: FailNext, CSP: "cspa", Count: 3},
+				},
+			},
+		},
+		{
+			// Storage classes under degradation: hot objects (2-of-3 on
+			// cspa-c) are demoted by the lifecycle migrator to a cold class
+			// (3-of-5 preferring cspd-f) while that cold subset crashes and
+			// throws transient faults and the workload keeps reading. The
+			// Demote runs are asynchronous under virtual time, so reads
+			// genuinely interleave with in-flight re-encodes. Oracles: byte-
+			// identical reads mid- and post-migration, per-class durability
+			// and t-privacy (every encoding keeps its own n shares and t
+			// threshold), source encodings survive demotion (no copy deleted
+			// before the cold placement reached quorum — old versions still
+			// reference them), and no torn class transitions (every version's
+			// chunks carry one class). DemoteAfter of 1ns makes every idle
+			// object eligible the moment a Demote step fires.
+			name: "class-degrade-migrate",
+			opts: Options{
+				Virtual:   true,
+				Providers: 6,
+				Ops:       90,
+				Classes: []policy.Class{
+					{Name: "hot", Tier: policy.TierHot, T: 2, N: 3,
+						CSPs:        []string{"cspa", "cspb", "cspc"},
+						DemoteAfter: time.Nanosecond, DemoteTo: "cold"},
+					{Name: "cold", Tier: policy.TierCold, T: 3, N: 5,
+						CSPs: []string{"cspd", "cspe", "cspf"}},
+				},
+				DefaultClass: "hot",
+				Schedule: Schedule{
+					{At: 30, Act: Demote, Client: 0},
+					{At: 32, Act: Crash, CSP: "cspd"},
+					{At: 45, Act: FailNext, CSP: "cspe", Count: 3},
+					{At: 50, Act: Demote, Client: 1},
+					{At: 60, Act: Restart, CSP: "cspd"},
+					{At: 62, Act: Checkpoint},
+					{At: 75, Act: Demote, Client: 0},
 				},
 			},
 		},

@@ -16,12 +16,14 @@ import (
 // clients' version trees. It is called at least once, at the end of the
 // run; mid-run Checkpoint schedule steps call it too.
 func (h *Harness) checkpoint(ctx context.Context) {
+	h.joinLifecycle()
 	h.quiesce(ctx)
 	h.checkConvergence()
 	h.checkCacheCoherence()
 
 	tree := h.clients[0].Tree()
 	records := tree.All()
+	h.absorbDemotions(records)
 	h.report.Versions = len(records)
 
 	st := h.buildWorldState(records)
@@ -32,6 +34,36 @@ func (h *Harness) checkpoint(ctx context.Context) {
 	h.checkMetaReplication(tree, records, st)
 	h.checkBehavioralDurability(ctx)
 	h.report.Checkpoints++
+}
+
+// absorbDemotions folds lifecycle-published versions into the durability
+// oracle. A demotion republishes acknowledged content under a new version
+// ID the workload never acked; any non-deleted record whose content hash
+// matches an acknowledged write of the same file is that write's demoted
+// (or re-encoded) form and must satisfy the same read-back guarantee —
+// the behavioral durability sweep then re-reads it through its own class's
+// encoding. Records that match nothing are left alone: an unacked version
+// a Get serves is still flagged by the read oracle.
+func (h *Harness) absorbDemotions(records []*metadata.FileMeta) {
+	if len(h.opts.Classes) == 0 {
+		return
+	}
+	byHash := make(map[string][]byte, len(h.acked))
+	for _, aw := range h.acked {
+		byHash[metadata.HashData(aw.Data)] = aw.Data
+	}
+	for _, m := range records {
+		vid := m.VersionID()
+		if _, known := h.ackedByVID[vid]; known || m.File.Deleted {
+			continue
+		}
+		data, ok := byHash[m.File.ID]
+		if !ok {
+			continue
+		}
+		h.ackedByVID[vid] = data
+		h.acked = append(h.acked, AckedWrite{File: m.File.Name, VersionID: vid, Client: "lifecycle", Data: data})
+	}
 }
 
 // quiesce restores every provider and link, lets the clients probe failed
@@ -118,30 +150,59 @@ func (h *Harness) checkCacheCoherence() {
 	}
 }
 
-// worldState is everything the offline checks need: which chunks exist,
+// worldState is everything the offline checks need: which encodings exist,
 // their parameters and contents, the expected bytes of every share, and
-// which provider physically holds which share index.
+// which provider physically holds which share index. Everything is keyed
+// by *encoding key* — metadata.EncodingKey(chunkID, class) — not by chunk
+// ID: a lifecycle demotion legitimately leaves two coexisting encodings of
+// one chunk (the hot original, still referenced by old versions, and the
+// cold re-encode), each with its own (t, n).
 type worldState struct {
-	chunkRefs    map[string]metadata.ChunkRef // referenced chunks
-	chunkShares  map[string][]erasure.Share   // chunk -> expected shares (content known)
-	shareNames   map[string]shareKey          // object name -> (chunk, index) for every known chunk
+	chunkRefs    map[string]metadata.ChunkRef // encoding key -> referenced encoding
+	chunkShares  map[string][]erasure.Share   // encoding key -> expected shares (content known)
+	shareNames   map[string][]shareKey        // object name -> every encoding it could serve
 	knownVIDs    map[string]bool
-	presence     map[string]map[string]map[int]bool // chunk -> csp -> indices physically present
-	intact       map[string]map[int]bool            // chunk -> indices with >= 1 byte-exact copy
+	presence     map[string]map[string]map[int]bool // encoding -> csp -> indices physically present
+	intact       map[string]map[int]bool            // encoding -> indices with >= 1 byte-exact copy
 	ghostIndices map[string]map[int]bool            // unknown vid -> meta share indices present
 }
 
 type shareKey struct {
-	chunk      string
+	enc        string // encoding key
 	index      int
 	referenced bool
+}
+
+// encodingCandidate is one (class, t, n) tuple the run's class config can
+// produce; used to account residue of failed or in-flight re-encodes.
+type encodingCandidate struct {
+	class string
+	t, n  int
+}
+
+// classEncodings lists every encoding the configured classes could write,
+// default class first. Harness class scenarios declare explicit per-class
+// (t, n) so the candidates are exact.
+func (h *Harness) classEncodings() []encodingCandidate {
+	out := []encodingCandidate{{class: "", t: h.opts.T, n: h.opts.N}}
+	for _, cls := range h.opts.Classes {
+		t, n := cls.T, cls.N
+		if t == 0 {
+			t = h.opts.T
+		}
+		if n == 0 {
+			n = h.opts.N
+		}
+		out = append(out, encodingCandidate{class: cls.Name, t: t, n: n})
+	}
+	return out
 }
 
 func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
 	st := &worldState{
 		chunkRefs:    make(map[string]metadata.ChunkRef),
 		chunkShares:  make(map[string][]erasure.Share),
-		shareNames:   make(map[string]shareKey),
+		shareNames:   make(map[string][]shareKey),
 		knownVIDs:    make(map[string]bool),
 		presence:     make(map[string]map[string]map[int]bool),
 		intact:       make(map[string]map[int]bool),
@@ -150,12 +211,20 @@ func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
 	for _, m := range records {
 		st.knownVIDs[m.VersionID()] = true
 		for _, ref := range m.Chunks {
-			if prev, ok := st.chunkRefs[ref.ID]; ok && (prev.T != ref.T || prev.N != ref.N) {
-				h.violate("placement", "chunk %s referenced with conflicting parameters (%d,%d) vs (%d,%d)",
-					short(ref.ID), prev.T, prev.N, ref.T, ref.N)
+			// A version's chunks are published atomically, so they all carry
+			// the class the write (or re-encode) resolved — a mix means a
+			// torn class transition escaped metadata atomicity.
+			if ref.Class != m.Chunks[0].Class {
+				h.violate("placement", "version %s mixes storage classes %q and %q (torn class transition)",
+					short(m.VersionID()), m.Chunks[0].Class, ref.Class)
+			}
+			ek := metadata.EncodingKey(ref.ID, ref.Class)
+			if prev, ok := st.chunkRefs[ek]; ok && (prev.T != ref.T || prev.N != ref.N) {
+				h.violate("placement", "chunk %s class %q referenced with conflicting parameters (%d,%d) vs (%d,%d)",
+					short(ref.ID), ref.Class, prev.T, prev.N, ref.T, ref.N)
 				continue
 			}
-			st.chunkRefs[ref.ID] = ref
+			st.chunkRefs[ek] = ref
 		}
 	}
 
@@ -164,17 +233,15 @@ func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
 	// even its residue is unknowable — impossible here, since the oracle
 	// records contents before the Put runs).
 	naming := h.clients[0]
+	candidates := h.classEncodings()
+	seen := make(map[string]bool)
 	addContent := func(data []byte) {
 		for _, chunk := range h.chunk.Split(data) {
 			id := metadata.HashData(chunk.Data)
-			if _, done := st.chunkShares[id]; done {
+			if seen[id] {
 				continue
 			}
-			t, n := h.opts.T, h.opts.N
-			referenced := false
-			if ref, ok := st.chunkRefs[id]; ok {
-				t, n, referenced = ref.T, ref.N, true
-			}
+			seen[id] = true
 			// Dedup runs disperse with the content-derived coder, so the
 			// expected bytes come from it too (the names below already do:
 			// the naming client is in dedup mode whenever the run is).
@@ -182,13 +249,29 @@ func (h *Harness) buildWorldState(records []*metadata.FileMeta) *worldState {
 			if h.conv != nil {
 				coder = h.conv.For(id)
 			}
-			shares, err := coder.Encode(chunk.Data, t, n)
-			if err != nil {
-				continue
-			}
-			st.chunkShares[id] = shares
-			for i := 0; i < n; i++ {
-				st.shareNames[naming.ShareObjectName(id, i, t)] = shareKey{chunk: id, index: i, referenced: referenced}
+			// Every referenced encoding of this chunk gets its expected
+			// share bytes recomputed under its own (t, n).
+			for _, cand := range candidates {
+				ek := metadata.EncodingKey(id, cand.class)
+				ref, referenced := st.chunkRefs[ek]
+				t, n := cand.t, cand.n
+				if referenced {
+					t, n = ref.T, ref.N
+				}
+				if referenced {
+					shares, err := coder.Encode(chunk.Data, t, n)
+					if err != nil {
+						continue
+					}
+					st.chunkShares[ek] = shares
+				}
+				// Share names are (chunk, index, t): unreferenced candidate
+				// encodings are residue of failed Puts or failed/in-flight
+				// re-encodes — legitimate, accounted, not durability-tracked.
+				for i := 0; i < n; i++ {
+					obj := naming.ShareObjectName(id, i, t)
+					st.shareNames[obj] = append(st.shareNames[obj], shareKey{enc: ek, index: i, referenced: referenced})
+				}
 			}
 		}
 	}
@@ -210,26 +293,31 @@ func (h *Harness) classifyObjects(st *worldState) {
 	for _, cspName := range h.names {
 		b := h.backends[cspName]
 		for _, obj := range b.ObjectNames("") {
-			if key, ok := st.shareNames[obj]; ok {
-				if !key.referenced {
-					continue // residue of a failed Put: allowed, not tracked
-				}
-				if st.presence[key.chunk] == nil {
-					st.presence[key.chunk] = make(map[string]map[int]bool)
-				}
-				if st.presence[key.chunk][cspName] == nil {
-					st.presence[key.chunk][cspName] = make(map[int]bool)
-				}
-				st.presence[key.chunk][cspName][key.index] = true
-				data, _ := b.PeekObject(obj)
-				expected := st.chunkShares[key.chunk][key.index].Data
-				if bytes.Equal(data, expected) {
-					if st.intact[key.chunk] == nil {
-						st.intact[key.chunk] = make(map[int]bool)
+			if keys, ok := st.shareNames[obj]; ok {
+				// One object name can serve several encodings (share names
+				// depend on t, not class): account it toward every
+				// referenced encoding it belongs to.
+				for _, key := range keys {
+					if !key.referenced {
+						continue // residue of a failed Put or re-encode
 					}
-					st.intact[key.chunk][key.index] = true
-				} else if !h.corrupted[cspName+"/"+obj] {
-					h.violate("durability", "%s: share object %s has unexplained content rot", cspName, short(obj))
+					if st.presence[key.enc] == nil {
+						st.presence[key.enc] = make(map[string]map[int]bool)
+					}
+					if st.presence[key.enc][cspName] == nil {
+						st.presence[key.enc][cspName] = make(map[int]bool)
+					}
+					st.presence[key.enc][cspName][key.index] = true
+					data, _ := b.PeekObject(obj)
+					expected := st.chunkShares[key.enc][key.index].Data
+					if bytes.Equal(data, expected) {
+						if st.intact[key.enc] == nil {
+							st.intact[key.enc] = make(map[int]bool)
+						}
+						st.intact[key.enc][key.index] = true
+					} else if !h.corrupted[cspName+"/"+obj] {
+						h.violate("durability", "%s: share object %s has unexplained content rot", cspName, short(obj))
+					}
 				}
 				continue
 			}
@@ -262,12 +350,12 @@ func (h *Harness) classifyObjects(st *worldState) {
 // holds two, and no platform accumulates t or more distinct shares — the
 // reconstruction threshold (paper §4.3: at most one share per platform).
 func (h *Harness) checkPlacementAndPrivacy(st *worldState) {
-	for id, perCSP := range st.presence {
-		ref := st.chunkRefs[id]
+	for ek, perCSP := range st.presence {
+		ref := st.chunkRefs[ek]
 		perPlatform := make(map[string]map[int]bool)
 		for cspName, idxs := range perCSP {
 			if len(idxs) > 1 {
-				h.violate("placement", "provider %s holds %d distinct shares of chunk %s", cspName, len(idxs), short(id))
+				h.violate("placement", "provider %s holds %d distinct shares of chunk %s", cspName, len(idxs), encLabel(ek))
 			}
 			platform := cspName
 			if h.clusters != nil {
@@ -282,34 +370,45 @@ func (h *Harness) checkPlacementAndPrivacy(st *worldState) {
 		}
 		for platform, idxs := range perPlatform {
 			if h.clusters != nil && len(idxs) > 1 {
-				h.violate("placement", "platform %s holds %d distinct shares of chunk %s", platform, len(idxs), short(id))
+				h.violate("placement", "platform %s holds %d distinct shares of chunk %s", platform, len(idxs), encLabel(ek))
 			}
 			if len(idxs) >= ref.T {
 				h.violate("privacy", "platform %s holds %d shares of chunk %s — enough to reconstruct it (t=%d)",
-					platform, len(idxs), short(id), ref.T)
+					platform, len(idxs), encLabel(ek), ref.T)
 			}
 		}
 	}
 }
 
+// encLabel renders an encoding key for violation messages.
+func encLabel(ek string) string {
+	id, class := metadata.SplitEncodingKey(ek)
+	if class == "" {
+		return short(id)
+	}
+	return short(id) + "(" + class + ")"
+}
+
 // checkStructuralDurability verifies at the object level that every
-// referenced chunk still has all n share objects somewhere and at least t
-// of them intact — i.e. the system never silently dropped below its
-// declared fault tolerance, and deletion never garbage-collected shares
-// that other versions still reference.
+// referenced encoding still has all n share objects somewhere and at
+// least t of them intact — i.e. the system never silently dropped below
+// its declared fault tolerance, and neither deletion nor a lifecycle
+// demotion ever removed shares that other versions still reference (a
+// demoted object's hot encoding must survive as long as any version
+// references it).
 func (h *Harness) checkStructuralDurability(st *worldState) {
-	for id, ref := range st.chunkRefs {
+	for ek, ref := range st.chunkRefs {
 		distinct := make(map[int]bool)
-		for _, idxs := range st.presence[id] {
+		for _, idxs := range st.presence[ek] {
 			for idx := range idxs {
 				distinct[idx] = true
 			}
 		}
 		if len(distinct) < ref.N {
-			h.violate("durability", "chunk %s: only %d of %d share objects exist", short(id), len(distinct), ref.N)
+			h.violate("durability", "chunk %s: only %d of %d share objects exist", encLabel(ek), len(distinct), ref.N)
 		}
-		if _, known := st.chunkShares[id]; known && len(st.intact[id]) < ref.T {
-			h.violate("durability", "chunk %s: only %d intact shares, need %d to decode", short(id), len(st.intact[id]), ref.T)
+		if _, known := st.chunkShares[ek]; known && len(st.intact[ek]) < ref.T {
+			h.violate("durability", "chunk %s: only %d intact shares, need %d to decode", encLabel(ek), len(st.intact[ek]), ref.T)
 		}
 	}
 }

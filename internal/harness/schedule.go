@@ -47,6 +47,11 @@ const (
 	ReinstateCSP
 	// Checkpoint quiesces the system mid-run and checks every invariant.
 	Checkpoint
+	// Demote fires an asynchronous scan-and-drain of client #Client's
+	// lifecycle migrator: every idle object whose class carries a
+	// DemoteAfter/DemoteTo rule is re-encoded into the colder class while
+	// the workload keeps running. Requires class-configured Options.
+	Demote
 )
 
 // Step is one scheduled fault: Act is applied just before op index At.
@@ -102,6 +107,8 @@ func (h *Harness) applyStep(ctx context.Context, s Step) {
 		_ = h.clients[s.Client].ReinstateCSP(ctx, s.CSP)
 	case Checkpoint:
 		h.checkpoint(ctx)
+	case Demote:
+		h.runLifecycle(ctx, s.Client)
 	}
 }
 

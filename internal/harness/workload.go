@@ -145,6 +145,19 @@ func (h *Harness) doGet(ctx context.Context, c *core.Client, name string, i int)
 	}
 	h.report.Reads++
 	want, ok := h.ackedByVID[info.VersionID]
+	if !ok && len(h.opts.Classes) > 0 {
+		// A lifecycle demotion republishes acknowledged content under a
+		// version ID the oracle has not seen yet (the migrator runs
+		// concurrently with the workload). The read is legitimate iff the
+		// bytes are exactly some acknowledged write of this file.
+		for _, aw := range h.acked {
+			if aw.File == name && bytes.Equal(got, aw.Data) {
+				h.ackedByVID[info.VersionID] = aw.Data
+				want, ok = aw.Data, true
+				break
+			}
+		}
+	}
 	if !ok {
 		h.violate("read", "op %d: Get(%s) served unacknowledged version %s", i, name, short(info.VersionID))
 		return
@@ -170,6 +183,22 @@ func (h *Harness) doRange(ctx context.Context, c *core.Client, name string, i in
 	}
 	h.report.Reads++
 	want, ok := h.ackedByVID[info.VersionID]
+	if !ok && len(h.opts.Classes) > 0 {
+		// Same demoted-version allowance as doGet, matched on the slice.
+		for _, aw := range h.acked {
+			if aw.File != name || off >= len(aw.Data) {
+				continue
+			}
+			end := off + ln
+			if end > len(aw.Data) {
+				end = len(aw.Data)
+			}
+			if bytes.Equal(got, aw.Data[off:end]) {
+				want, ok = aw.Data, true
+				break
+			}
+		}
+	}
 	if !ok {
 		h.violate("read", "op %d: GetRange(%s) served unacknowledged version %s", i, name, short(info.VersionID))
 		return

@@ -11,15 +11,22 @@ import (
 // path consults it for deduplication ("avoid uploading redundant chunks by
 // checking whether shares of each chunk are already stored", Algorithm 2)
 // and the lazy-migration path updates it when shares move.
+//
+// Entries are keyed by (chunk ID, storage class) — EncodingKey — because
+// one chunk's content can be stored under several encodings at once (a hot
+// and a cold copy mid lifecycle-demotion have different (t,n) and different
+// share objects). The default class keys as the bare chunk ID, so pre-class
+// state round-trips unchanged.
 type ChunkTable struct {
 	mu        sync.RWMutex
 	chunks    map[string]*ChunkInfo
 	ringEpoch uint64
 }
 
-// ChunkInfo is the stored state of one unique chunk.
+// ChunkInfo is the stored state of one unique (chunk, encoding) pair.
 type ChunkInfo struct {
 	ID     string
+	Class  string // storage class of this encoding ("" = default)
 	Size   int64
 	T, N   int
 	CAS    bool           // shares are content-addressed (dedup mode)
@@ -51,22 +58,36 @@ func NewChunkTable() *ChunkTable {
 	return &ChunkTable{chunks: make(map[string]*ChunkInfo)}
 }
 
-// Lookup returns a copy of the chunk's info, if stored.
+// Lookup returns a copy of the chunk's default-class info, if stored.
 func (t *ChunkTable) Lookup(chunkID string) (*ChunkInfo, bool) {
+	return t.LookupEnc(chunkID, "")
+}
+
+// LookupEnc returns a copy of the chunk's info under the given storage
+// class, if stored. Dedup reuse is per encoding: a chunk stored hot is not
+// "already stored" for a cold-class write.
+func (t *ChunkTable) LookupEnc(chunkID, class string) (*ChunkInfo, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	c, ok := t.chunks[chunkID]
+	c, ok := t.chunks[EncodingKey(chunkID, class)]
 	if !ok {
 		return nil, false
 	}
 	return c.clone(), true
 }
 
-// Stored reports whether the chunk's shares are already in the cloud.
+// Stored reports whether the chunk's default-class shares are already in
+// the cloud.
 func (t *ChunkTable) Stored(chunkID string) bool {
+	return t.StoredEnc(chunkID, "")
+}
+
+// StoredEnc reports whether the chunk's shares under the given class are
+// already in the cloud.
+func (t *ChunkTable) StoredEnc(chunkID, class string) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, ok := t.chunks[chunkID]
+	_, ok := t.chunks[EncodingKey(chunkID, class)]
 	return ok
 }
 
@@ -84,14 +105,15 @@ func (t *ChunkTable) AddRef(chunk ChunkRef, shares []ShareLoc) {
 func (t *ChunkTable) AddVersionRef(chunk ChunkRef, shares []ShareLoc, versionID string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c, ok := t.chunks[chunk.ID]
+	key := chunk.EncodingKey()
+	c, ok := t.chunks[key]
 	if !ok {
 		c = &ChunkInfo{
-			ID: chunk.ID, Size: chunk.Size, T: chunk.T, N: chunk.N, CAS: chunk.CAS,
+			ID: chunk.ID, Class: chunk.Class, Size: chunk.Size, T: chunk.T, N: chunk.N, CAS: chunk.CAS,
 			Shares:      make(map[int]string),
 			Referencers: make(map[string]bool),
 		}
-		t.chunks[chunk.ID] = c
+		t.chunks[key] = c
 	}
 	c.CAS = c.CAS || chunk.CAS
 	for _, s := range shares {
@@ -108,12 +130,13 @@ func (t *ChunkTable) AddVersionRef(chunk ChunkRef, shares []ShareLoc, versionID 
 	c.Refs++
 }
 
-// Referencers returns the version IDs recorded as referencing the chunk,
-// sorted; nil if the chunk is unknown.
-func (t *ChunkTable) Referencers(chunkID string) []string {
+// Referencers returns the version IDs recorded as referencing the chunk
+// encoding (an EncodingKey, or a bare chunk ID for the default class),
+// sorted; nil if the encoding is unknown.
+func (t *ChunkTable) Referencers(encKey string) []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	c, ok := t.chunks[chunkID]
+	c, ok := t.chunks[encKey]
 	if !ok {
 		return nil
 	}
@@ -130,10 +153,10 @@ func (t *ChunkTable) Referencers(chunkID string) []string {
 // collect the share objects. (CYRUS leaves shares of deleted files alone by
 // default — other files may contain these chunks — but the table keeps the
 // refcount so an explicit GC can act safely.)
-func (t *ChunkTable) Release(chunkID string) (removed []ShareLoc, gone bool) {
+func (t *ChunkTable) Release(encKey string) (removed []ShareLoc, gone bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c, ok := t.chunks[chunkID]
+	c, ok := t.chunks[encKey]
 	if !ok {
 		return nil, false
 	}
@@ -141,19 +164,25 @@ func (t *ChunkTable) Release(chunkID string) (removed []ShareLoc, gone bool) {
 	if c.Refs > 0 {
 		return nil, false
 	}
-	delete(t.chunks, chunkID)
+	delete(t.chunks, encKey)
 	for idx, cspName := range c.Shares {
-		removed = append(removed, ShareLoc{ChunkID: chunkID, Index: idx, CSP: cspName})
+		removed = append(removed, ShareLoc{ChunkID: c.ID, Index: idx, CSP: cspName})
 	}
 	sort.Slice(removed, func(i, j int) bool { return removed[i].Index < removed[j].Index })
 	return removed, true
 }
 
-// MoveShare updates one share's location (lazy migration, paper §5.5).
+// MoveShare updates one default-class share's location (lazy migration,
+// paper §5.5).
 func (t *ChunkTable) MoveShare(chunkID string, index int, newCSP string) bool {
+	return t.MoveShareEnc(chunkID, "", index, newCSP)
+}
+
+// MoveShareEnc updates one share's location under the given storage class.
+func (t *ChunkTable) MoveShareEnc(chunkID, class string, index int, newCSP string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	c, ok := t.chunks[chunkID]
+	c, ok := t.chunks[EncodingKey(chunkID, class)]
 	if !ok {
 		return false
 	}
@@ -169,11 +198,13 @@ func (t *ChunkTable) MoveShare(chunkID string, index int, newCSP string) bool {
 func (t *ChunkTable) SharesOn(cspName string) []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	seen := map[string]bool{}
 	var out []string
-	for id, c := range t.chunks {
+	for _, c := range t.chunks {
 		for _, loc := range c.Shares {
-			if loc == cspName {
-				out = append(out, id)
+			if loc == cspName && !seen[c.ID] {
+				seen[c.ID] = true
+				out = append(out, c.ID)
 				break
 			}
 		}
@@ -182,28 +213,48 @@ func (t *ChunkTable) SharesOn(cspName string) []string {
 	return out
 }
 
-// SharesOnAll returns every chunk ID in the table, sorted — the universe a
-// garbage collector checks against the metadata tree.
+// SharesOnAll returns every encoding key in the table, sorted — the
+// universe a garbage collector checks against the metadata tree. Default-
+// class entries key as bare chunk IDs; use SplitEncodingKey to recover the
+// (chunk ID, class) pair.
 func (t *ChunkTable) SharesOnAll() []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]string, 0, len(t.chunks))
-	for id := range t.chunks {
-		out = append(out, id)
+	for key := range t.chunks {
+		out = append(out, key)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Drop removes a chunk entry unconditionally (garbage collection of
-// orphans); unlike Release it ignores the reference count.
-func (t *ChunkTable) Drop(chunkID string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.chunks, chunkID)
+// Entries returns a copy of every (chunk, encoding) entry, sorted by
+// encoding key — the iteration surface for GC and per-class accounting.
+func (t *ChunkTable) Entries() []*ChunkInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.chunks))
+	for key := range t.chunks {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]*ChunkInfo, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, t.chunks[key].clone())
+	}
+	return out
 }
 
-// Len returns the number of unique stored chunks.
+// Drop removes a chunk encoding unconditionally (garbage collection of
+// orphans); unlike Release it ignores the reference count. The key is an
+// EncodingKey (a bare chunk ID for the default class).
+func (t *ChunkTable) Drop(encKey string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.chunks, encKey)
+}
+
+// Len returns the number of unique stored chunk encodings.
 func (t *ChunkTable) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

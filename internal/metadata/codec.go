@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -21,9 +22,13 @@ import (
 //	          u16 t | u16 n |
 //
 // The high bit of the chunk's t field is the CAS flag (content-addressed
-// shares, convergent dedup mode); t itself is bounded by erasure.MaxN=128,
-// so the bit is free and records written by older builds decode with the
-// flag clear.
+// shares, convergent dedup mode); bit 14 is the class flag (a storage-class
+// name string follows the chunk's n field). t itself is bounded by
+// erasure.MaxN=128, so both bits are free and records written by older
+// builds decode with the flags clear. A chunk in the default class ("")
+// never sets the class flag, so classless records — including everything
+// written before storage classes existed — encode byte-identically to the
+// pre-class format.
 //	ShareMap: u32 count | per share: str chunkID | u16 index | str csp
 //
 // Strings are u16 length-prefixed UTF-8.
@@ -39,6 +44,10 @@ const codecVersion = 1
 
 // casFlag marks a content-addressed chunk in the high bit of the encoded t.
 const casFlag = 0x8000
+
+// classFlag marks a chunk written under a named storage class; the class
+// name string follows the chunk's n field.
+const classFlag = 0x4000
 
 // maxCount bounds repeated sections to keep a corrupt length prefix from
 // allocating unbounded memory.
@@ -73,16 +82,52 @@ func Encode(m *FileMeta) ([]byte, error) {
 		if c.CAS {
 			tv |= casFlag
 		}
+		if c.Class != "" {
+			tv |= classFlag
+		}
 		writeUint16(&b, tv)
 		writeUint16(&b, uint16(c.N))
+		if c.Class != "" {
+			writeString(&b, c.Class)
+		}
 	}
-	writeUint32(&b, uint32(len(m.Shares)))
-	for _, s := range m.Shares {
+	// The ShareMap serializes in canonical (chunk, index, csp) order, not
+	// slice order: share locations are collected as concurrent uploads
+	// complete, so slice order is scheduling noise. Canonicalizing here
+	// keeps the whole record deterministic — two clients publishing the
+	// same version store byte-identical metadata shares — without mutating
+	// the caller's record.
+	shares := m.Shares
+	if !sharesCanonical(shares) {
+		shares = append([]ShareLoc(nil), shares...)
+		sort.Slice(shares, func(i, j int) bool { return shareLocLess(shares[i], shares[j]) })
+	}
+	writeUint32(&b, uint32(len(shares)))
+	for _, s := range shares {
 		writeString(&b, s.ChunkID)
 		writeUint16(&b, uint16(s.Index))
 		writeString(&b, s.CSP)
 	}
 	return b.Bytes(), nil
+}
+
+func shareLocLess(a, b ShareLoc) bool {
+	if a.ChunkID != b.ChunkID {
+		return a.ChunkID < b.ChunkID
+	}
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	return a.CSP < b.CSP
+}
+
+func sharesCanonical(s []ShareLoc) bool {
+	for i := 1; i < len(s); i++ {
+		if shareLocLess(s[i], s[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Decode parses a serialized record and validates it.
@@ -117,8 +162,11 @@ func Decode(data []byte) (*FileMeta, error) {
 		c.Size = r.i64()
 		tv := r.u16()
 		c.CAS = tv&casFlag != 0
-		c.T = int(tv &^ casFlag)
+		c.T = int(tv &^ (casFlag | classFlag))
 		c.N = int(r.u16())
+		if tv&classFlag != 0 {
+			c.Class = r.str()
+		}
 		m.Chunks = append(m.Chunks, c)
 	}
 	ns := r.u32()

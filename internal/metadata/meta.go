@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+	"strings"
 	"time"
 )
 
@@ -45,6 +46,36 @@ type ChunkRef struct {
 	Size   int64  // chunk size in bytes
 	T, N   int    // secret-sharing parameters used for this chunk
 	CAS    bool   // shares are content-addressed (convergent dedup mode)
+
+	// Class names the storage class the chunk was written under. Empty is
+	// the default class: records written before classes existed carry "",
+	// and "" encodes byte-identically to the pre-class format. Readers,
+	// migration, and GC use the persisted class — never a guess from the
+	// current client configuration.
+	Class string
+}
+
+// EncodingKey identifies one (chunk, encoding) pair. The same chunk content
+// can legitimately be stored under several encodings at once — e.g. a hot
+// (2,4) copy and a cold (3,8) copy mid lifecycle-demotion — and they are
+// distinct share sets with distinct object names.
+func (c ChunkRef) EncodingKey() string { return EncodingKey(c.ID, c.Class) }
+
+// EncodingKey builds the composite (chunk ID, class) key. The empty class
+// keys as the bare chunk ID, so pre-class state and callers are unchanged.
+func EncodingKey(chunkID, class string) string {
+	if class == "" {
+		return chunkID
+	}
+	return chunkID + "\x00" + class
+}
+
+// SplitEncodingKey is the inverse of EncodingKey.
+func SplitEncodingKey(key string) (chunkID, class string) {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
 }
 
 // ShareLoc is one row of the ShareMap: where one share lives.

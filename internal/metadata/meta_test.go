@@ -157,8 +157,23 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if len(got.Chunks) != 3 || len(got.Shares) != 15 {
 		t.Fatalf("tables: %d chunks %d shares", len(got.Chunks), len(got.Shares))
 	}
-	if got.Chunks[1] != m.Chunks[1] || got.Shares[7] != m.Shares[7] {
-		t.Fatal("table rows corrupted")
+	if got.Chunks[1] != m.Chunks[1] {
+		t.Fatal("chunk table rows corrupted")
+	}
+	// The codec serializes the ShareMap in canonical (chunk, index, csp)
+	// order, so compare as sets: every original location must survive.
+	want := make(map[ShareLoc]bool, len(m.Shares))
+	for _, s := range m.Shares {
+		want[s] = true
+	}
+	for _, s := range got.Shares {
+		if !want[s] {
+			t.Fatalf("share table row corrupted: %+v", s)
+		}
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Fatalf("share table rows lost: %v", want)
 	}
 }
 

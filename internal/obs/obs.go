@@ -89,6 +89,15 @@ type Observer struct {
 	metaCacheInvalid *CounterVec
 	metaShardRecords *GaugeVec
 	metaBatchFetches *CounterVec
+
+	// Storage-class and lifecycle-migration instrument families
+	// (internal/policy + internal/lifecycle).
+	classBytes   *GaugeVec
+	classObjects *GaugeVec
+	lcMigrations *CounterVec
+	lcBytes      *CounterVec
+	lcFailures   *CounterVec
+	lcQueue      *GaugeVec
 }
 
 // Options tunes an Observer beyond the defaults. The zero value is valid
@@ -167,6 +176,13 @@ func NewObserverWith(opts Options) *Observer {
 		metaCacheInvalid: reg.Counter(MetricMetaCacheInvalidations, "Metadata cache entries invalidated by sync, supersede, or delete."),
 		metaShardRecords: reg.Gauge(MetricMetaShardRecords, "Metadata records placed per shard (csp).", "csp"),
 		metaBatchFetches: reg.Counter(MetricMetaBatchFetches, "Batched metadata fetches by csp (one counts a whole batch round trip).", "csp"),
+
+		classBytes:   reg.Gauge(MetricClassBytes, "Logical bytes of live file heads by storage class.", "class"),
+		classObjects: reg.Gauge(MetricClassObjects, "Live file heads by storage class.", "class"),
+		lcMigrations: reg.Counter(MetricLifecycleMigrations, "Lifecycle demotions completed (new placement at quorum)."),
+		lcBytes:      reg.Counter(MetricLifecycleBytes, "Logical bytes re-encoded by completed lifecycle demotions."),
+		lcFailures:   reg.Counter(MetricLifecycleFailures, "Lifecycle demotion jobs that exhausted their attempts."),
+		lcQueue:      reg.Gauge(MetricLifecycleQueueDepth, "Lifecycle demotion jobs currently queued or running."),
 	}
 	o.rec = newFlightRecorder(o, opts.Recorder)
 	o.slo = newSLOTracker(reg, opts.SLOObjectives)
@@ -689,4 +705,56 @@ func (o *Observer) MetaBatchFetch(cspName string) {
 		return
 	}
 	o.metaBatchFetches.With(cspName).Inc()
+}
+
+// ClassLabel renders a storage-class name as a metric label value: the
+// implicit default class ("") surfaces as "default".
+func ClassLabel(class string) string {
+	if class == "" {
+		return "default"
+	}
+	return class
+}
+
+// ClassUsage records one storage class's live usage: the number of live
+// (non-deleted) file heads in the class and their logical byte total.
+// Refreshed from the version tree after sync/absorb, so gauges track the
+// head set, not historic versions. Nil-safe.
+func (o *Observer) ClassUsage(class string, objects int, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.classObjects.With(ClassLabel(class)).Set(float64(objects))
+	o.classBytes.With(ClassLabel(class)).Set(float64(bytes))
+}
+
+// LifecycleMigration records one completed demotion: the object's new
+// placement reached quorum and the class-bearing version was published.
+// bytes is the logical file size re-encoded. Nil-safe.
+func (o *Observer) LifecycleMigration(bytes int64) {
+	if o == nil {
+		return
+	}
+	o.lcMigrations.With().Inc()
+	if bytes > 0 {
+		o.lcBytes.With().Add(bytes)
+	}
+}
+
+// LifecycleFailure records one demotion job that exhausted its attempts.
+// Nil-safe.
+func (o *Observer) LifecycleFailure() {
+	if o == nil {
+		return
+	}
+	o.lcFailures.With().Inc()
+}
+
+// LifecycleQueueDepth records how many demotion jobs are queued or
+// running. Nil-safe.
+func (o *Observer) LifecycleQueueDepth(n int) {
+	if o == nil {
+		return
+	}
+	o.lcQueue.With().Set(float64(n))
 }

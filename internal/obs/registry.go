@@ -99,6 +99,17 @@ const (
 	MetricHedgeLosses        = "cyrus_hedge_losses_total"
 	MetricRaceLaunched       = "cyrus_race_launched_total"
 	MetricRaceCancelledBytes = "cyrus_race_cancelled_bytes_total"
+
+	// Storage classes and lifecycle migration (internal/policy +
+	// internal/lifecycle): per-class usage gauges refreshed from the live
+	// head set, and the demotion job queue's progress counters. The
+	// `class` label is the class name, "default" for the implicit class.
+	MetricClassBytes          = "cyrus_class_bytes"
+	MetricClassObjects        = "cyrus_class_objects"
+	MetricLifecycleMigrations = "cyrus_lifecycle_migrations_total"
+	MetricLifecycleBytes      = "cyrus_lifecycle_migrated_bytes_total"
+	MetricLifecycleFailures   = "cyrus_lifecycle_failures_total"
+	MetricLifecycleQueueDepth = "cyrus_lifecycle_queue_depth"
 )
 
 // DefBuckets are the default histogram bucket upper bounds, in seconds.
